@@ -1,0 +1,97 @@
+// Ablation benches for the design choices Section 3.5 discusses and the
+// future-work item of Section 3.6:
+//   (a) slots per entry (4 / 8 / 16) — energy vs capacity trade-off;
+//   (b) SharedLSQ size (4 / 8 / 16) — conflict absorption;
+//   (c) exploiting the lower way-known access latency (paper leaves this
+//       unexploited; we measure what it would buy).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace samie;
+  const std::uint64_t insts = sim::bench_instructions(120'000);
+  const std::vector<std::string> programs = {"ammp",  "apsi", "swim",
+                                             "facerec", "gcc", "sixtrack"};
+
+  // ---------------- (a) slots per entry -----------------------------------
+  bench::print_header("Ablation A — slots per entry (paper fixes 8)");
+  {
+    std::vector<sim::Job> jobs;
+    for (const std::uint32_t slots : {4U, 8U, 16U}) {
+      for (const auto& prog : programs) {
+        sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
+        cfg.instructions = insts;
+        cfg.samie.slots_per_entry = slots;
+        jobs.push_back(sim::Job{prog, cfg, std::to_string(slots)});
+      }
+    }
+    const auto results = sim::run_jobs(jobs);
+    Table t({"program", "slots", "IPC", "LSQ uJ", "way-known frac",
+             "buf busy%"});
+    for (const auto& r : results) {
+      const double frac =
+          static_cast<double>(r.result.core.dcache_way_known) /
+          static_cast<double>(
+              std::max<std::uint64_t>(1, r.result.core.dcache_way_known +
+                                             r.result.core.dcache_full));
+      t.add_row({r.job.program, r.job.tag, Table::num(r.result.core.ipc),
+                 Table::num(r.result.lsq_energy_nj / 1e3),
+                 Table::num(frac, 2),
+                 Table::num(r.result.buffer_nonempty_frac * 100, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "paper's reasoning: more slots help reuse but cost leakage\n"
+              << "and delay; fewer slots push line-concentrated programs\n"
+              << "into more entries (Section 3.5).\n";
+  }
+
+  // ---------------- (b) SharedLSQ size -------------------------------------
+  bench::print_header("Ablation B — SharedLSQ entries (paper fixes 8)");
+  {
+    std::vector<sim::Job> jobs;
+    for (const std::uint32_t shared : {4U, 8U, 16U}) {
+      for (const auto& prog : programs) {
+        sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
+        cfg.instructions = insts;
+        cfg.samie.shared_entries = shared;
+        jobs.push_back(sim::Job{prog, cfg, std::to_string(shared)});
+      }
+    }
+    const auto results = sim::run_jobs(jobs);
+    Table t({"program", "shared", "IPC", "deadlocks/Mcyc", "buf busy%"});
+    for (const auto& r : results) {
+      t.add_row({r.job.program, r.job.tag, Table::num(r.result.core.ipc),
+                 Table::num(r.result.deadlocks_per_mcycle(), 1),
+                 Table::num(r.result.buffer_nonempty_frac * 100, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  // ---------------- (c) way-known latency (future work) --------------------
+  bench::print_header(
+      "Ablation C — exploiting the lower way-known latency (paper future work)");
+  {
+    std::vector<sim::Job> jobs;
+    for (const bool exploit : {false, true}) {
+      for (const auto& prog : programs) {
+        sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
+        cfg.instructions = insts;
+        cfg.core.exploit_known_line_latency = exploit;
+        jobs.push_back(sim::Job{prog, cfg, exploit ? "fast" : "base"});
+      }
+    }
+    const auto results = sim::run_jobs(jobs);
+    Table t({"program", "IPC (base)", "IPC (fast way-known)", "gain"});
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      const double base = results[i].result.core.ipc;
+      const double fast = results[programs.size() + i].result.core.ipc;
+      t.add_row({programs[i], Table::num(base), Table::num(fast),
+                 Table::pct(percent_delta(fast, base))});
+    }
+    t.print(std::cout);
+    std::cout << "paper (Section 3.6): Table 1 shows way-known accesses are\n"
+              << "up to 19% faster but the evaluation leaves that unused;\n"
+              << "this ablation turns it on (1 cycle saved per such access).\n";
+  }
+  bench::print_footnote(insts);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 4 reproduction: number of programs whose AddrBuffer stays unused
+// during >= 99% of their execution, as a function of SharedLSQ entries.
+//
+// Paper: 4 entries satisfy 16 of 26 programs, 8 entries 21, 12 entries 22
+// — the basis for the 8-entry SharedLSQ choice.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace samie;
+  bench::print_header(
+      "Figure 4 — programs with AddrBuffer idle >= 99% of cycles");
+
+  const std::uint64_t insts = sim::bench_instructions(150'000);
+  const std::uint32_t sizes[] = {0, 4, 8, 12, 16, 20, 24, 28, 32};
+
+  std::vector<sim::Job> jobs;
+  for (const std::uint32_t s : sizes) {
+    sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
+    cfg.instructions = insts;
+    cfg.samie.shared_entries = s;
+    auto batch = sim::jobs_for_suite(cfg, std::to_string(s));
+    jobs.insert(jobs.end(), batch.begin(), batch.end());
+  }
+  const auto results = sim::run_jobs(jobs);
+  const std::size_t n = trace::spec2000_names().size();
+
+  Table t({"SharedLSQ entries", "programs satisfied (ours)", "paper"});
+  const std::map<std::uint32_t, int> paper = {{4, 16}, {8, 21}, {12, 22}};
+  std::size_t idx = 0;
+  for (const std::uint32_t s : sizes) {
+    int satisfied = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (results[idx + i].result.buffer_nonempty_frac <= 0.01) ++satisfied;
+    }
+    idx += n;
+    const auto it = paper.find(s);
+    t.add_row({std::to_string(s), std::to_string(satisfied),
+               it != paper.end() ? std::to_string(it->second) : ""});
+  }
+  t.print(std::cout);
+  std::cout << "\npaper: an 8-entry SharedLSQ is the sweet spot (21 of 26\n"
+            << "programs satisfied; 12 entries only adds one more program).\n";
+  bench::print_footnote(insts);
+  return 0;
+}

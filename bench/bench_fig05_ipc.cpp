@@ -1,0 +1,41 @@
+// Figure 5 reproduction: % IPC loss of SAMIE-LSQ relative to the
+// conventional 128-entry LSQ, per program and SPEC mean.
+//
+// Paper: mean loss 0.6%; ammp/apsi/mgrid lose, facerec/fma3d gain.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace samie;
+  bench::print_header("Figure 5 — % IPC loss of SAMIE vs conventional LSQ");
+
+  const std::uint64_t insts = sim::bench_instructions(250'000);
+  std::vector<sim::Job> jobs = bench::suite_jobs(sim::LsqChoice::kConventional,
+                                                 insts, "conv");
+  const auto samie_jobs = bench::suite_jobs(sim::LsqChoice::kSamie, insts, "samie");
+  jobs.insert(jobs.end(), samie_jobs.begin(), samie_jobs.end());
+  const auto results = sim::run_jobs(jobs);
+  const std::size_t n = trace::spec2000_names().size();
+
+  Table t({"program", "conv IPC", "SAMIE IPC", "IPC loss", "~paper loss"});
+  std::vector<double> losses;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& conv = results[i].result;
+    const auto& samie = results[n + i].result;
+    const double loss = -percent_delta(samie.core.ipc, conv.core.ipc);
+    losses.push_back(loss);
+    const auto& ref = bench::fig5_ipc_loss_approx();
+    const auto it = ref.find(results[i].job.program);
+    t.add_row({results[i].job.program, Table::num(conv.core.ipc),
+               Table::num(samie.core.ipc), Table::pct(loss),
+               it != ref.end() ? Table::pct(it->second, 1) : "~0"});
+  }
+  const double mean_loss = arithmetic_mean(losses);
+  t.add_row({"SPEC mean", "", "", Table::pct(mean_loss),
+             Table::pct(bench::PaperAggregates{}.ipc_loss_pct, 1)});
+  t.print(std::cout);
+
+  std::cout << "\npaper reports a mean IPC loss of 0.6%; measured "
+            << Table::pct(mean_loss) << "\n";
+  bench::print_footnote(insts);
+  return 0;
+}

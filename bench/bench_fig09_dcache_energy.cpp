@@ -1,0 +1,48 @@
+// Figure 9 reproduction: L1 data cache dynamic energy, conventional LSQ
+// vs SAMIE-LSQ (which turns repeat accesses into way-known accesses).
+//
+// Paper: 42% saved on average; ammp and swim highest (~58%), sixtrack
+// lowest (~21%); savings are consistent across the whole suite.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace samie;
+  bench::print_header("Figure 9 — L1 Dcache dynamic energy");
+
+  const std::uint64_t insts = sim::bench_instructions(250'000);
+  std::vector<sim::Job> jobs =
+      bench::suite_jobs(sim::LsqChoice::kConventional, insts, "conv");
+  const auto sj = bench::suite_jobs(sim::LsqChoice::kSamie, insts, "samie");
+  jobs.insert(jobs.end(), sj.begin(), sj.end());
+  const auto results = sim::run_jobs(jobs);
+  const std::size_t n = trace::spec2000_names().size();
+
+  Table t({"program", "conv (uJ)", "SAMIE (uJ)", "saved", "way-known frac"});
+  std::vector<double> savings;
+  std::string hi_prog, lo_prog;
+  double hi = -1e9, lo = 1e9;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& conv = results[i].result;
+    const auto& samie = results[n + i].result;
+    const double saved = percent_saved(samie.dcache_energy_nj, conv.dcache_energy_nj);
+    savings.push_back(saved);
+    if (saved > hi) { hi = saved; hi_prog = results[i].job.program; }
+    if (saved < lo) { lo = saved; lo_prog = results[i].job.program; }
+    const double frac =
+        static_cast<double>(samie.core.dcache_way_known) /
+        static_cast<double>(samie.core.dcache_way_known + samie.core.dcache_full);
+    t.add_row({results[i].job.program, Table::num(conv.dcache_energy_nj / 1e3),
+               Table::num(samie.dcache_energy_nj / 1e3),
+               Table::num(saved, 1) + "%", Table::num(frac, 2)});
+  }
+  t.add_row({"SPEC mean", "", "", Table::num(arithmetic_mean(savings), 1) + "%",
+             ""});
+  t.print(std::cout);
+
+  std::cout << "\npaper: mean 42% saved; max ammp/swim ~58%; min sixtrack ~21%\n"
+            << "ours: mean " << Table::num(arithmetic_mean(savings), 1)
+            << "%; max " << hi_prog << " " << Table::num(hi, 1) << "%; min "
+            << lo_prog << " " << Table::num(lo, 1) << "%\n";
+  bench::print_footnote(insts);
+  return 0;
+}

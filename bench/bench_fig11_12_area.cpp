@@ -1,0 +1,49 @@
+// Figures 11 and 12 reproduction: accumulated active LSQ area
+// (conventional vs SAMIE) and the SAMIE active-area breakdown.
+//
+// Paper: the accumulated active areas are very similar, slightly (~5%)
+// favourable to SAMIE; the DistribLSQ dominates the breakdown, with the
+// SharedLSQ visible only for ammp/apsi/art/facerec/mgrid; low-pressure
+// integer programs are SAMIE's worst case.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace samie;
+  bench::print_header("Figures 11/12 — accumulated active LSQ area");
+
+  const std::uint64_t insts = sim::bench_instructions(250'000);
+  std::vector<sim::Job> jobs =
+      bench::suite_jobs(sim::LsqChoice::kConventional, insts, "conv");
+  const auto sj = bench::suite_jobs(sim::LsqChoice::kSamie, insts, "samie");
+  jobs.insert(jobs.end(), sj.begin(), sj.end());
+  const auto results = sim::run_jobs(jobs);
+  const std::size_t n = trace::spec2000_names().size();
+
+  Table t({"program", "conv (mm^2*Mcyc)", "SAMIE (mm^2*Mcyc)", "SAMIE/conv",
+           "Distrib%", "Shared%", "AddrBuf%"});
+  double conv_total = 0, samie_total = 0;
+  constexpr double kScale = 1e12;  // um^2*cycles -> mm^2 * Mcycles
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& conv = results[i].result;
+    const auto& samie = results[n + i].result;
+    conv_total += conv.area_total;
+    samie_total += samie.area_total;
+    const double total = samie.area_total > 0 ? samie.area_total : 1.0;
+    t.add_row({results[i].job.program, Table::num(conv.area_total / kScale, 3),
+               Table::num(samie.area_total / kScale, 3),
+               Table::num(samie.area_total / conv.area_total, 2),
+               Table::num(samie.area_distrib / total * 100, 0),
+               Table::num(samie.area_shared / total * 100, 0),
+               Table::num(samie.area_addrbuf / total * 100, 0)});
+  }
+  t.add_row({"SPEC total", Table::num(conv_total / kScale, 3),
+             Table::num(samie_total / kScale, 3),
+             Table::num(samie_total / conv_total, 2), "", "", ""});
+  t.print(std::cout);
+
+  std::cout << "\npaper: accumulated active areas nearly equal, ~5% in\n"
+            << "SAMIE's favour; ours: SAMIE/conv = "
+            << Table::num(samie_total / conv_total, 2) << "\n";
+  bench::print_footnote(insts);
+  return 0;
+}

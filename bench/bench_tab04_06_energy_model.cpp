@@ -1,0 +1,96 @@
+// Tables 4, 5 and 6 reproduction: per-event LSQ energies and cell areas —
+// the paper's published CACTI 3.0 outputs next to this repository's
+// analytical surrogate.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/energy/cache_model.h"
+#include "src/energy/lsq_model.h"
+
+int main() {
+  using namespace samie;
+  using namespace samie::energy;
+  bench::print_header("Tables 4/5/6 — LSQ energies (pJ) and cell areas (um^2)");
+
+  const LsqEnergyConstants p = paper_constants();
+  const LsqEnergyConstants d = derived_constants(tech_100nm());
+
+  std::cout << "--- Table 4: conventional 128-entry LSQ ---\n";
+  Table t4({"activity", "paper (pJ)", "surrogate (pJ)"});
+  t4.add_row({"address comparison (base)", Table::num(p.conv.addr_cmp_base_pj, 1),
+              Table::num(d.conv.addr_cmp_base_pj, 1)});
+  t4.add_row({"... per address compared", Table::num(p.conv.addr_cmp_per_addr_pj),
+              Table::num(d.conv.addr_cmp_per_addr_pj)});
+  t4.add_row({"read/write an address", Table::num(p.conv.addr_rw_pj, 1),
+              Table::num(d.conv.addr_rw_pj, 1)});
+  t4.add_row({"read/write a datum", Table::num(p.conv.datum_rw_pj, 1),
+              Table::num(d.conv.datum_rw_pj, 1)});
+  t4.print(std::cout);
+
+  std::cout << "\n--- Table 5: SAMIE-LSQ ---\n";
+  Table t5({"activity", "paper (pJ)", "surrogate (pJ)"});
+  auto row = [&](const char* name, double pv, double dv) {
+    t5.add_row({name, Table::num(pv, 3), Table::num(dv, 3)});
+  };
+  row("Distrib: addr cmp (base)", p.samie.d_addr_cmp_base_pj, d.samie.d_addr_cmp_base_pj);
+  row("Distrib: addr cmp per addr", p.samie.d_addr_cmp_per_addr_pj,
+      d.samie.d_addr_cmp_per_addr_pj);
+  row("Distrib: r/w address", p.samie.d_addr_rw_pj, d.samie.d_addr_rw_pj);
+  row("Distrib: age cmp (base)", p.samie.d_age_cmp_base_pj, d.samie.d_age_cmp_base_pj);
+  row("Distrib: age cmp per id", p.samie.d_age_cmp_per_id_pj,
+      d.samie.d_age_cmp_per_id_pj);
+  row("Distrib: r/w age id", p.samie.d_age_rw_pj, d.samie.d_age_rw_pj);
+  row("Distrib: r/w datum", p.samie.d_datum_rw_pj, d.samie.d_datum_rw_pj);
+  row("Distrib: r/w translation", p.samie.d_translation_rw_pj,
+      d.samie.d_translation_rw_pj);
+  row("Distrib: r/w line id", p.samie.d_line_id_rw_pj, d.samie.d_line_id_rw_pj);
+  row("bus: send an address", p.samie.bus_send_addr_pj, d.samie.bus_send_addr_pj);
+  row("Shared: addr cmp (base)", p.samie.s_addr_cmp_base_pj, d.samie.s_addr_cmp_base_pj);
+  row("Shared: addr cmp per addr", p.samie.s_addr_cmp_per_addr_pj,
+      d.samie.s_addr_cmp_per_addr_pj);
+  row("Shared: r/w address", p.samie.s_addr_rw_pj, d.samie.s_addr_rw_pj);
+  row("Shared: age cmp (base)", p.samie.s_age_cmp_base_pj, d.samie.s_age_cmp_base_pj);
+  row("Shared: age cmp per id", p.samie.s_age_cmp_per_id_pj,
+      d.samie.s_age_cmp_per_id_pj);
+  row("Shared: r/w datum", p.samie.s_datum_rw_pj, d.samie.s_datum_rw_pj);
+  row("Shared: r/w translation", p.samie.s_translation_rw_pj,
+      d.samie.s_translation_rw_pj);
+  row("Shared: r/w line id", p.samie.s_line_id_rw_pj, d.samie.s_line_id_rw_pj);
+  row("AddrBuffer: r/w datum", p.samie.ab_datum_rw_pj, d.samie.ab_datum_rw_pj);
+  row("AddrBuffer: r/w age id", p.samie.ab_age_rw_pj, d.samie.ab_age_rw_pj);
+  t5.print(std::cout);
+
+  std::cout << "\n--- Table 6: cell areas ---\n";
+  Table t6({"component", "paper (um^2)", "surrogate (um^2)"});
+  t6.add_row({"conventional address CAM", Table::num(p.areas.conv_addr_cam, 1),
+              Table::num(d.areas.conv_addr_cam, 1)});
+  t6.add_row({"conventional datum RAM", Table::num(p.areas.conv_datum_ram, 1),
+              Table::num(d.areas.conv_datum_ram, 1)});
+  t6.add_row({"SAMIE address CAM", Table::num(p.areas.samie_addr_cam, 1),
+              Table::num(d.areas.samie_addr_cam, 1)});
+  t6.add_row({"SAMIE age-id CAM", Table::num(p.areas.samie_age_cam, 1),
+              Table::num(d.areas.samie_age_cam, 1)});
+  t6.add_row({"SAMIE datum RAM", Table::num(p.areas.samie_datum_ram, 1),
+              Table::num(d.areas.samie_datum_ram, 1)});
+  t6.add_row({"AddrBuffer datum RAM", Table::num(p.areas.addrbuf_datum_ram, 1),
+              Table::num(d.areas.addrbuf_datum_ram, 1)});
+  t6.add_row({"AddrBuffer age RAM", Table::num(p.areas.addrbuf_age_ram, 1),
+              Table::num(d.areas.addrbuf_age_ram, 1)});
+  t6.print(std::cout);
+
+  std::cout << "\n--- Section 4.2: memory-system access energies ---\n";
+  Table tm({"access", "paper (pJ)", "surrogate (pJ)"});
+  tm.add_row({"Dcache full access", Table::num(p.mem.dcache_full_access_pj, 0),
+              Table::num(d.mem.dcache_full_access_pj, 0)});
+  tm.add_row({"Dcache way-known access", Table::num(p.mem.dcache_way_known_pj, 0),
+              Table::num(d.mem.dcache_way_known_pj, 0)});
+  tm.add_row({"DTLB access", Table::num(p.mem.dtlb_access_pj, 0),
+              Table::num(d.mem.dtlb_access_pj, 0)});
+  tm.print(std::cout);
+
+  std::cout << "\nThe simulator accounts with the paper's exact constants by\n"
+            << "default; the surrogate column documents how closely an\n"
+            << "analytical model fitted only to published CACTI outputs can\n"
+            << "track them (see DESIGN.md, substitution 2).\n";
+  return 0;
+}

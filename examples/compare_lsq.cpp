@@ -1,0 +1,58 @@
+// compare_lsq: run one or more programs under all four LSQ organizations
+// (conventional / unbounded / ARB / SAMIE) and print a side-by-side
+// comparison — the per-program view behind Figures 1 and 5.
+//
+//   ./compare_lsq [program ...]
+//
+// With no arguments a representative cross-section of the suite is used.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace samie;
+
+  std::vector<std::string> programs;
+  for (int i = 1; i < argc; ++i) programs.emplace_back(argv[i]);
+  if (programs.empty()) {
+    programs = {"ammp", "swim", "facerec", "fma3d", "gcc", "mcf", "sixtrack"};
+  }
+  const std::uint64_t insts = sim::bench_instructions(150'000);
+
+  std::vector<sim::Job> jobs;
+  for (const auto& p : programs) {
+    for (const auto choice :
+         {sim::LsqChoice::kConventional, sim::LsqChoice::kUnbounded,
+          sim::LsqChoice::kArb, sim::LsqChoice::kSamie}) {
+      sim::SimConfig cfg = sim::paper_config(choice);
+      cfg.instructions = insts;
+      if (choice == sim::LsqChoice::kArb) {
+        cfg.arb = lsq::ArbConfig{.banks = 8, .rows_per_bank = 16,
+                                 .max_inflight = 128, .line_bytes = 32};
+      }
+      jobs.push_back(sim::Job{p, cfg, std::string(sim::lsq_choice_name(choice))});
+    }
+  }
+  const auto results = sim::run_jobs(jobs);
+
+  Table t({"program", "LSQ", "IPC", "vs conv", "LSQ uJ", "deadlk/Mcyc",
+           "shared occ", "buf busy%", "mismatch"});
+  double conv_ipc = 0.0;
+  for (const auto& r : results) {
+    if (r.job.tag == "conventional") conv_ipc = r.result.core.ipc;
+    t.add_row({r.job.program, r.job.tag, Table::num(r.result.core.ipc),
+               Table::pct(percent_delta(r.result.core.ipc, conv_ipc)),
+               Table::num(r.result.lsq_energy_nj / 1e3),
+               Table::num(r.result.deadlocks_per_mcycle(), 1),
+               Table::num(r.result.shared_occupancy_mean, 2),
+               Table::num(r.result.buffer_nonempty_frac * 100.0, 1),
+               std::to_string(r.result.core.value_mismatches)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// custom_workload: define a synthetic workload through the public API —
+// an in-memory B-tree-ish lookup loop with a hot root, a warm internal
+// level and a cold leaf level — and compare the LSQ organizations on it.
+//
+// This is the "bring your own workload" path a downstream user would take
+// to evaluate SAMIE-LSQ for an application the SPEC2000 profiles don't
+// cover.
+#include <iostream>
+
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/sim/simulator.h"
+#include "src/trace/workload.h"
+
+int main() {
+  using namespace samie;
+
+  // Three levels of a search structure, hottest to coldest. The root is a
+  // handful of lines touched constantly; leaves are a pointer-chased sea.
+  trace::WorkloadProfile p;
+  p.name = "btree-lookup";
+  p.load_frac = 0.34;
+  p.store_frac = 0.06;
+  p.branch_frac = 0.18;
+  p.branch_entropy = 0.30;  // data-dependent comparisons
+  p.dep_mean = 4.0;
+  p.addr_dep_p = 0.65;      // child pointers come from loads
+  p.streams = {
+      trace::StreamComponent{.weight = 0.30, .footprint_lines = 8,
+                             .line_stride_bytes = 32, .accesses_per_line = 4,
+                             .access_bytes = 8, .jump_p = 0.5},   // root
+      trace::StreamComponent{.weight = 0.30, .footprint_lines = 2048,
+                             .line_stride_bytes = 32, .accesses_per_line = 3,
+                             .access_bytes = 8, .jump_p = 0.7},   // internal
+      trace::StreamComponent{.weight = 0.40, .footprint_lines = 200000,
+                             .line_stride_bytes = 32, .accesses_per_line = 2,
+                             .access_bytes = 8, .jump_p = 0.9},   // leaves
+  };
+
+  constexpr std::uint64_t kInsts = 150'000;
+  trace::WorkloadGenerator gen(p, /*seed=*/2024);
+  const trace::Trace t = gen.generate(kInsts);
+
+  Table out({"LSQ", "IPC", "LSQ uJ", "Dcache uJ", "DTLB uJ", "fwd loads",
+             "mismatches"});
+  double conv_ipc = 0;
+  for (const auto choice : {sim::LsqChoice::kConventional, sim::LsqChoice::kArb,
+                            sim::LsqChoice::kSamie}) {
+    sim::SimConfig cfg = sim::paper_config(choice);
+    cfg.instructions = kInsts;
+    const sim::SimResult r = sim::run_simulation(cfg, t);
+    if (choice == sim::LsqChoice::kConventional) conv_ipc = r.core.ipc;
+    out.add_row({sim::lsq_choice_name(choice), Table::num(r.core.ipc),
+                 Table::num(r.lsq_energy_nj / 1e3),
+                 Table::num(r.dcache_energy_nj / 1e3),
+                 Table::num(r.dtlb_energy_nj / 1e3),
+                 std::to_string(r.core.forwarded_loads),
+                 std::to_string(r.core.value_mismatches)});
+  }
+  out.print(std::cout);
+  std::cout << "\n(conventional IPC " << Table::num(conv_ipc)
+            << "; pointer-chasing workloads place fewer instructions per\n"
+            << "line, so SAMIE's Dcache/DTLB reuse is smaller here than on\n"
+            << "the FP suite — exactly the trade-off the paper describes.)\n";
+  return 0;
+}

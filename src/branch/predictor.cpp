@@ -1,0 +1,111 @@
+#include "src/branch/predictor.h"
+
+#include <cassert>
+
+namespace samie::branch {
+
+BimodalPredictor::BimodalPredictor(std::size_t entries) : table_(entries, 1) {
+  assert(is_pow2(entries));
+}
+
+std::size_t BimodalPredictor::index(Addr pc) const {
+  return static_cast<std::size_t>((pc >> 2) & (table_.size() - 1));
+}
+
+bool BimodalPredictor::predict(Addr pc) const {
+  return counter_taken(table_[index(pc)]);
+}
+
+void BimodalPredictor::update(Addr pc, bool taken) {
+  auto& c = table_[index(pc)];
+  c = counter_update(c, taken);
+}
+
+GsharePredictor::GsharePredictor(std::size_t entries)
+    : table_(entries, 1), history_mask_(entries - 1) {
+  assert(is_pow2(entries));
+}
+
+std::size_t GsharePredictor::index(Addr pc) const {
+  return static_cast<std::size_t>(((pc >> 2) ^ history_) & (table_.size() - 1));
+}
+
+bool GsharePredictor::predict(Addr pc) const {
+  return counter_taken(table_[index(pc)]);
+}
+
+void GsharePredictor::update(Addr pc, bool taken) {
+  auto& c = table_[index(pc)];
+  c = counter_update(c, taken);
+  history_ = ((history_ << 1U) | (taken ? 1U : 0U)) & history_mask_;
+}
+
+HybridPredictor::HybridPredictor(std::size_t gshare_entries,
+                                 std::size_t bimodal_entries,
+                                 std::size_t selector_entries)
+    : bimodal_(bimodal_entries), gshare_(gshare_entries),
+      selector_(selector_entries, 2) {
+  assert(is_pow2(selector_entries));
+}
+
+bool HybridPredictor::predict(Addr pc) const {
+  ++lookups_;
+  const std::size_t si = static_cast<std::size_t>((pc >> 2) & (selector_.size() - 1));
+  const bool use_gshare = counter_taken(selector_[si]);
+  return use_gshare ? gshare_.predict(pc) : bimodal_.predict(pc);
+}
+
+void HybridPredictor::update(Addr pc, bool taken) {
+  const std::size_t si = static_cast<std::size_t>((pc >> 2) & (selector_.size() - 1));
+  const bool g = gshare_.predict(pc);
+  const bool b = bimodal_.predict(pc);
+  // Train the selector toward the component that was right.
+  if (g != b) selector_[si] = counter_update(selector_[si], g == taken);
+  gshare_.update(pc, taken);
+  bimodal_.update(pc, taken);
+}
+
+bool HybridPredictor::predict_and_update(Addr pc, bool actual) {
+  const bool p = predict(pc);
+  if (p != actual) ++mispredicts_;
+  update(pc, actual);
+  return p;
+}
+
+Btb::Btb(std::size_t entries, std::uint32_t ways)
+    : sets_(entries / ways), ways_(ways), table_(entries) {
+  assert(is_pow2(sets_));
+}
+
+Btb::Result Btb::lookup(Addr pc) const {
+  const std::size_t set = static_cast<std::size_t>((pc >> 2) & (sets_ - 1));
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const Entry& e = table_[set * ways_ + w];
+    if (e.valid && e.pc == pc) return {true, e.target};
+  }
+  return {};
+}
+
+void Btb::update(Addr pc, Addr target) {
+  const std::size_t set = static_cast<std::size_t>((pc >> 2) & (sets_ - 1));
+  Entry* victim = &table_[set * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Entry& e = table_[set * ways_ + w];
+    if (e.valid && e.pc == pc) {
+      e.target = target;
+      e.lru = ++tick_;
+      return;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  victim->valid = true;
+  victim->pc = pc;
+  victim->target = target;
+  victim->lru = ++tick_;
+}
+
+}  // namespace samie::branch

@@ -1,0 +1,95 @@
+// Branch prediction: 2-bit bimodal, gshare, the hybrid
+// (bimodal + gshare + selector) of the paper's Table 2, and a
+// set-associative BTB.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie::branch {
+
+/// Saturating 2-bit counter helpers (00/01 = not taken, 10/11 = taken).
+[[nodiscard]] constexpr bool counter_taken(std::uint8_t c) noexcept { return c >= 2; }
+[[nodiscard]] constexpr std::uint8_t counter_update(std::uint8_t c, bool taken) noexcept {
+  if (taken) return c < 3 ? static_cast<std::uint8_t>(c + 1) : c;
+  return c > 0 ? static_cast<std::uint8_t>(c - 1) : c;
+}
+
+class BimodalPredictor {
+ public:
+  explicit BimodalPredictor(std::size_t entries = 2048);
+  [[nodiscard]] bool predict(Addr pc) const;
+  void update(Addr pc, bool taken);
+
+ private:
+  [[nodiscard]] std::size_t index(Addr pc) const;
+  std::vector<std::uint8_t> table_;
+};
+
+class GsharePredictor {
+ public:
+  explicit GsharePredictor(std::size_t entries = 2048);
+  [[nodiscard]] bool predict(Addr pc) const;
+  void update(Addr pc, bool taken);
+
+ private:
+  [[nodiscard]] std::size_t index(Addr pc) const;
+  std::vector<std::uint8_t> table_;
+  std::uint64_t history_ = 0;
+  std::uint64_t history_mask_;
+};
+
+/// Hybrid: a selector table of 2-bit counters arbitrates between the
+/// bimodal and gshare components (Table 2: 2K gshare, 2K bimodal, 1K
+/// selector).
+class HybridPredictor {
+ public:
+  HybridPredictor(std::size_t gshare_entries = 2048,
+                  std::size_t bimodal_entries = 2048,
+                  std::size_t selector_entries = 1024);
+
+  [[nodiscard]] bool predict(Addr pc) const;
+  void update(Addr pc, bool taken);
+
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t mispredicts() const { return mispredicts_; }
+  /// Predict + bookkeeping in one step: returns the prediction and counts
+  /// a mispredict if it disagrees with `actual`.
+  bool predict_and_update(Addr pc, bool actual);
+
+ private:
+  BimodalPredictor bimodal_;
+  GsharePredictor gshare_;
+  std::vector<std::uint8_t> selector_;
+  mutable std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+/// Set-associative branch target buffer (Table 2: 2048 entries, 4-way).
+class Btb {
+ public:
+  Btb(std::size_t entries = 2048, std::uint32_t ways = 4);
+
+  struct Result {
+    bool hit = false;
+    Addr target = 0;
+  };
+  [[nodiscard]] Result lookup(Addr pc) const;
+  void update(Addr pc, Addr target);
+
+ private:
+  struct Entry {
+    Addr pc = 0;
+    Addr target = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+  std::size_t sets_;
+  std::uint32_t ways_;
+  std::vector<Entry> table_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace samie::branch

@@ -1,0 +1,93 @@
+// FixedVector<T, N>: a bounded, inline (no heap) vector.
+//
+// Hot microarchitectural structures (LSQ entries, issue-queue scan lists,
+// cache ways) have small compile-time capacity; keeping their storage
+// inline avoids allocation on the simulator's critical path (Core
+// Guidelines Per.14/Per.16) and keeps entries cache-resident.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace samie {
+
+template <typename T, std::size_t N>
+class FixedVector {
+  static_assert(N > 0, "FixedVector capacity must be positive");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "FixedVector is designed for trivially-destructible payloads");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  constexpr FixedVector() noexcept = default;
+
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return N; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr bool full() const noexcept { return size_ == N; }
+
+  constexpr T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  constexpr const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  constexpr T& front() noexcept { return (*this)[0]; }
+  constexpr const T& front() const noexcept { return (*this)[0]; }
+  constexpr T& back() noexcept { return (*this)[size_ - 1]; }
+  constexpr const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  constexpr iterator begin() noexcept { return data_; }
+  constexpr iterator end() noexcept { return data_ + size_; }
+  constexpr const_iterator begin() const noexcept { return data_; }
+  constexpr const_iterator end() const noexcept { return data_ + size_; }
+
+  constexpr void clear() noexcept { size_ = 0; }
+
+  constexpr bool push_back(const T& v) noexcept {
+    if (full()) return false;
+    data_[size_++] = v;
+    return true;
+  }
+
+  template <typename... Args>
+  constexpr T& emplace_back(Args&&... args) noexcept {
+    assert(!full());
+    data_[size_] = T{std::forward<Args>(args)...};
+    return data_[size_++];
+  }
+
+  constexpr void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  /// Removes element i by swapping the last element into its place (O(1),
+  /// does not preserve order).
+  constexpr void erase_unordered(std::size_t i) noexcept {
+    assert(i < size_);
+    data_[i] = data_[size_ - 1];
+    --size_;
+  }
+
+  /// Removes element i preserving order (O(n)).
+  constexpr void erase_ordered(std::size_t i) noexcept {
+    assert(i < size_);
+    for (std::size_t j = i + 1; j < size_; ++j) data_[j - 1] = data_[j];
+    --size_;
+  }
+
+ private:
+  T data_[N]{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace samie

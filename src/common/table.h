@@ -1,0 +1,37 @@
+// ASCII table rendering for benches and examples.
+//
+// Every reproduction binary prints paper-style tables ("paper reports X,
+// we measure Y"); this tiny formatter keeps them aligned and consistent.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace samie {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+  /// Convenience: formats a percentage with sign, e.g. "+1.25%".
+  static std::string pct(double v, int precision = 2);
+
+  /// Renders with box-drawing rules to `os`.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace samie

@@ -1,0 +1,62 @@
+// Core scalar types shared by every subsystem.
+//
+// The simulator models a 64-bit virtual address space, cycle time as an
+// unsigned 64-bit counter, and identifies dynamic instructions by their
+// position in the trace. Strong typedefs are deliberately *not* used for
+// these three: they are combined arithmetically everywhere (address
+// slicing, cycle deltas, trace windows) and the Core Guidelines' advice on
+// precise typing is instead applied to the enum-heavy interfaces built on
+// top of them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace samie {
+
+/// Virtual or physical byte address.
+using Addr = std::uint64_t;
+
+/// Simulation time in cycles.
+using Cycle = std::uint64_t;
+
+/// Index of a dynamic instruction within a trace (program order).
+using InstSeq = std::uint64_t;
+
+/// Sentinel for "no instruction".
+inline constexpr InstSeq kNoInst = std::numeric_limits<InstSeq>::max();
+
+/// Sentinel for "no cycle scheduled yet".
+inline constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/// Architectural register identifier. 0..31 integer, 32..63 floating point.
+using RegId = std::uint8_t;
+
+/// Sentinel for "no register operand".
+inline constexpr RegId kNoReg = 0xFF;
+
+inline constexpr int kNumIntRegs = 32;
+inline constexpr int kNumFpRegs = 32;
+inline constexpr int kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+/// Returns true if `r` names a floating-point architectural register.
+[[nodiscard]] constexpr bool is_fp_reg(RegId r) noexcept {
+  return r != kNoReg && r >= kNumIntRegs;
+}
+
+/// floor(log2(x)) for x > 0.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  unsigned r = 0;
+  while (x > 1) {
+    x >>= 1U;
+    ++r;
+  }
+  return r;
+}
+
+/// True if x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace samie

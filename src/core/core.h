@@ -1,0 +1,215 @@
+// The out-of-order superscalar core (paper Table 2): 8-wide fetch/
+// dispatch/issue/commit, 256-entry ROB with the readyBit/whereLSQ
+// extension, separate INT/FP issue queues, the Table 2 functional units,
+// and pluggable load/store queues.
+//
+// Trace-driven: fetch follows the (correct-path) trace; branch mispredicts
+// squash younger in-flight instructions and restart fetch after a redirect
+// penalty, which models the recovery cost without wrong-path execution
+// (DESIGN.md §4.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/branch/predictor.h"
+#include "src/core/fu_pool.h"
+#include "src/core/main_memory.h"
+#include "src/energy/ledger.h"
+#include "src/lsq/lsq_interface.h"
+#include "src/mem/hierarchy.h"
+#include "src/trace/instruction.h"
+
+namespace samie::core {
+
+struct CoreConfig {
+  std::uint32_t fetch_width = 8;
+  std::uint32_t dispatch_width = 8;
+  std::uint32_t issue_width_int = 8;
+  std::uint32_t issue_width_fp = 8;
+  std::uint32_t commit_width = 8;
+  std::uint32_t rob_size = 256;
+  std::uint32_t iq_int = 128;
+  std::uint32_t iq_fp = 128;
+  std::uint32_t fetch_queue = 64;
+  std::uint32_t int_regs = 160;
+  std::uint32_t fp_regs = 160;
+  std::uint32_t dcache_ports = 4;
+  Cycle redirect_penalty = 3;  ///< resolve-to-refetch bubble
+
+  // Functional units (Table 2).
+  std::uint32_t n_int_alu = 6;
+  std::uint32_t n_int_muldiv = 3;
+  std::uint32_t n_fp_alu = 4;
+  std::uint32_t n_fp_muldiv = 2;
+  Cycle lat_int_alu = 1;
+  Cycle lat_int_mul = 3;
+  Cycle lat_int_div = 20;  // non-pipelined
+  Cycle lat_fp_alu = 2;
+  Cycle lat_fp_mul = 4;
+  Cycle lat_fp_div = 12;  // non-pipelined
+
+  /// Ablation (paper §3.6 future work): way-known L1D accesses complete
+  /// one cycle earlier.
+  bool exploit_known_line_latency = false;
+
+  /// Watchdog: abort if no instruction commits for this many cycles.
+  Cycle commit_timeout = 200000;
+};
+
+/// Per-cycle hook for occupancy sampling (area integration, Figures 3/4).
+class CycleObserver {
+ public:
+  virtual ~CycleObserver() = default;
+  virtual void on_cycle(Cycle cycle, const lsq::OccupancySample& occ) = 0;
+};
+
+/// Aggregate outcome of a simulation run.
+struct CoreResult {
+  Cycle cycles = 0;
+  std::uint64_t committed = 0;
+  double ipc = 0.0;
+  std::uint64_t mispredict_squashes = 0;
+  std::uint64_t deadlock_flushes = 0;
+  std::uint64_t loads_executed = 0;
+  std::uint64_t stores_committed = 0;
+  std::uint64_t forwarded_loads = 0;
+  std::uint64_t partial_forward_waits = 0;
+  std::uint64_t agen_gated = 0;
+  /// Loads whose observed value differed from the trace oracle — any
+  /// nonzero value is a memory-ordering bug in the LSQ under test.
+  std::uint64_t value_mismatches = 0;
+  std::uint64_t dcache_way_known = 0;
+  std::uint64_t dcache_full = 0;
+  std::uint64_t dtlb_accesses = 0;
+  std::uint64_t dtlb_cached = 0;
+};
+
+class Core {
+ public:
+  Core(const CoreConfig& cfg, const trace::Trace& trace,
+       lsq::LoadStoreQueue& lsq, mem::MemoryHierarchy& memory,
+       branch::HybridPredictor& predictor, branch::Btb& btb,
+       energy::DcacheLedger* dcache_ledger, energy::DtlbLedger* dtlb_ledger,
+       CycleObserver* observer);
+
+  /// Runs until `max_insts` instructions commit (or the trace ends).
+  CoreResult run(std::uint64_t max_insts);
+
+ private:
+  enum class SrcRole : std::uint8_t { kAgen = 0, kData = 1 };
+
+  struct InFlight {
+    InstSeq seq = kNoInst;
+    const trace::MicroOp* op = nullptr;
+    std::uint8_t wait_agen = 0;  ///< outstanding source operands (all, or
+                                 ///< the address sources for stores)
+    std::uint8_t wait_data = 0;  ///< stores: outstanding data operand
+    bool in_iq = false;
+    bool agen_issued = false;
+    bool agen_done = false;
+    bool placed = false;
+    bool data_ready = false;  ///< stores
+    bool executing = false;
+    bool completed = false;
+    bool mispredicted = false;
+    std::uint64_t load_value = 0;  ///< value the load observed (checked
+                                   ///< against the trace oracle)
+    std::vector<std::uint64_t> dependents;  ///< (seq << 1) | role
+  };
+
+  struct Fetched {
+    InstSeq seq = kNoInst;
+    bool mispredicted = false;
+  };
+
+  // -- stages (called commit-first each cycle) -------------------------------
+  void commit_stage();
+  void writeback_stage();
+  void memory_stage();
+  void issue_stage();
+  void dispatch_stage();
+  void fetch_stage();
+
+  // -- helpers ---------------------------------------------------------------
+  [[nodiscard]] InFlight& slot(InstSeq seq) {
+    return rob_[static_cast<std::size_t>(seq % cfg_.rob_size)];
+  }
+  [[nodiscard]] bool live(InstSeq seq) const {
+    return seq >= head_ && seq < tail_ &&
+           rob_[static_cast<std::size_t>(seq % cfg_.rob_size)].seq == seq;
+  }
+  void schedule_completion(InstSeq seq, Cycle at);
+  void complete(InstSeq seq);
+  void wake_dependents(InFlight& inst);
+  void on_agen_complete(InstSeq seq);
+  void on_store_placed(InstSeq seq);
+  void try_schedule_load(InstSeq seq);
+  void execute_load_access(InstSeq seq);
+  [[nodiscard]] bool load_ordering_clear(InstSeq seq) const;
+  void handle_eviction(bool evicted, std::uint32_t set, bool had_present_bit);
+  void squash_after(InstSeq last_kept);
+  void full_flush();
+  void rebuild_rename();
+  [[nodiscard]] std::uint64_t forwarded_value(const trace::MicroOp& load,
+                                              const trace::MicroOp& store) const;
+
+  CoreConfig cfg_;
+  const trace::Trace& trace_;
+  lsq::LoadStoreQueue& lsq_;
+  mem::MemoryHierarchy& mem_;
+  branch::HybridPredictor& predictor_;
+  branch::Btb& btb_;
+  energy::DcacheLedger* dcache_ledger_;
+  energy::DtlbLedger* dtlb_ledger_;
+  CycleObserver* observer_;
+  MainMemory memory_state_;
+
+  // Pipeline state.
+  Cycle cycle_ = 0;
+  InstSeq head_ = 0;          ///< oldest in-flight (== next to commit)
+  InstSeq tail_ = 0;          ///< next seq to dispatch
+  InstSeq fetch_seq_ = 0;     ///< next trace index to fetch
+  Cycle fetch_stall_until_ = 0;
+  Addr last_fetch_line_ = ~0ULL;
+  std::vector<InFlight> rob_;
+  std::deque<Fetched> fetch_queue_;
+  std::uint32_t iq_int_used_ = 0;
+  std::uint32_t iq_fp_used_ = 0;
+  std::uint32_t int_regs_used_ = 0;
+  std::uint32_t fp_regs_used_ = 0;
+  std::vector<InstSeq> rename_;  ///< arch reg -> youngest in-flight producer
+
+  // Scheduling queues. Entries are validated against the ROB at pop time,
+  // so squashes do not need to filter them.
+  std::deque<InstSeq> ready_int_;
+  std::deque<InstSeq> ready_fp_;
+  std::deque<InstSeq> ready_mem_;  ///< loads cleared to access the cache
+  std::set<InstSeq> unplaced_stores_;
+  std::set<InstSeq> ordering_waiting_loads_;
+  std::unordered_map<InstSeq, std::vector<InstSeq>> fwd_data_waiters_;
+  std::unordered_map<InstSeq, std::vector<InstSeq>> commit_waiters_;
+
+  // Completion events: min-heap over (cycle, seq).
+  std::multimap<Cycle, InstSeq> completions_;
+
+  // Functional units.
+  PipelinedPool int_alu_;
+  PipelinedPool fp_alu_;
+  OccupyingPool int_muldiv_;
+  OccupyingPool fp_muldiv_;
+  std::uint32_t dcache_ports_used_ = 0;
+  /// Address computations issued but not yet resolved into a placement —
+  /// each reserves one unit of the LSQ's placement headroom.
+  std::uint32_t agens_outstanding_ = 0;
+
+  // Results.
+  CoreResult res_;
+  Cycle last_commit_cycle_ = 0;
+};
+
+}  // namespace samie::core

@@ -1,0 +1,6 @@
+// Header-only; translation unit anchors the library target.
+#include "src/core/fu_pool.h"
+
+namespace samie::core {
+// Intentionally empty.
+}  // namespace samie::core

@@ -1,0 +1,61 @@
+// Functional-unit pools (paper Table 2): pipelined pools accept one
+// operation per unit per cycle; non-pipelined units (dividers) stay busy
+// for the whole operation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie::core {
+
+/// Fully-pipelined pool: up to `units` issues per cycle.
+class PipelinedPool {
+ public:
+  explicit PipelinedPool(std::uint32_t units) : units_(units) {}
+
+  void new_cycle() noexcept { issued_ = 0; }
+  [[nodiscard]] bool can_issue() const noexcept { return issued_ < units_; }
+  bool try_issue() noexcept {
+    if (!can_issue()) return false;
+    ++issued_;
+    return true;
+  }
+  [[nodiscard]] std::uint32_t units() const noexcept { return units_; }
+
+ private:
+  std::uint32_t units_;
+  std::uint32_t issued_ = 0;
+};
+
+/// Pool of units that an operation occupies for `busy` cycles (dividers:
+/// busy == latency; pipelined multipliers: busy == 1 with latency > 1).
+class OccupyingPool {
+ public:
+  explicit OccupyingPool(std::uint32_t units) : busy_until_(units, 0) {}
+
+  [[nodiscard]] bool can_issue(Cycle now) const noexcept {
+    for (Cycle b : busy_until_) {
+      if (b <= now) return true;
+    }
+    return false;
+  }
+  bool try_issue(Cycle now, Cycle busy) noexcept {
+    for (Cycle& b : busy_until_) {
+      if (b <= now) {
+        b = now + busy;
+        return true;
+      }
+    }
+    return false;
+  }
+  void reset() noexcept {
+    for (Cycle& b : busy_until_) b = 0;
+  }
+
+ private:
+  std::vector<Cycle> busy_until_;
+};
+
+}  // namespace samie::core

@@ -1,0 +1,33 @@
+#include "src/core/main_memory.h"
+
+namespace samie::core {
+
+namespace {
+constexpr Addr kPageMask = ~0xFFFULL;
+}
+
+std::vector<std::uint8_t>& MainMemory::page_for(Addr addr) {
+  auto [it, inserted] = pages_.try_emplace(addr & kPageMask);
+  if (inserted) it->second.assign(4096, 0);
+  return it->second;
+}
+
+void MainMemory::write(Addr addr, std::uint32_t bytes, std::uint64_t value) {
+  auto& page = page_for(addr);
+  const std::size_t off = static_cast<std::size_t>(addr & 0xFFFULL);
+  for (std::uint32_t i = 0; i < bytes; ++i) {
+    page[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+std::uint64_t MainMemory::read(Addr addr, std::uint32_t bytes) {
+  auto& page = page_for(addr);
+  const std::size_t off = static_cast<std::size_t>(addr & 0xFFFULL);
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < bytes; ++i) {
+    v |= static_cast<std::uint64_t>(page[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace samie::core

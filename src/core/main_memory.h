@@ -1,0 +1,29 @@
+// Byte-accurate committed architectural memory.
+//
+// Stores write here at commit; loads that reach the cache read from here.
+// Together with the trace generator's oracle values this closes the loop
+// that lets tests prove the disambiguation/forwarding machinery returns
+// program-order-correct data for every load.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie::core {
+
+class MainMemory {
+ public:
+  void write(Addr addr, std::uint32_t bytes, std::uint64_t value);
+  [[nodiscard]] std::uint64_t read(Addr addr, std::uint32_t bytes);
+
+  [[nodiscard]] std::size_t touched_pages() const { return pages_.size(); }
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t>& page_for(Addr addr);
+  std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+};
+
+}  // namespace samie::core

@@ -1,0 +1,83 @@
+#include "src/energy/array_model.h"
+
+#include <cmath>
+
+namespace samie::energy {
+
+namespace {
+[[nodiscard]] double log2d(double x) { return std::log2(x < 1.0 ? 1.0 : x); }
+}  // namespace
+
+ArrayModel::ArrayModel(const Technology& tech, ArrayGeometry geom)
+    : tech_(tech), geom_(geom) {}
+
+double ArrayModel::cell_area_um2() const {
+  const double p = static_cast<double>(geom_.ports);
+  const double side = geom_.cell == CellType::kRam
+                          ? tech_.ram_cell_base_um + p * tech_.ram_cell_port_pitch_um
+                          : tech_.cam_cell_base_um + p * tech_.cam_cell_port_pitch_um;
+  return side * side;
+}
+
+double ArrayModel::row_area_um2() const {
+  return cell_area_um2() * static_cast<double>(geom_.width_bits);
+}
+
+double ArrayModel::total_area_um2() const {
+  return row_area_um2() * static_cast<double>(geom_.rows);
+}
+
+double ArrayModel::ram_access_delay_ns() const {
+  return tech_.ram_t_base + tech_.ram_t_log_rows * log2d(static_cast<double>(geom_.rows)) +
+         tech_.ram_t_port * static_cast<double>(geom_.ports) +
+         tech_.ram_t_col * static_cast<double>(geom_.width_bits);
+}
+
+double ArrayModel::cam_search_delay_ns() const {
+  const double base = tech_.cam_t_base +
+                      tech_.cam_t_port * static_cast<double>(geom_.ports) +
+                      tech_.cam_t_width * static_cast<double>(geom_.width_bits);
+  const double per_doubling =
+      tech_.cam_t_log_base + tech_.cam_t_log_port * static_cast<double>(geom_.ports);
+  return base + per_doubling * log2d(static_cast<double>(geom_.rows));
+}
+
+double ArrayModel::ram_rw_energy_pj() const {
+  const double raw = tech_.ram_e_row * static_cast<double>(geom_.rows) +
+                     tech_.ram_e_col * static_cast<double>(geom_.width_bits) +
+                     tech_.ram_e_base;
+  return raw * (1.0 + tech_.ram_e_port * (static_cast<double>(geom_.ports) - 1.0));
+}
+
+double ArrayModel::cam_per_entry_energy_pj() const {
+  const double width_term =
+      tech_.cam_e_width * static_cast<double>(geom_.width_bits) + tech_.cam_e_base;
+  const double port_factor =
+      1.0 + tech_.cam_e_port * (static_cast<double>(geom_.ports) - 1.0);
+  const double height_factor =
+      1.0 + tech_.cam_e_log_entries * log2d(static_cast<double>(geom_.rows));
+  return width_term * port_factor * height_factor;
+}
+
+double ArrayModel::cam_search_energy_pj(std::uint64_t compared) const {
+  const double e = cam_per_entry_energy_pj();
+  return e * static_cast<double>(geom_.rows) + e * static_cast<double>(compared);
+}
+
+double ArrayModel::cam_write_energy_pj() const {
+  const double per_bit = tech_.cam_w_bit_base +
+                         tech_.cam_w_bit_row * static_cast<double>(geom_.rows);
+  const double port_factor =
+      1.0 + tech_.cam_w_port * (static_cast<double>(geom_.ports) - 1.0);
+  return per_bit * static_cast<double>(geom_.width_bits) * port_factor;
+}
+
+double bus_delay_ns(const Technology& tech, double area_um2) {
+  return 0.02 + tech.wire_delay_ns_per_um * std::sqrt(area_um2);
+}
+
+double bus_energy_pj(const Technology& tech, double area_um2) {
+  return tech.wire_energy_pj_per_um * std::sqrt(area_um2);
+}
+
+}  // namespace samie::energy

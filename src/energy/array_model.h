@@ -1,0 +1,63 @@
+// Analytical area / delay / energy model for RAM and CAM arrays.
+//
+// This is the reusable building block behind the cache model (Table 1) and
+// the LSQ model (Tables 4-6). See technology.h for the calibration story.
+#pragma once
+
+#include <cstdint>
+
+#include "src/energy/technology.h"
+
+namespace samie::energy {
+
+enum class CellType : std::uint8_t { kRam, kCam };
+
+/// A memory array: `rows` entries of `width_bits` bits with `ports`
+/// identical read/write ports.
+struct ArrayGeometry {
+  std::uint64_t rows = 1;
+  std::uint64_t width_bits = 1;
+  std::uint32_t ports = 1;
+  CellType cell = CellType::kRam;
+};
+
+class ArrayModel {
+ public:
+  ArrayModel(const Technology& tech, ArrayGeometry geom);
+
+  /// Area of one bit cell in um^2 (Table 6 reports exactly this).
+  [[nodiscard]] double cell_area_um2() const;
+  /// Area of one row (entry) in um^2.
+  [[nodiscard]] double row_area_um2() const;
+  /// Total array area in um^2.
+  [[nodiscard]] double total_area_um2() const;
+
+  /// RAM-style read or write access delay (ns).
+  [[nodiscard]] double ram_access_delay_ns() const;
+  /// CAM search delay (broadcast + match + encode), ns.
+  [[nodiscard]] double cam_search_delay_ns() const;
+
+  /// RAM read/write energy for one access (pJ).
+  [[nodiscard]] double ram_rw_energy_pj() const;
+  /// CAM search energy: broadcast to every entry plus match-line
+  /// evaluation on `compared` entries (pJ).
+  [[nodiscard]] double cam_search_energy_pj(std::uint64_t compared) const;
+  /// The per-entry term of the search energy — the "x pJ per address
+  /// compared" column of Tables 4/5 (pJ).
+  [[nodiscard]] double cam_per_entry_energy_pj() const;
+  /// CAM tag write energy (pJ).
+  [[nodiscard]] double cam_write_energy_pj() const;
+
+  [[nodiscard]] const ArrayGeometry& geometry() const { return geom_; }
+
+ private:
+  Technology tech_;
+  ArrayGeometry geom_;
+};
+
+/// Delay of a broadcast wire spanning an array of `area_um2` (ns).
+[[nodiscard]] double bus_delay_ns(const Technology& tech, double area_um2);
+/// Energy of one transfer over that wire (pJ).
+[[nodiscard]] double bus_energy_pj(const Technology& tech, double area_um2);
+
+}  // namespace samie::energy

@@ -1,0 +1,64 @@
+// Cache timing/energy model: conventional accesses vs accesses where the
+// physical cache line (set and way) is already known (Table 1 of the
+// paper, and the 1009 pJ / 276 pJ Dcache energy pair of Section 4.2).
+#pragma once
+
+#include <cstdint>
+
+#include "src/energy/array_model.h"
+#include "src/energy/technology.h"
+
+namespace samie::energy {
+
+struct CacheGeometry {
+  std::uint64_t size_bytes = 8 * 1024;
+  std::uint32_t associativity = 4;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t ports = 4;
+  std::uint32_t address_bits = 32;
+
+  [[nodiscard]] std::uint64_t num_sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(associativity) * line_bytes);
+  }
+  [[nodiscard]] std::uint32_t tag_bits() const;
+};
+
+class CacheModel {
+ public:
+  CacheModel(const Technology& tech, CacheGeometry geom);
+
+  /// Access time of a conventional access: max(data path, tag path with
+  /// compare + way select) + output drive. (ns)
+  [[nodiscard]] double conventional_delay_ns() const;
+  /// Access time when set and way are known beforehand: the tag path and
+  /// the way-select disappear from the critical path. (ns)
+  [[nodiscard]] double known_line_delay_ns() const;
+  /// Relative improvement of the known-line access (0..1).
+  [[nodiscard]] double delay_improvement() const;
+
+  /// Energy of a conventional access: all ways + tags + comparators. (pJ)
+  [[nodiscard]] double conventional_energy_pj() const;
+  /// Energy when only the known way is read and no tag is checked. (pJ)
+  [[nodiscard]] double known_line_energy_pj() const;
+
+  /// Total data+tag array area. (um^2)
+  [[nodiscard]] double total_area_um2() const;
+
+  [[nodiscard]] const CacheGeometry& geometry() const { return geom_; }
+
+ private:
+  [[nodiscard]] double data_path_ns(bool all_ways) const;
+  [[nodiscard]] double tag_path_ns() const;
+
+  Technology tech_;
+  CacheGeometry geom_;
+};
+
+/// Fully-associative TLB access energy (the paper's DTLB costs 273 pJ).
+[[nodiscard]] double tlb_access_energy_pj(const Technology& tech,
+                                          std::uint64_t entries,
+                                          std::uint32_t tag_bits,
+                                          std::uint32_t data_bits,
+                                          std::uint32_t ports);
+
+}  // namespace samie::energy

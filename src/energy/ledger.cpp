@@ -1,0 +1,8 @@
+// ledger.h is header-only; this translation unit exists so the energy
+// library always has at least one object file and to catch ODR issues in
+// the inline definitions early.
+#include "src/energy/ledger.h"
+
+namespace samie::energy {
+// Intentionally empty.
+}  // namespace samie::energy

@@ -1,0 +1,185 @@
+// Runtime energy and active-area accounting.
+//
+// The simulator emits one ledger event per microarchitectural activity;
+// the ledgers weight events with the constants from lsq_model.h. Event
+// *counts* are kept alongside accumulated energy so tests can check the
+// accounting independently of the constants.
+#pragma once
+
+#include <cstdint>
+
+#include "src/energy/lsq_model.h"
+
+namespace samie::energy {
+
+/// Events of the conventional fully-associative LSQ (Table 4 rows).
+class ConvLsqLedger {
+ public:
+  explicit ConvLsqLedger(const LsqEnergyConstants& k) : k_(&k) {}
+
+  /// One associative search comparing against `compared` addresses.
+  void on_addr_search(std::uint64_t compared) {
+    ++searches_;
+    addrs_compared_ += compared;
+    energy_pj_ += k_->conv.addr_cmp_base_pj +
+                  k_->conv.addr_cmp_per_addr_pj * static_cast<double>(compared);
+  }
+  void on_addr_write() { ++addr_rw_; energy_pj_ += k_->conv.addr_rw_pj; }
+  void on_addr_read() { ++addr_rw_; energy_pj_ += k_->conv.addr_rw_pj; }
+  void on_datum_write() { ++datum_rw_; energy_pj_ += k_->conv.datum_rw_pj; }
+  void on_datum_read() { ++datum_rw_; energy_pj_ += k_->conv.datum_rw_pj; }
+
+  [[nodiscard]] double energy_pj() const { return energy_pj_; }
+  [[nodiscard]] std::uint64_t searches() const { return searches_; }
+  [[nodiscard]] std::uint64_t addresses_compared() const { return addrs_compared_; }
+  [[nodiscard]] std::uint64_t addr_accesses() const { return addr_rw_; }
+  [[nodiscard]] std::uint64_t datum_accesses() const { return datum_rw_; }
+
+ private:
+  const LsqEnergyConstants* k_;
+  double energy_pj_ = 0.0;
+  std::uint64_t searches_ = 0;
+  std::uint64_t addrs_compared_ = 0;
+  std::uint64_t addr_rw_ = 0;
+  std::uint64_t datum_rw_ = 0;
+};
+
+/// Events of the SAMIE-LSQ (Table 5 rows), with the Figure 8 breakdown.
+class SamieLsqLedger {
+ public:
+  explicit SamieLsqLedger(const LsqEnergyConstants& k) : k_(&k) {}
+
+  // --- bus -----------------------------------------------------------------
+  void on_bus_send() { ++bus_sends_; bus_pj_ += k_->samie.bus_send_addr_pj; }
+
+  // --- DistribLSQ ------------------------------------------------------------
+  void on_distrib_addr_search(std::uint64_t compared) {
+    ++distrib_searches_;
+    distrib_pj_ += k_->samie.d_addr_cmp_base_pj +
+                   k_->samie.d_addr_cmp_per_addr_pj * static_cast<double>(compared);
+  }
+  void on_distrib_age_search(std::uint64_t ids_compared) {
+    distrib_pj_ += k_->samie.d_age_cmp_base_pj +
+                   k_->samie.d_age_cmp_per_id_pj * static_cast<double>(ids_compared);
+  }
+  void on_distrib_addr_write() { distrib_pj_ += k_->samie.d_addr_rw_pj; }
+  void on_distrib_age_write() { distrib_pj_ += k_->samie.d_age_rw_pj; }
+  void on_distrib_datum_rw() { distrib_pj_ += k_->samie.d_datum_rw_pj; }
+  void on_distrib_translation_rw() { distrib_pj_ += k_->samie.d_translation_rw_pj; }
+  void on_distrib_line_id_rw() { distrib_pj_ += k_->samie.d_line_id_rw_pj; }
+
+  // --- SharedLSQ -------------------------------------------------------------
+  void on_shared_addr_search(std::uint64_t compared) {
+    ++shared_searches_;
+    shared_pj_ += k_->samie.s_addr_cmp_base_pj +
+                  k_->samie.s_addr_cmp_per_addr_pj * static_cast<double>(compared);
+  }
+  void on_shared_age_search(std::uint64_t ids_compared) {
+    shared_pj_ += k_->samie.s_age_cmp_base_pj +
+                  k_->samie.s_age_cmp_per_id_pj * static_cast<double>(ids_compared);
+  }
+  void on_shared_addr_write() { shared_pj_ += k_->samie.s_addr_rw_pj; }
+  void on_shared_age_write() { shared_pj_ += k_->samie.s_age_rw_pj; }
+  void on_shared_datum_rw() { shared_pj_ += k_->samie.s_datum_rw_pj; }
+  void on_shared_translation_rw() { shared_pj_ += k_->samie.s_translation_rw_pj; }
+  void on_shared_line_id_rw() { shared_pj_ += k_->samie.s_line_id_rw_pj; }
+
+  // --- AddrBuffer ------------------------------------------------------------
+  /// One FIFO slot write or read (address word + age id).
+  void on_addrbuf_write() {
+    ++addrbuf_accesses_;
+    addrbuf_pj_ += k_->samie.ab_datum_rw_pj + k_->samie.ab_age_rw_pj;
+  }
+  void on_addrbuf_read() {
+    ++addrbuf_accesses_;
+    addrbuf_pj_ += k_->samie.ab_datum_rw_pj + k_->samie.ab_age_rw_pj;
+  }
+
+  [[nodiscard]] double energy_pj() const {
+    return distrib_pj_ + shared_pj_ + addrbuf_pj_ + bus_pj_;
+  }
+  [[nodiscard]] double distrib_pj() const { return distrib_pj_; }
+  [[nodiscard]] double shared_pj() const { return shared_pj_; }
+  [[nodiscard]] double addrbuf_pj() const { return addrbuf_pj_; }
+  [[nodiscard]] double bus_pj() const { return bus_pj_; }
+  [[nodiscard]] std::uint64_t bus_sends() const { return bus_sends_; }
+  [[nodiscard]] std::uint64_t distrib_searches() const { return distrib_searches_; }
+  [[nodiscard]] std::uint64_t shared_searches() const { return shared_searches_; }
+  [[nodiscard]] std::uint64_t addrbuf_accesses() const { return addrbuf_accesses_; }
+
+ private:
+  const LsqEnergyConstants* k_;
+  double distrib_pj_ = 0.0;
+  double shared_pj_ = 0.0;
+  double addrbuf_pj_ = 0.0;
+  double bus_pj_ = 0.0;
+  std::uint64_t bus_sends_ = 0;
+  std::uint64_t distrib_searches_ = 0;
+  std::uint64_t shared_searches_ = 0;
+  std::uint64_t addrbuf_accesses_ = 0;
+};
+
+/// L1 data cache access energy (full vs way-known accesses, Figure 9).
+class DcacheLedger {
+ public:
+  explicit DcacheLedger(const LsqEnergyConstants& k) : k_(&k) {}
+
+  void on_full_access() { ++full_; energy_pj_ += k_->mem.dcache_full_access_pj; }
+  void on_way_known_access() { ++known_; energy_pj_ += k_->mem.dcache_way_known_pj; }
+
+  [[nodiscard]] double energy_pj() const { return energy_pj_; }
+  [[nodiscard]] std::uint64_t full_accesses() const { return full_; }
+  [[nodiscard]] std::uint64_t way_known_accesses() const { return known_; }
+
+ private:
+  const LsqEnergyConstants* k_;
+  double energy_pj_ = 0.0;
+  std::uint64_t full_ = 0;
+  std::uint64_t known_ = 0;
+};
+
+/// Data TLB access energy (Figure 10). Cached translations cost nothing in
+/// the DTLB (the LSQ-side read is booked by SamieLsqLedger).
+class DtlbLedger {
+ public:
+  explicit DtlbLedger(const LsqEnergyConstants& k) : k_(&k) {}
+
+  void on_access() { ++accesses_; energy_pj_ += k_->mem.dtlb_access_pj; }
+  void on_cached_translation() { ++cached_; }
+
+  [[nodiscard]] double energy_pj() const { return energy_pj_; }
+  [[nodiscard]] std::uint64_t accesses() const { return accesses_; }
+  [[nodiscard]] std::uint64_t cached_translations() const { return cached_; }
+
+ private:
+  const LsqEnergyConstants* k_;
+  double energy_pj_ = 0.0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t cached_ = 0;
+};
+
+/// Integrates active area over cycles (Figures 11 and 12). Units are
+/// um^2 * cycles; the figures' shapes are invariant to the unit choice.
+class AreaIntegrator {
+ public:
+  void add_cycle(double distrib_um2, double shared_um2, double addrbuf_um2) {
+    distrib_ += distrib_um2;
+    shared_ += shared_um2;
+    addrbuf_ += addrbuf_um2;
+  }
+  void add_cycle_conventional(double um2) { conventional_ += um2; }
+
+  [[nodiscard]] double conventional() const { return conventional_; }
+  [[nodiscard]] double distrib() const { return distrib_; }
+  [[nodiscard]] double shared() const { return shared_; }
+  [[nodiscard]] double addrbuf() const { return addrbuf_; }
+  [[nodiscard]] double samie_total() const { return distrib_ + shared_ + addrbuf_; }
+
+ private:
+  double conventional_ = 0.0;
+  double distrib_ = 0.0;
+  double shared_ = 0.0;
+  double addrbuf_ = 0.0;
+};
+
+}  // namespace samie::energy

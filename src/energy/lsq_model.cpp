@@ -1,0 +1,214 @@
+#include "src/energy/lsq_model.h"
+
+#include "src/energy/cache_model.h"
+
+namespace samie::energy {
+
+LsqEnergyConstants paper_constants() {
+  LsqEnergyConstants c;
+  // Table 4 — conventional 128-entry LSQ.
+  c.conv.addr_cmp_base_pj = 452.0;
+  c.conv.addr_cmp_per_addr_pj = 3.53;
+  c.conv.addr_rw_pj = 57.1;
+  c.conv.datum_rw_pj = 93.2;
+  // Table 5 — SAMIE-LSQ.
+  c.samie.d_addr_cmp_base_pj = 4.33;
+  c.samie.d_addr_cmp_per_addr_pj = 2.17;
+  c.samie.d_addr_rw_pj = 4.07;
+  c.samie.d_age_cmp_base_pj = 19.4;
+  c.samie.d_age_cmp_per_id_pj = 1.21;
+  c.samie.d_age_rw_pj = 1.64;
+  c.samie.d_datum_rw_pj = 10.9;
+  c.samie.d_translation_rw_pj = 6.02;
+  c.samie.d_line_id_rw_pj = 0.236;
+  c.samie.bus_send_addr_pj = 54.4;
+  c.samie.s_addr_cmp_base_pj = 22.7;
+  c.samie.s_addr_cmp_per_addr_pj = 2.83;
+  c.samie.s_addr_rw_pj = 6.16;
+  c.samie.s_age_cmp_base_pj = 19.4;
+  c.samie.s_age_cmp_per_id_pj = 2.43;
+  c.samie.s_age_rw_pj = 1.64;
+  c.samie.s_datum_rw_pj = 10.9;
+  c.samie.s_translation_rw_pj = 8.73;
+  c.samie.s_line_id_rw_pj = 0.342;
+  c.samie.ab_datum_rw_pj = 31.6;
+  c.samie.ab_age_rw_pj = 15.7;
+  // Table 6 — cell areas.
+  c.areas.conv_addr_cam = 28.0;
+  c.areas.conv_datum_ram = 20.0;
+  c.areas.samie_addr_cam = 10.0;
+  c.areas.samie_age_cam = 10.0;
+  c.areas.samie_datum_ram = 6.0;
+  c.areas.samie_translation_ram = 6.0;
+  c.areas.samie_line_id_ram = 6.0;
+  c.areas.addrbuf_datum_ram = 20.0;
+  c.areas.addrbuf_age_ram = 20.0;
+  // Section 3.6 — delays.
+  c.delays.conventional_128 = 0.881;
+  c.delays.conventional_16 = 0.743;  // "similar (4% larger) to SAMIE" => 0.714*1.04
+  c.delays.distrib_bank = 0.590;
+  c.delays.distrib_bus = 0.124;
+  c.delays.distrib_total = 0.714;
+  c.delays.shared = 0.617;
+  c.delays.addr_buffer = 0.319;
+  // Section 4.2 — memory-system energies.
+  c.mem.dcache_full_access_pj = 1009.0;
+  c.mem.dcache_way_known_pj = 276.0;
+  c.mem.dtlb_access_pj = 273.0;
+  return c;
+}
+
+LsqEnergyConstants derived_constants(const Technology& tech,
+                                     const LsqStructureShape& shape) {
+  LsqEnergyConstants c;
+  const LsqFieldWidths w = c.widths;
+
+  // --- Arrays --------------------------------------------------------------
+  const ArrayModel conv_addr(
+      tech, ArrayGeometry{shape.conv_entries, w.address_bits, shape.conv_ports,
+                          CellType::kCam});
+  // The conventional datum array is read and written through separate port
+  // groups (the machine forwards and fills in the same cycle), so it is
+  // modelled with twice the access ports.
+  const ArrayModel conv_datum(
+      tech, ArrayGeometry{shape.conv_entries, w.datum_bits, 2 * shape.conv_ports,
+                          CellType::kRam});
+  const ArrayModel conv_16(tech, ArrayGeometry{16, w.address_bits,
+                                               shape.conv_ports, CellType::kCam});
+
+  const ArrayModel d_addr(tech,
+                          ArrayGeometry{shape.distrib_entries_per_bank,
+                                        w.line_addr_bits, shape.distrib_ports,
+                                        CellType::kCam});
+  const ArrayModel d_age(
+      tech, ArrayGeometry{shape.slots_per_entry, w.age_id_bits,
+                          shape.distrib_ports, CellType::kCam});
+  const ArrayModel d_datum(
+      tech, ArrayGeometry{shape.distrib_entries_per_bank * shape.slots_per_entry,
+                          w.datum_bits, shape.distrib_ports, CellType::kRam});
+  const ArrayModel d_xlat(tech, ArrayGeometry{shape.distrib_entries_per_bank,
+                                              w.translation_bits,
+                                              shape.distrib_ports, CellType::kRam});
+  const ArrayModel d_lineid(tech, ArrayGeometry{shape.distrib_entries_per_bank,
+                                                w.line_id_bits, shape.distrib_ports,
+                                                CellType::kRam});
+
+  const ArrayModel s_addr(tech,
+                          ArrayGeometry{shape.shared_entries, w.line_addr_bits,
+                                        shape.shared_ports, CellType::kCam});
+  const ArrayModel s_age(tech, ArrayGeometry{shape.slots_per_entry, w.age_id_bits,
+                                             shape.shared_ports, CellType::kCam});
+  const ArrayModel s_datum(
+      tech, ArrayGeometry{shape.shared_entries * shape.slots_per_entry,
+                          w.datum_bits, shape.shared_ports, CellType::kRam});
+  const ArrayModel s_xlat(tech,
+                          ArrayGeometry{shape.shared_entries, w.translation_bits,
+                                        shape.shared_ports, CellType::kRam});
+  const ArrayModel s_lineid(tech,
+                            ArrayGeometry{shape.shared_entries, w.line_id_bits,
+                                          shape.shared_ports, CellType::kRam});
+
+  const ArrayModel ab_datum(tech,
+                            ArrayGeometry{shape.addrbuf_slots, w.addrbuf_datum_bits,
+                                          shape.addrbuf_ports, CellType::kRam});
+  const ArrayModel ab_age(tech, ArrayGeometry{shape.addrbuf_slots, w.age_id_bits,
+                                              shape.addrbuf_ports, CellType::kRam});
+
+  // --- Energies ------------------------------------------------------------
+  c.conv.addr_cmp_per_addr_pj = conv_addr.cam_per_entry_energy_pj();
+  c.conv.addr_cmp_base_pj =
+      c.conv.addr_cmp_per_addr_pj * static_cast<double>(shape.conv_entries);
+  c.conv.addr_rw_pj = conv_addr.cam_write_energy_pj();
+  c.conv.datum_rw_pj = conv_datum.ram_rw_energy_pj();
+
+  c.samie.d_addr_cmp_per_addr_pj = d_addr.cam_per_entry_energy_pj();
+  c.samie.d_addr_cmp_base_pj = c.samie.d_addr_cmp_per_addr_pj *
+                               static_cast<double>(shape.distrib_entries_per_bank);
+  c.samie.d_addr_rw_pj = d_addr.cam_write_energy_pj();
+  c.samie.d_age_cmp_per_id_pj = d_age.cam_per_entry_energy_pj();
+  c.samie.d_age_cmp_base_pj =
+      c.samie.d_age_cmp_per_id_pj * static_cast<double>(shape.slots_per_entry);
+  c.samie.d_age_rw_pj = d_age.cam_write_energy_pj();
+  c.samie.d_datum_rw_pj = d_datum.ram_rw_energy_pj();
+  c.samie.d_translation_rw_pj = d_xlat.ram_rw_energy_pj();
+  c.samie.d_line_id_rw_pj = d_lineid.ram_rw_energy_pj();
+
+  c.samie.s_addr_cmp_per_addr_pj = s_addr.cam_per_entry_energy_pj();
+  c.samie.s_addr_cmp_base_pj =
+      c.samie.s_addr_cmp_per_addr_pj * static_cast<double>(shape.shared_entries);
+  c.samie.s_addr_rw_pj = s_addr.cam_write_energy_pj();
+  c.samie.s_age_cmp_per_id_pj = s_age.cam_per_entry_energy_pj();
+  c.samie.s_age_cmp_base_pj =
+      c.samie.s_age_cmp_per_id_pj * static_cast<double>(shape.slots_per_entry);
+  c.samie.s_age_rw_pj = s_age.cam_write_energy_pj();
+  c.samie.s_datum_rw_pj = s_datum.ram_rw_energy_pj();
+  c.samie.s_translation_rw_pj = s_xlat.ram_rw_energy_pj();
+  c.samie.s_line_id_rw_pj = s_lineid.ram_rw_energy_pj();
+
+  c.samie.ab_datum_rw_pj = ab_datum.ram_rw_energy_pj();
+  c.samie.ab_age_rw_pj = ab_age.ram_rw_energy_pj();
+
+  // --- Areas ---------------------------------------------------------------
+  c.areas.conv_addr_cam = conv_addr.cell_area_um2();
+  c.areas.conv_datum_ram =
+      ArrayModel(tech, ArrayGeometry{shape.conv_entries, w.datum_bits,
+                                     shape.conv_ports, CellType::kRam})
+          .cell_area_um2();
+  c.areas.samie_addr_cam = d_addr.cell_area_um2();
+  c.areas.samie_age_cam = d_age.cell_area_um2();
+  c.areas.samie_datum_ram = d_datum.cell_area_um2();
+  c.areas.samie_translation_ram = d_xlat.cell_area_um2();
+  c.areas.samie_line_id_ram = d_lineid.cell_area_um2();
+  c.areas.addrbuf_datum_ram = ab_datum.cell_area_um2();
+  c.areas.addrbuf_age_ram = ab_age.cell_area_um2();
+
+  // --- Delays --------------------------------------------------------------
+  c.delays.conventional_128 = conv_addr.cam_search_delay_ns();
+  c.delays.conventional_16 = conv_16.cam_search_delay_ns();
+  c.delays.distrib_bank = d_addr.cam_search_delay_ns();
+  // The broadcast bus spans the full DistribLSQ array.
+  const double entry_area =
+      samie_entry_fixed_area_um2(c) +
+      static_cast<double>(shape.slots_per_entry) * samie_slot_area_um2(c);
+  const double distrib_area = entry_area *
+                              static_cast<double>(shape.distrib_entries_per_bank) *
+                              static_cast<double>(shape.distrib_banks);
+  c.delays.distrib_bus = bus_delay_ns(tech, distrib_area);
+  c.delays.distrib_total = c.delays.distrib_bank + c.delays.distrib_bus;
+  c.delays.shared = s_addr.cam_search_delay_ns();
+  c.delays.addr_buffer = ab_datum.ram_access_delay_ns();
+
+  c.samie.bus_send_addr_pj = bus_energy_pj(tech, distrib_area);
+
+  // --- Memory system ---------------------------------------------------------
+  const CacheModel dcache(tech, CacheGeometry{8 * 1024, 4, 32, 4, w.address_bits});
+  c.mem.dcache_full_access_pj = dcache.conventional_energy_pj();
+  c.mem.dcache_way_known_pj = dcache.known_line_energy_pj();
+  c.mem.dtlb_access_pj = tlb_access_energy_pj(tech, 128, 32, w.translation_bits, 2);
+  return c;
+}
+
+double conv_entry_area_um2(const LsqEnergyConstants& c) {
+  return static_cast<double>(c.widths.address_bits) * c.areas.conv_addr_cam +
+         static_cast<double>(c.widths.datum_bits) * c.areas.conv_datum_ram;
+}
+
+double samie_entry_fixed_area_um2(const LsqEnergyConstants& c) {
+  return static_cast<double>(c.widths.line_addr_bits) * c.areas.samie_addr_cam +
+         static_cast<double>(c.widths.translation_bits) *
+             c.areas.samie_translation_ram +
+         static_cast<double>(c.widths.line_id_bits) * c.areas.samie_line_id_ram;
+}
+
+double samie_slot_area_um2(const LsqEnergyConstants& c) {
+  return static_cast<double>(c.widths.age_id_bits) * c.areas.samie_age_cam +
+         static_cast<double>(c.widths.datum_bits) * c.areas.samie_datum_ram +
+         static_cast<double>(c.widths.slot_ctrl_bits) * c.areas.samie_datum_ram;
+}
+
+double addrbuf_slot_area_um2(const LsqEnergyConstants& c) {
+  return static_cast<double>(c.widths.addrbuf_datum_bits) * c.areas.addrbuf_datum_ram +
+         static_cast<double>(c.widths.age_id_bits) * c.areas.addrbuf_age_ram;
+}
+
+}  // namespace samie::energy

@@ -1,0 +1,67 @@
+// Process-technology parameters for the CACTI-3.0-style surrogate model.
+//
+// The paper evaluates at 0.10 um using CACTI 3.0. CACTI itself is not
+// available offline, so src/energy re-implements its *shape*: RC-flavoured
+// analytical formulas for RAM and CAM arrays whose coefficients are fitted
+// to the CACTI outputs the paper publishes (Table 1, Tables 4-6, the
+// Section 3.6 delays). The fit is documented and tested; the simulator's
+// accounting defaults to the paper's exact published constants so that the
+// reproduced figures are apples-to-apples with the paper.
+#pragma once
+
+namespace samie::energy {
+
+struct Technology {
+  /// Feature size in micrometres (paper: 0.10 um).
+  double feature_um = 0.10;
+
+  // --- Cell geometry (um). Cells are square; each extra port adds one
+  // wordline/bitline pair in both dimensions. Fitted so that Table 6 cell
+  // areas are reproduced exactly at the paper's port counts.
+  double ram_cell_base_um = 1.78;
+  double ram_cell_port_pitch_um = 0.337;
+  double cam_cell_base_um = 2.45;
+  double cam_cell_port_pitch_um = 0.355;
+
+  // --- Wire (the DistribLSQ broadcast bus).
+  double wire_delay_ns_per_um = 0.000136;
+  double wire_energy_pj_per_um = 0.0715;
+
+  // --- RAM access delay (ns): t = a + b*log2(rows) + c*ports + d*cols.
+  double ram_t_base = 0.100;
+  double ram_t_log_rows = 0.028;
+  double ram_t_port = 0.003;
+  double ram_t_col = 0.0004;
+
+  // --- CAM search delay (ns): t = base(ports,width) + k(ports)*log2(entries).
+  double cam_t_base = 0.52;
+  double cam_t_port = 0.006;
+  double cam_t_width = 0.001;
+  double cam_t_log_base = 0.005;
+  double cam_t_log_port = 0.005;
+
+  // --- RAM read/write energy (pJ):
+  // (rows*er + cols*ec + e0) * (1 + ep*(ports-1)).
+  double ram_e_row = 0.015;
+  double ram_e_col = 0.13;
+  double ram_e_base = 3.0;
+  double ram_e_port = 0.30;
+
+  // --- CAM per-entry compare energy (pJ); search energy is
+  // entries*e + compared*e (broadcast to all entries, match evaluation on
+  // the compared ones), matching the two-term form of Tables 4/5.
+  double cam_e_width = 0.035;
+  double cam_e_base = 0.3;
+  double cam_e_port = 0.10;
+  double cam_e_log_entries = 0.03;
+
+  // --- CAM write energy (pJ): width*(a + b*rows) * (1 + ep*(ports-1)).
+  double cam_w_bit_base = 0.05;
+  double cam_w_bit_row = 0.002;
+  double cam_w_port = 0.50;
+};
+
+/// The technology point used throughout the paper.
+[[nodiscard]] inline Technology tech_100nm() { return Technology{}; }
+
+}  // namespace samie::energy

@@ -1,0 +1,208 @@
+#include "src/lsq/arb_lsq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace samie::lsq {
+
+ArbLsq::ArbLsq(const ArbConfig& cfg)
+    : cfg_(cfg), line_shift_(log2_floor(cfg.line_bytes)) {
+  rows_.resize(static_cast<std::size_t>(cfg_.banks) * cfg_.rows_per_bank);
+  for (auto& r : rows_) r.slots.reserve(8);
+}
+
+std::uint32_t ArbLsq::bank_of(Addr line) const {
+  return static_cast<std::uint32_t>(line % cfg_.banks);
+}
+
+ArbLsq::Row* ArbLsq::find_row(std::uint32_t bank, Addr line) {
+  Row* base = &rows_[static_cast<std::size_t>(bank) * cfg_.rows_per_bank];
+  for (std::uint32_t r = 0; r < cfg_.rows_per_bank; ++r) {
+    if (base[r].valid && base[r].line == line) return &base[r];
+  }
+  return nullptr;
+}
+
+bool ArbLsq::can_dispatch(bool /*is_load*/) const {
+  return dispatched_.size() < cfg_.max_inflight;
+}
+
+void ArbLsq::on_dispatch(InstSeq seq, bool /*is_load*/) {
+  assert(dispatched_.empty() || dispatched_.back() < seq);
+  dispatched_.push_back(seq);
+}
+
+void ArbLsq::disambiguate(const MemOpDesc& op, Row& row, std::uint32_t slot_idx) {
+  Slot& self = row.slots[slot_idx];
+  if (op.is_load) {
+    for (const Slot& s : row.slots) {
+      if (s.seq == kNoInst || s.is_load || s.seq >= op.seq) continue;
+      if (ranges_overlap(op.addr & 0xFF, op.size, s.offset, s.size)) {
+        if (self.fwd_store == kNoInst || s.seq > self.fwd_store) {
+          self.fwd_store = s.seq;
+          self.fwd_full = range_covers(static_cast<Addr>(self.offset), op.size,
+                                       s.offset, s.size);
+        }
+      }
+    }
+  } else {
+    for (Slot& s : row.slots) {
+      if (s.seq == kNoInst || !s.is_load || s.seq <= op.seq) continue;
+      if (ranges_overlap(s.offset, s.size, self.offset, self.size) &&
+          (s.fwd_store == kNoInst || s.fwd_store < op.seq)) {
+        s.fwd_store = op.seq;
+        s.fwd_full = range_covers(static_cast<Addr>(s.offset), s.size,
+                                  self.offset, self.size);
+      }
+    }
+  }
+}
+
+bool ArbLsq::try_place(const MemOpDesc& op) {
+  const Addr line = op.addr >> line_shift_;
+  const std::uint32_t bank = bank_of(line);
+  Row* row = find_row(bank, line);
+  if (row == nullptr) {
+    // Allocate a free row in the bank.
+    Row* base = &rows_[static_cast<std::size_t>(bank) * cfg_.rows_per_bank];
+    for (std::uint32_t r = 0; r < cfg_.rows_per_bank; ++r) {
+      if (!base[r].valid) {
+        row = &base[r];
+        row->valid = true;
+        row->line = line;
+        row->slots.clear();
+        break;
+      }
+    }
+  }
+  if (row == nullptr) return false;
+
+  Slot s;
+  s.seq = op.seq;
+  s.offset = static_cast<std::uint8_t>(op.addr & (cfg_.line_bytes - 1));
+  s.size = op.size;
+  s.is_load = op.is_load;
+  s.data_ready = op.data_ready;
+  row->slots.push_back(s);
+  const auto slot_idx = static_cast<std::uint32_t>(row->slots.size() - 1);
+  const auto row_idx = static_cast<std::uint32_t>(
+      (row - rows_.data()) % cfg_.rows_per_bank);
+  where_[op.seq] = Loc{bank, row_idx, slot_idx};
+
+  // Recompute the self offset into a line-relative op for disambiguation.
+  MemOpDesc rel = op;
+  rel.addr = s.offset;
+  disambiguate(rel, *row, slot_idx);
+  return true;
+}
+
+Placement ArbLsq::on_address_ready(const MemOpDesc& op) {
+  if (try_place(op)) return Placement{Placement::Status::kPlaced};
+  ++conflicts_;
+  waiting_.push_back(op);
+  return Placement{Placement::Status::kBuffered};
+}
+
+void ArbLsq::drain(std::vector<InstSeq>& newly_placed) {
+  while (!waiting_.empty()) {
+    if (!try_place(waiting_.front())) break;
+    newly_placed.push_back(waiting_.front().seq);
+    waiting_.pop_front();
+  }
+}
+
+bool ArbLsq::is_placed(InstSeq seq) const { return where_.count(seq) != 0; }
+
+const ArbLsq::Slot* ArbLsq::slot_of(InstSeq seq) const {
+  return const_cast<ArbLsq*>(this)->slot_of(seq);
+}
+
+ArbLsq::Slot* ArbLsq::slot_of(InstSeq seq) {
+  auto it = where_.find(seq);
+  if (it == where_.end()) return nullptr;
+  Row& row = rows_[static_cast<std::size_t>(it->second.bank) * cfg_.rows_per_bank +
+                   it->second.row];
+  return &row.slots[it->second.slot];
+}
+
+LoadPlan ArbLsq::plan_load(InstSeq seq) const {
+  const Slot* s = slot_of(seq);
+  assert(s != nullptr && s->is_load);
+  LoadPlan p;
+  if (s->fwd_store == kNoInst) return p;
+  const Slot* st = slot_of(s->fwd_store);
+  assert(st != nullptr);
+  p.store = s->fwd_store;
+  if (!s->fwd_full) {
+    p.kind = LoadPlan::Kind::kWaitCommit;
+  } else if (st->data_ready) {
+    p.kind = LoadPlan::Kind::kForwardReady;
+  } else {
+    p.kind = LoadPlan::Kind::kForwardWait;
+  }
+  return p;
+}
+
+void ArbLsq::on_store_data_ready(InstSeq seq) {
+  Slot* s = slot_of(seq);
+  assert(s != nullptr && !s->is_load);
+  s->data_ready = true;
+}
+
+void ArbLsq::on_commit(InstSeq seq) {
+  auto it = where_.find(seq);
+  assert(it != where_.end());
+  Row& row = rows_[static_cast<std::size_t>(it->second.bank) * cfg_.rows_per_bank +
+                   it->second.row];
+  // Clear forwarding references to this store, then remove the slot.
+  for (Slot& s : row.slots) {
+    if (s.fwd_store == seq) {
+      s.fwd_store = kNoInst;
+      s.fwd_full = false;
+    }
+  }
+  const std::uint32_t idx = it->second.slot;
+  row.slots.erase(row.slots.begin() + idx);
+  // Fix up the locations of the slots that shifted down.
+  for (std::uint32_t i = idx; i < row.slots.size(); ++i) {
+    where_[row.slots[i].seq].slot = i;
+  }
+  if (row.slots.empty()) row.valid = false;
+  where_.erase(it);
+  assert(!dispatched_.empty() && dispatched_.front() == seq);
+  dispatched_.pop_front();
+}
+
+void ArbLsq::squash_from(InstSeq seq) {
+  for (Row& row : rows_) {
+    if (!row.valid) continue;
+    for (std::size_t i = row.slots.size(); i-- > 0;) {
+      if (row.slots[i].seq >= seq) {
+        where_.erase(row.slots[i].seq);
+        row.slots.erase(row.slots.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+    for (std::uint32_t i = 0; i < row.slots.size(); ++i) {
+      where_[row.slots[i].seq].slot = i;
+    }
+    for (Slot& s : row.slots) {
+      if (s.fwd_store != kNoInst && s.fwd_store >= seq) {
+        s.fwd_store = kNoInst;
+        s.fwd_full = false;
+      }
+    }
+    if (row.slots.empty()) row.valid = false;
+  }
+  // The wait queue is ordered by agen completion, not by age: filter it.
+  std::erase_if(waiting_, [seq](const MemOpDesc& op) { return op.seq >= seq; });
+  while (!dispatched_.empty() && dispatched_.back() >= seq) dispatched_.pop_back();
+}
+
+OccupancySample ArbLsq::occupancy() const {
+  OccupancySample s;
+  s.entries_used = static_cast<std::uint32_t>(dispatched_.size());
+  s.buffer_used = static_cast<std::uint32_t>(waiting_.size());
+  return s;
+}
+
+}  // namespace samie::lsq

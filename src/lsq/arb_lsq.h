@@ -1,0 +1,103 @@
+// ARB: the Address Resolution Buffer of Franklin & Sohi [4], the banked
+// baseline of the paper's Figure 1.
+//
+// N banks are selected by low-order line-address bits; each bank holds M
+// rows ("addresses"), each row one cache-line address with slots for up to
+// P instructions, P being the global in-flight memory-instruction cap
+// (the paper: "there is space for N*M*P instructions but only P
+// instructions are allowed in total").
+//
+// Instructions that find their bank's rows exhausted wait and retry
+// (there is no AddrBuffer in the ARB); forward progress is guaranteed by
+// the same deadlock-avoidance flush the core applies to SAMIE-LSQ.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lsq/lsq_interface.h"
+
+namespace samie::lsq {
+
+struct ArbConfig {
+  std::uint32_t banks = 8;
+  std::uint32_t rows_per_bank = 16;  ///< "addresses" per bank
+  /// Global in-flight memory-instruction cap (= slots per row).
+  std::uint32_t max_inflight = 128;
+  std::uint32_t line_bytes = 32;
+};
+
+class ArbLsq final : public LoadStoreQueue {
+ public:
+  explicit ArbLsq(const ArbConfig& cfg);
+
+  [[nodiscard]] LsqKind kind() const override { return LsqKind::kArb; }
+
+  [[nodiscard]] bool can_dispatch(bool is_load) const override;
+  void on_dispatch(InstSeq seq, bool is_load) override;
+  [[nodiscard]] bool can_compute_address() const override { return true; }
+
+  Placement on_address_ready(const MemOpDesc& op) override;
+  void drain(std::vector<InstSeq>& newly_placed) override;
+  [[nodiscard]] bool is_placed(InstSeq seq) const override;
+
+  [[nodiscard]] LoadPlan plan_load(InstSeq seq) const override;
+  [[nodiscard]] CacheHints cache_hints(InstSeq /*seq*/) const override {
+    return CacheHints{};
+  }
+  void on_cache_access_complete(InstSeq /*seq*/, std::uint32_t /*set*/,
+                                std::uint32_t /*way*/) override {}
+  void on_load_complete(InstSeq /*seq*/) override {}
+  void on_store_data_ready(InstSeq seq) override;
+
+  void on_commit(InstSeq seq) override;
+  void squash_from(InstSeq seq) override;
+  void on_cache_line_replaced(std::uint32_t /*set*/) override {}
+
+  [[nodiscard]] OccupancySample occupancy() const override;
+
+  [[nodiscard]] std::uint64_t placement_conflicts() const { return conflicts_; }
+
+ private:
+  struct Slot {
+    InstSeq seq = kNoInst;
+    std::uint8_t offset = 0;  // within the line
+    std::uint8_t size = 0;
+    bool is_load = false;
+    bool data_ready = false;
+    InstSeq fwd_store = kNoInst;
+    bool fwd_full = false;
+  };
+  struct Row {
+    Addr line = 0;
+    bool valid = false;
+    std::vector<Slot> slots;
+  };
+  struct Loc {
+    std::uint32_t bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t slot = 0;
+  };
+
+  [[nodiscard]] std::uint32_t bank_of(Addr line) const;
+  [[nodiscard]] Row* find_row(std::uint32_t bank, Addr line);
+  bool try_place(const MemOpDesc& op);
+  void disambiguate(const MemOpDesc& op, Row& row, std::uint32_t slot_idx);
+  [[nodiscard]] const Slot* slot_of(InstSeq seq) const;
+  [[nodiscard]] Slot* slot_of(InstSeq seq);
+
+  ArbConfig cfg_;
+  std::uint32_t line_shift_;
+  std::vector<Row> rows_;  // banks * rows_per_bank, row-major by bank
+  std::deque<MemOpDesc> waiting_;
+  std::unordered_map<InstSeq, Loc> where_;
+  /// Every dispatched, uncommitted memory instruction (age-ordered). The
+  /// in-flight cap and squash handling key off this, so instructions
+  /// squashed before their address was computed are accounted correctly.
+  std::deque<InstSeq> dispatched_;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace samie::lsq

@@ -1,0 +1,173 @@
+#include "src/lsq/conventional_lsq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace samie::lsq {
+
+ConventionalLsq::ConventionalLsq(const ConventionalLsqConfig& cfg,
+                                 energy::ConvLsqLedger* ledger)
+    : cfg_(cfg), ledger_(ledger) {
+  entries_.reserve(cfg_.entries);
+}
+
+ConventionalLsq::Entry* ConventionalLsq::find(InstSeq seq) {
+  // Entries are age-ordered; binary search by seq.
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), seq,
+                             [](const Entry& e, InstSeq s) { return e.seq < s; });
+  return (it != entries_.end() && it->seq == seq) ? &*it : nullptr;
+}
+
+const ConventionalLsq::Entry* ConventionalLsq::find(InstSeq seq) const {
+  return const_cast<ConventionalLsq*>(this)->find(seq);
+}
+
+bool ConventionalLsq::can_dispatch(bool /*is_load*/) const {
+  return entries_.size() < cfg_.entries;
+}
+
+void ConventionalLsq::on_dispatch(InstSeq seq, bool is_load) {
+  assert(entries_.size() < cfg_.entries);
+  assert(entries_.empty() || entries_.back().seq < seq);
+  Entry e;
+  e.seq = seq;
+  e.is_load = is_load;
+  entries_.push_back(e);
+}
+
+Placement ConventionalLsq::on_address_ready(const MemOpDesc& op) {
+  Entry* self = find(op.seq);
+  assert(self != nullptr && !self->addr_known);
+  self->addr = op.addr;
+  self->size = op.size;
+  self->addr_known = true;
+  self->data_ready = op.data_ready;
+  if (ledger_ != nullptr) ledger_->on_addr_write();
+
+  std::uint64_t compared = 0;
+  if (op.is_load) {
+    // Compare against older stores with known addresses; remember the
+    // youngest overlapping one.
+    for (const Entry& e : entries_) {
+      if (e.seq >= op.seq) break;
+      if (e.is_load || !e.addr_known) continue;
+      ++compared;
+      if (ranges_overlap(op.addr, op.size, e.addr, e.size)) {
+        self->fwd_store = e.seq;
+        self->fwd_full = range_covers(op.addr, op.size, e.addr, e.size);
+      }
+    }
+  } else {
+    // Compare against younger loads with known addresses and update their
+    // forwarding information.
+    if (op.data_ready && ledger_ != nullptr) ledger_->on_datum_write();
+    for (Entry& e : entries_) {
+      if (e.seq <= op.seq) continue;
+      if (!e.is_load || !e.addr_known) continue;
+      ++compared;
+      if (ranges_overlap(e.addr, e.size, op.addr, op.size) &&
+          (e.fwd_store == kNoInst || e.fwd_store < op.seq)) {
+        e.fwd_store = op.seq;
+        e.fwd_full = range_covers(e.addr, e.size, op.addr, op.size);
+      }
+    }
+  }
+  if (ledger_ != nullptr) ledger_->on_addr_search(compared);
+  return Placement{Placement::Status::kPlaced};
+}
+
+void ConventionalLsq::drain(std::vector<InstSeq>& /*newly_placed*/) {}
+
+bool ConventionalLsq::is_placed(InstSeq seq) const {
+  const Entry* e = find(seq);
+  return e != nullptr && e->addr_known;
+}
+
+LoadPlan ConventionalLsq::plan_load(InstSeq seq) const {
+  const Entry* e = find(seq);
+  assert(e != nullptr && e->is_load && e->addr_known);
+  LoadPlan p;
+  if (e->fwd_store == kNoInst) {
+    p.kind = LoadPlan::Kind::kCacheAccess;
+    return p;
+  }
+  const Entry* s = find(e->fwd_store);
+  assert(s != nullptr);
+  p.store = e->fwd_store;
+  if (!e->fwd_full) {
+    p.kind = LoadPlan::Kind::kWaitCommit;
+  } else if (s->data_ready) {
+    p.kind = LoadPlan::Kind::kForwardReady;
+  } else {
+    p.kind = LoadPlan::Kind::kForwardWait;
+  }
+  return p;
+}
+
+CacheHints ConventionalLsq::cache_hints(InstSeq /*seq*/) const {
+  return CacheHints{};  // the conventional LSQ caches nothing
+}
+
+void ConventionalLsq::on_cache_access_complete(InstSeq /*seq*/,
+                                               std::uint32_t /*set*/,
+                                               std::uint32_t /*way*/) {}
+
+void ConventionalLsq::on_load_complete(InstSeq seq) {
+  assert(find(seq) != nullptr);
+  if (ledger_ != nullptr) ledger_->on_datum_write();
+  // A forwarded load also read the store's datum.
+  const Entry* e = find(seq);
+  if (e->fwd_store != kNoInst && e->fwd_full && ledger_ != nullptr) {
+    ledger_->on_datum_read();
+  }
+}
+
+void ConventionalLsq::on_store_data_ready(InstSeq seq) {
+  Entry* e = find(seq);
+  assert(e != nullptr && !e->is_load);
+  e->data_ready = true;
+  if (ledger_ != nullptr) ledger_->on_datum_write();
+}
+
+void ConventionalLsq::on_commit(InstSeq seq) {
+  assert(!entries_.empty() && entries_.front().seq == seq);
+  const Entry& e = entries_.front();
+  if (!e.is_load && ledger_ != nullptr) {
+    ledger_->on_datum_read();  // the store's datum leaves for the cache
+    ledger_->on_addr_read();
+  }
+  // Loads that planned to forward from this store fall back to the cache:
+  // everything older has committed, so memory is up to date.
+  for (Entry& other : entries_) {
+    if (other.fwd_store == seq) {
+      other.fwd_store = kNoInst;
+      other.fwd_full = false;
+    }
+  }
+  entries_.erase(entries_.begin());
+}
+
+void ConventionalLsq::squash_from(InstSeq seq) {
+  while (!entries_.empty() && entries_.back().seq >= seq) entries_.pop_back();
+  for (Entry& e : entries_) {
+    if (e.fwd_store != kNoInst && e.fwd_store >= seq) {
+      e.fwd_store = kNoInst;
+      e.fwd_full = false;
+    }
+  }
+}
+
+OccupancySample ConventionalLsq::occupancy() const {
+  OccupancySample s;
+  s.entries_used = static_cast<std::uint32_t>(entries_.size());
+  return s;
+}
+
+std::unique_ptr<ConventionalLsq> make_unbounded_lsq(std::uint32_t window) {
+  ConventionalLsqConfig cfg;
+  cfg.entries = window;
+  cfg.unbounded = true;
+  return std::make_unique<ConventionalLsq>(cfg, nullptr);
+}
+
+}  // namespace samie::lsq

@@ -1,0 +1,82 @@
+// The baseline: a fully-associative, age-ordered load/store queue
+// (paper §4.2: 128 entries; a load compares only against older stores
+// whose address is known, a store only against younger loads with known
+// addresses; matching loads forward from stores).
+//
+// With `entries >= rob_size` this doubles as the *unbounded* LSQ used as
+// the normalization baseline of Figure 1 (`make_unbounded_lsq`).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/energy/ledger.h"
+#include "src/lsq/lsq_interface.h"
+
+namespace samie::lsq {
+
+struct ConventionalLsqConfig {
+  std::uint32_t entries = 128;
+  bool unbounded = false;  ///< report kind()==kUnbounded (Figure 1 baseline)
+};
+
+class ConventionalLsq final : public LoadStoreQueue {
+ public:
+  /// `ledger` may be null (no energy accounting, e.g. inside ARB sweeps).
+  ConventionalLsq(const ConventionalLsqConfig& cfg,
+                  energy::ConvLsqLedger* ledger);
+
+  [[nodiscard]] LsqKind kind() const override {
+    return cfg_.unbounded ? LsqKind::kUnbounded : LsqKind::kConventional;
+  }
+
+  [[nodiscard]] bool can_dispatch(bool is_load) const override;
+  void on_dispatch(InstSeq seq, bool is_load) override;
+  [[nodiscard]] bool can_compute_address() const override { return true; }
+
+  Placement on_address_ready(const MemOpDesc& op) override;
+  void drain(std::vector<InstSeq>& newly_placed) override;
+  [[nodiscard]] bool is_placed(InstSeq seq) const override;
+
+  [[nodiscard]] LoadPlan plan_load(InstSeq seq) const override;
+  [[nodiscard]] CacheHints cache_hints(InstSeq seq) const override;
+  void on_cache_access_complete(InstSeq seq, std::uint32_t set,
+                                std::uint32_t way) override;
+  void on_load_complete(InstSeq seq) override;
+  void on_store_data_ready(InstSeq seq) override;
+
+  void on_commit(InstSeq seq) override;
+  void squash_from(InstSeq seq) override;
+  void on_cache_line_replaced(std::uint32_t /*set*/) override {}
+
+  [[nodiscard]] OccupancySample occupancy() const override;
+
+ private:
+  struct Entry {
+    InstSeq seq = kNoInst;
+    Addr addr = 0;
+    std::uint8_t size = 0;
+    bool is_load = false;
+    bool addr_known = false;
+    bool data_ready = false;  // stores
+    InstSeq fwd_store = kNoInst;
+    bool fwd_full = false;
+  };
+
+  [[nodiscard]] Entry* find(InstSeq seq);
+  [[nodiscard]] const Entry* find(InstSeq seq) const;
+
+  ConventionalLsqConfig cfg_;
+  energy::ConvLsqLedger* ledger_;
+  /// Age-ordered (entries_[i].seq increasing); allocation appends,
+  /// commit pops from the front, squash pops from the back.
+  std::vector<Entry> entries_;
+};
+
+/// The unbounded LSQ of Figure 1: never stalls dispatch or placement.
+/// `window` should be at least the ROB size.
+[[nodiscard]] std::unique_ptr<ConventionalLsq> make_unbounded_lsq(
+    std::uint32_t window);
+
+}  // namespace samie::lsq

@@ -1,0 +1,157 @@
+// The load/store-queue contract the out-of-order core drives.
+//
+// Protocol (enforced by the core, tested in tests/test_lsq_*):
+//   1. `can_dispatch` / `on_dispatch` at rename time (the conventional LSQ
+//      allocates its age-ordered entry here; banked LSQs only track
+//      occupancy caps).
+//   2. When the address is computed the core calls `on_address_ready`.
+//      The LSQ performs placement + disambiguation and returns kPlaced, or
+//      kBuffered when the instruction must wait (SAMIE AddrBuffer, ARB
+//      bank conflict). Buffered instructions are retried by `drain()`
+//      every cycle with priority and surface through its output list.
+//   3. A placed load's execution strategy comes from `plan_load`:
+//      access the cache, forward from a store, or wait. Plans are
+//      *recomputed on demand* and always reflect current queue state.
+//   4. Store-to-load ordering: the core lets a load touch memory only when
+//      every older store is placed (the paper's readyBit; see DESIGN.md
+//      "Interpretation decisions").
+//   5. `on_commit` releases the instruction; `squash_from` implements
+//      branch-mispredict and deadlock-avoidance flushes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie::lsq {
+
+enum class LsqKind : std::uint8_t { kConventional, kUnbounded, kArb, kSamie };
+
+/// A memory instruction as the LSQ sees it at address-ready time.
+struct MemOpDesc {
+  InstSeq seq = kNoInst;
+  Addr addr = 0;
+  std::uint8_t size = 8;
+  bool is_load = true;
+  /// Stores: data already available at placement time.
+  bool data_ready = false;
+};
+
+struct Placement {
+  enum class Status : std::uint8_t {
+    kPlaced,    ///< resident in the queue, disambiguation done
+    kBuffered,  ///< waiting (AddrBuffer / ARB conflict); drain() will retry
+    kRejected,  ///< no space anywhere — caller must prevent this by gating
+  };
+  Status status = Status::kRejected;
+};
+
+/// How a placed, ordering-eligible load should execute.
+struct LoadPlan {
+  enum class Kind : std::uint8_t {
+    kCacheAccess,   ///< no older in-flight store conflicts: go to memory
+    kForwardReady,  ///< fully covered by an older store whose data is ready
+    kForwardWait,   ///< fully covered; wait for the store's data
+    kWaitCommit,    ///< partially covered; wait until the store commits
+  };
+  Kind kind = Kind::kCacheAccess;
+  /// The store involved (forward source or blocker), if any.
+  InstSeq store = kNoInst;
+};
+
+/// SAMIE's cached L1D location + translation (paper §3.4).
+struct CacheHints {
+  bool way_known = false;
+  std::uint32_t set = 0;
+  std::uint32_t way = 0;
+  bool translation_known = false;
+};
+
+/// O(1) occupancy snapshot, taken once per cycle by the simulator for the
+/// active-area integration (Figures 11/12) and the occupancy figures (3/4).
+struct OccupancySample {
+  // Conventional / unbounded.
+  std::uint32_t entries_used = 0;
+  // SAMIE DistribLSQ.
+  std::uint32_t distrib_entries_used = 0;
+  std::uint32_t distrib_slots_used = 0;
+  std::uint32_t distrib_banks_full = 0;    ///< banks with every entry in use
+  std::uint32_t distrib_entries_full = 0;  ///< entries with every slot in use
+  // SAMIE SharedLSQ.
+  std::uint32_t shared_entries_used = 0;
+  std::uint32_t shared_slots_used = 0;
+  std::uint32_t shared_entries_full = 0;
+  // SAMIE AddrBuffer (or ARB wait queue).
+  std::uint32_t buffer_used = 0;
+};
+
+/// Byte-range helpers for disambiguation.
+[[nodiscard]] constexpr bool ranges_overlap(Addr a, std::uint32_t asz, Addr b,
+                                            std::uint32_t bsz) noexcept {
+  return a < b + bsz && b < a + asz;
+}
+/// True when [b, b+bsz) fully covers [a, a+asz) — a store covering a load.
+[[nodiscard]] constexpr bool range_covers(Addr a, std::uint32_t asz, Addr b,
+                                          std::uint32_t bsz) noexcept {
+  return b <= a && a + asz <= b + bsz;
+}
+
+class LoadStoreQueue {
+ public:
+  virtual ~LoadStoreQueue() = default;
+
+  [[nodiscard]] virtual LsqKind kind() const = 0;
+
+  // -- dispatch stage --------------------------------------------------------
+  [[nodiscard]] virtual bool can_dispatch(bool is_load) const = 0;
+  virtual void on_dispatch(InstSeq seq, bool is_load) = 0;
+  /// Gate for issuing an address computation (SAMIE: AddrBuffer must have
+  /// a free slot so placement can never be rejected — paper §3.3).
+  [[nodiscard]] virtual bool can_compute_address() const = 0;
+  /// How many additional address computations may safely be in flight:
+  /// the number of placements guaranteed not to be rejected. The core
+  /// reserves one unit per issued-but-unresolved address computation so
+  /// several agens completing together can never overflow the AddrBuffer.
+  [[nodiscard]] virtual std::uint32_t placement_headroom() const {
+    return ~0U;
+  }
+
+  // -- address-ready / placement ---------------------------------------------
+  virtual Placement on_address_ready(const MemOpDesc& op) = 0;
+  /// Retry buffered instructions (called once per cycle, before issue);
+  /// appends the seqs that became placed this cycle.
+  virtual void drain(std::vector<InstSeq>& newly_placed) = 0;
+  [[nodiscard]] virtual bool is_placed(InstSeq seq) const = 0;
+
+  // -- load execution ----------------------------------------------------------
+  [[nodiscard]] virtual LoadPlan plan_load(InstSeq seq) const = 0;
+  [[nodiscard]] virtual CacheHints cache_hints(InstSeq seq) const = 0;
+  /// The load/store touched the L1D at (set, way); SAMIE caches the
+  /// location and the translation in the owning entry.
+  virtual void on_cache_access_complete(InstSeq seq, std::uint32_t set,
+                                        std::uint32_t way) = 0;
+  /// A load finished (its datum is written into the queue).
+  virtual void on_load_complete(InstSeq seq) = 0;
+  /// A store's data became available.
+  virtual void on_store_data_ready(InstSeq seq) = 0;
+
+  // -- retirement / recovery ----------------------------------------------------
+  virtual void on_commit(InstSeq seq) = 0;
+  /// Remove `seq` and everything younger (squash).
+  virtual void squash_from(InstSeq seq) = 0;
+  /// L1D replaced a line in `set`: reset potentially-affected presentBits.
+  virtual void on_cache_line_replaced(std::uint32_t set) = 0;
+  /// Registers a callback that clears the *cache-side* presentBit of
+  /// (set, way) when the LSQ entry that cached that location is released.
+  /// Without this, stale cache bits would trigger spurious invalidation
+  /// sweeps on every later eviction of those lines.
+  virtual void set_present_bit_clearer(
+      std::function<void(std::uint32_t, std::uint32_t)> /*fn*/) {}
+
+  // -- observability -------------------------------------------------------------
+  [[nodiscard]] virtual OccupancySample occupancy() const = 0;
+};
+
+}  // namespace samie::lsq

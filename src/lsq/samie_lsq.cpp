@@ -1,0 +1,462 @@
+#include "src/lsq/samie_lsq.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace samie::lsq {
+
+SamieLsq::SamieLsq(const SamieConfig& cfg, energy::SamieLsqLedger* ledger)
+    : cfg_(cfg), ledger_(ledger), line_shift_(log2_floor(cfg.line_bytes)) {
+  banks_.resize(cfg_.banks);
+  for (auto& bank : banks_) {
+    bank.resize(cfg_.entries_per_bank);
+    for (auto& e : bank) e.slots.resize(cfg_.slots_per_entry);
+  }
+  shared_.resize(cfg_.unbounded_shared ? 0 : cfg_.shared_entries);
+  for (auto& e : shared_) e.slots.resize(cfg_.slots_per_entry);
+  bank_entries_used_.assign(cfg_.banks, 0);
+}
+
+SamieLsq::Entry& SamieLsq::entry_at(const Loc& loc) {
+  return loc.where == Where::kDistrib ? banks_[loc.bank][loc.entry]
+                                      : shared_[loc.entry];
+}
+
+const SamieLsq::Entry& SamieLsq::entry_at(const Loc& loc) const {
+  return loc.where == Where::kDistrib ? banks_[loc.bank][loc.entry]
+                                      : shared_[loc.entry];
+}
+
+bool SamieLsq::can_compute_address() const {
+  return buffer_.size() < cfg_.addr_buffer_slots;
+}
+
+template <typename Fn>
+void SamieLsq::for_each_same_line(Addr line, Fn&& fn) {
+  for (Entry& e : banks_[bank_of(line)]) {
+    if (e.valid && e.line == line) fn(e);
+  }
+  for (Entry& e : shared_) {
+    if (e.valid && e.line == line) fn(e);
+  }
+}
+
+void SamieLsq::fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry) {
+  Entry& e = entry_at(loc);
+  const bool distrib = loc.where == Where::kDistrib;
+  if (new_entry) {
+    e.valid = true;
+    e.line = op.addr >> line_shift_;
+    e.present = false;
+    e.translation = false;
+    e.used = 0;
+    for (auto& s : e.slots) s.valid = false;
+    if (distrib) {
+      ++d_entries_used_;
+      if (++bank_entries_used_[loc.bank] == cfg_.entries_per_bank) ++banks_full_;
+    } else {
+      ++s_entries_used_;
+    }
+    if (ledger_ != nullptr) {
+      distrib ? ledger_->on_distrib_addr_write() : ledger_->on_shared_addr_write();
+    }
+  }
+
+  Slot& s = e.slots[loc.slot];
+  s.valid = true;
+  s.seq = op.seq;
+  s.offset = static_cast<std::uint8_t>(op.addr & (cfg_.line_bytes - 1));
+  s.size = op.size;
+  s.is_load = op.is_load;
+  s.data_ready = op.data_ready;
+  s.fwd_store = kNoInst;
+  s.fwd_full = false;
+  ++e.used;
+  if (e.used == cfg_.slots_per_entry) {
+    distrib ? ++d_entries_full_ : ++s_entries_full_;
+  }
+  if (distrib) ++d_slots_used_; else ++s_slots_used_;
+  where_[op.seq] = loc;
+
+  if (ledger_ != nullptr) {
+    distrib ? ledger_->on_distrib_age_write() : ledger_->on_shared_age_write();
+    if (!op.is_load && op.data_ready) {
+      distrib ? ledger_->on_distrib_datum_rw() : ledger_->on_shared_datum_rw();
+    }
+  }
+}
+
+void SamieLsq::disambiguate(const MemOpDesc& op, Loc self_loc) {
+  const Addr line = op.addr >> line_shift_;
+  const std::uint8_t offset =
+      static_cast<std::uint8_t>(op.addr & (cfg_.line_bytes - 1));
+  Slot& self = entry_at(self_loc).slots[self_loc.slot];
+
+  for_each_same_line(line, [&](Entry& e) {
+    for (Slot& s : e.slots) {
+      if (!s.valid || s.seq == op.seq) continue;
+      if (op.is_load) {
+        if (s.is_load || s.seq >= op.seq) continue;
+        if (ranges_overlap(offset, op.size, s.offset, s.size) &&
+            (self.fwd_store == kNoInst || s.seq > self.fwd_store)) {
+          self.fwd_store = s.seq;
+          self.fwd_full = range_covers(static_cast<Addr>(offset), op.size,
+                                       s.offset, s.size);
+        }
+      } else {
+        if (!s.is_load || s.seq <= op.seq) continue;
+        if (ranges_overlap(s.offset, s.size, offset, op.size) &&
+            (s.fwd_store == kNoInst || s.fwd_store < op.seq)) {
+          s.fwd_store = op.seq;
+          s.fwd_full = range_covers(static_cast<Addr>(s.offset), s.size, offset,
+                                    op.size);
+        }
+      }
+    }
+  });
+}
+
+bool SamieLsq::try_place(const MemOpDesc& op, bool /*from_buffer*/) {
+  const Addr line = op.addr >> line_shift_;
+  const std::uint32_t bank = bank_of(line);
+  auto& bank_entries = banks_[bank];
+
+  // The address is broadcast to its bank and to the SharedLSQ; both are
+  // searched in parallel (paper §3.2). Charge the comparisons now — they
+  // happen regardless of whether a slot is found. Age identifiers of every
+  // in-use entry reached by the search are compared as well (§4.2).
+  if (ledger_ != nullptr) {
+    ledger_->on_bus_send();
+    std::uint64_t bank_inuse = 0;
+    for (const Entry& e : bank_entries) {
+      if (e.valid) {
+        ++bank_inuse;
+        ledger_->on_distrib_age_search(e.used);
+      }
+    }
+    ledger_->on_distrib_addr_search(bank_inuse);
+    std::uint64_t shared_inuse = 0;
+    for (const Entry& e : shared_) {
+      if (e.valid) {
+        ++shared_inuse;
+        ledger_->on_shared_age_search(e.used);
+      }
+    }
+    ledger_->on_shared_addr_search(shared_inuse);
+  }
+
+  // Placement preference (paper §3.2): same-line entry with a free slot in
+  // the bank; else a free bank entry; else same-line with a free slot in
+  // the SharedLSQ; else a free shared entry.
+  auto find_slot = [&](Entry& e) -> std::int64_t {
+    for (std::uint32_t i = 0; i < cfg_.slots_per_entry; ++i) {
+      if (!e.slots[i].valid) return i;
+    }
+    return -1;
+  };
+
+  Loc loc;
+  bool new_entry = false;
+  bool found = false;
+
+  for (std::uint32_t i = 0; i < bank_entries.size() && !found; ++i) {
+    Entry& e = bank_entries[i];
+    if (e.valid && e.line == line) {
+      if (const auto s = find_slot(e); s >= 0) {
+        loc = Loc{Where::kDistrib, bank, i, static_cast<std::uint32_t>(s)};
+        found = true;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < bank_entries.size() && !found; ++i) {
+    if (!bank_entries[i].valid) {
+      loc = Loc{Where::kDistrib, bank, i, 0};
+      new_entry = true;
+      found = true;
+    }
+  }
+  for (std::uint32_t i = 0; i < shared_.size() && !found; ++i) {
+    Entry& e = shared_[i];
+    if (e.valid && e.line == line) {
+      if (const auto s = find_slot(e); s >= 0) {
+        loc = Loc{Where::kShared, 0, i, static_cast<std::uint32_t>(s)};
+        found = true;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < shared_.size() && !found; ++i) {
+    if (!shared_[i].valid) {
+      loc = Loc{Where::kShared, 0, i, 0};
+      new_entry = true;
+      found = true;
+    }
+  }
+  if (!found && cfg_.unbounded_shared) {
+    shared_.emplace_back();
+    shared_.back().slots.resize(cfg_.slots_per_entry);
+    loc = Loc{Where::kShared, 0, static_cast<std::uint32_t>(shared_.size() - 1), 0};
+    new_entry = true;
+    found = true;
+  }
+  if (!found) return false;
+
+  fill_slot(op, loc, new_entry);
+  disambiguate(op, loc);
+  return true;
+}
+
+Placement SamieLsq::on_address_ready(const MemOpDesc& op) {
+  if (try_place(op, /*from_buffer=*/false)) {
+    return Placement{Placement::Status::kPlaced};
+  }
+  if (buffer_.size() >= cfg_.addr_buffer_slots) {
+    return Placement{Placement::Status::kRejected};
+  }
+  ++buffered_;
+  buffer_.push_back(op);
+  if (ledger_ != nullptr) ledger_->on_addrbuf_write();
+  return Placement{Placement::Status::kBuffered};
+}
+
+void SamieLsq::drain(std::vector<InstSeq>& newly_placed) {
+  // Buffered instructions retry oldest-first with priority over newly
+  // computed addresses (paper §3.2). The AddrBuffer is a FIFO (§3.3), so
+  // the head blocks the queue until it places; each retry re-reads the
+  // FIFO head and re-runs the parallel search — this is what makes ammp
+  // the one program whose SAMIE LSQ energy approaches the conventional
+  // LSQ's (Figure 7).
+  for (std::uint32_t n = 0; n < cfg_.drain_width && !buffer_.empty(); ++n) {
+    const MemOpDesc& op = buffer_.front();
+    if (ledger_ != nullptr) ledger_->on_addrbuf_read();
+    if (!try_place(op, /*from_buffer=*/true)) break;
+    newly_placed.push_back(op.seq);
+    buffer_.pop_front();
+  }
+}
+
+bool SamieLsq::is_placed(InstSeq seq) const { return where_.count(seq) != 0; }
+
+LoadPlan SamieLsq::plan_load(InstSeq seq) const {
+  auto it = where_.find(seq);
+  assert(it != where_.end());
+  const Slot& s = entry_at(it->second).slots[it->second.slot];
+  assert(s.valid && s.is_load);
+  LoadPlan p;
+  if (s.fwd_store == kNoInst) return p;
+  auto sit = where_.find(s.fwd_store);
+  assert(sit != where_.end());
+  const Slot& st = entry_at(sit->second).slots[sit->second.slot];
+  p.store = s.fwd_store;
+  if (!s.fwd_full) {
+    p.kind = LoadPlan::Kind::kWaitCommit;
+  } else if (st.data_ready) {
+    p.kind = LoadPlan::Kind::kForwardReady;
+  } else {
+    p.kind = LoadPlan::Kind::kForwardWait;
+  }
+  return p;
+}
+
+CacheHints SamieLsq::cache_hints(InstSeq seq) const {
+  auto it = where_.find(seq);
+  assert(it != where_.end());
+  const Entry& e = entry_at(it->second);
+  CacheHints h;
+  h.way_known = e.present;
+  h.set = e.set;
+  h.way = e.way;
+  h.translation_known = e.translation;
+  if (ledger_ != nullptr && (e.present || e.translation)) {
+    // Reading the cached line id / translation out of the entry.
+    auto* self = const_cast<SamieLsq*>(this);
+    (void)self;
+    if (it->second.where == Where::kDistrib) {
+      if (e.present) ledger_->on_distrib_line_id_rw();
+      if (e.translation) ledger_->on_distrib_translation_rw();
+    } else {
+      if (e.present) ledger_->on_shared_line_id_rw();
+      if (e.translation) ledger_->on_shared_translation_rw();
+    }
+  }
+  return h;
+}
+
+void SamieLsq::on_cache_access_complete(InstSeq seq, std::uint32_t set,
+                                        std::uint32_t way) {
+  auto it = where_.find(seq);
+  assert(it != where_.end());
+  Entry& e = entry_at(it->second);
+  const bool distrib = it->second.where == Where::kDistrib;
+  if (!e.present) {
+    e.present = true;
+    e.set = set;
+    e.way = way;
+    if (ledger_ != nullptr) {
+      distrib ? ledger_->on_distrib_line_id_rw() : ledger_->on_shared_line_id_rw();
+    }
+  }
+  if (!e.translation) {
+    e.translation = true;
+    if (ledger_ != nullptr) {
+      distrib ? ledger_->on_distrib_translation_rw()
+              : ledger_->on_shared_translation_rw();
+    }
+  }
+}
+
+void SamieLsq::on_load_complete(InstSeq seq) {
+  auto it = where_.find(seq);
+  assert(it != where_.end());
+  const bool distrib = it->second.where == Where::kDistrib;
+  const Slot& s = entry_at(it->second).slots[it->second.slot];
+  if (ledger_ != nullptr) {
+    // The loaded datum is written into the slot; a forwarded load also
+    // read the source store's datum.
+    distrib ? ledger_->on_distrib_datum_rw() : ledger_->on_shared_datum_rw();
+    if (s.fwd_store != kNoInst && s.fwd_full) {
+      auto sit = where_.find(s.fwd_store);
+      if (sit != where_.end()) {
+        sit->second.where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
+                                             : ledger_->on_shared_datum_rw();
+      }
+    }
+  }
+}
+
+void SamieLsq::on_store_data_ready(InstSeq seq) {
+  auto it = where_.find(seq);
+  assert(it != where_.end());
+  Slot& s = entry_at(it->second).slots[it->second.slot];
+  assert(s.valid && !s.is_load);
+  s.data_ready = true;
+  if (ledger_ != nullptr) {
+    it->second.where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
+                                        : ledger_->on_shared_datum_rw();
+  }
+}
+
+void SamieLsq::clear_forward_refs(Entry& e, InstSeq store) {
+  for (Slot& s : e.slots) {
+    if (s.valid && s.fwd_store == store) {
+      s.fwd_store = kNoInst;
+      s.fwd_full = false;
+    }
+  }
+}
+
+void SamieLsq::free_slot(const Loc& loc, InstSeq seq) {
+  Entry& e = entry_at(loc);
+  const bool distrib = loc.where == Where::kDistrib;
+  assert(e.slots[loc.slot].valid && e.slots[loc.slot].seq == seq);
+  if (e.used == cfg_.slots_per_entry) {
+    distrib ? --d_entries_full_ : --s_entries_full_;
+  }
+  e.slots[loc.slot].valid = false;
+  e.slots[loc.slot].seq = kNoInst;
+  --e.used;
+  if (distrib) --d_slots_used_; else --s_slots_used_;
+  if (e.used == 0) {
+    e.valid = false;
+    if (e.present && cfg_.clear_stale_present_bits && clear_cache_bit_) {
+      // Only clear the cache-side bit if no sibling entry (same line,
+      // slots-full overflow) still relies on the cached location.
+      bool sibling_present = false;
+      for_each_same_line(e.line, [&](Entry& other) {
+        if (&other != &e && other.valid && other.present) {
+          sibling_present = true;
+        }
+      });
+      if (!sibling_present) clear_cache_bit_(e.set, e.way);
+    }
+    e.present = false;
+    e.translation = false;
+    if (distrib) {
+      --d_entries_used_;
+      if (bank_entries_used_[loc.bank]-- == cfg_.entries_per_bank) --banks_full_;
+    } else {
+      --s_entries_used_;
+    }
+  }
+  where_.erase(seq);
+}
+
+void SamieLsq::on_commit(InstSeq seq) {
+  auto it = where_.find(seq);
+  assert(it != where_.end());
+  const Loc loc = it->second;
+  Entry& e = entry_at(loc);
+  const Slot& s = e.slots[loc.slot];
+  if (!s.is_load) {
+    // The store's datum leaves for the cache; loads that planned to
+    // forward from it fall back to the (now up-to-date) cache.
+    if (ledger_ != nullptr) {
+      loc.where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
+                                   : ledger_->on_shared_datum_rw();
+    }
+    const Addr line = e.line;
+    for_each_same_line(line, [&](Entry& other) { clear_forward_refs(other, seq); });
+  }
+  free_slot(loc, seq);
+}
+
+void SamieLsq::squash_from(InstSeq seq) {
+  std::vector<std::pair<Loc, InstSeq>> doomed;
+  for (const auto& [s, loc] : where_) {
+    if (s >= seq) doomed.emplace_back(loc, s);
+  }
+  for (const auto& [loc, s] : doomed) free_slot(loc, s);
+
+  auto clear_refs = [&](std::vector<Entry>& entries) {
+    for (Entry& e : entries) {
+      if (!e.valid) continue;
+      for (Slot& s : e.slots) {
+        if (s.valid && s.fwd_store != kNoInst && s.fwd_store >= seq) {
+          s.fwd_store = kNoInst;
+          s.fwd_full = false;
+        }
+      }
+    }
+  };
+  for (auto& bank : banks_) clear_refs(bank);
+  clear_refs(shared_);
+
+  std::erase_if(buffer_, [seq](const MemOpDesc& op) { return op.seq >= seq; });
+}
+
+void SamieLsq::on_cache_line_replaced(std::uint32_t set) {
+  // Reset the presentBit of every entry that could hold a line mapping to
+  // `set` (paper §3.4: "resetting the presentBit flag of all entries that
+  // can be potentially affected"). Bank index and set index are both
+  // low-order line-address bits, so the affected banks are:
+  //   banks >= sets: banks b with b % sets == set;
+  //   banks <  sets: the single bank set % banks.
+  auto reset_entry = [&](Entry& e) {
+    if (e.valid && e.present) {
+      e.present = false;
+      ++present_resets_;
+    }
+  };
+  if (cfg_.banks >= cfg_.l1d_sets) {
+    for (std::uint32_t b = set; b < cfg_.banks; b += cfg_.l1d_sets) {
+      for (Entry& e : banks_[b]) reset_entry(e);
+    }
+  } else {
+    for (Entry& e : banks_[set % cfg_.banks]) reset_entry(e);
+  }
+  for (Entry& e : shared_) reset_entry(e);
+}
+
+OccupancySample SamieLsq::occupancy() const {
+  OccupancySample s;
+  s.distrib_entries_used = d_entries_used_;
+  s.distrib_slots_used = d_slots_used_;
+  s.distrib_banks_full = banks_full_;
+  s.distrib_entries_full = d_entries_full_;
+  s.shared_entries_used = s_entries_used_;
+  s.shared_slots_used = s_slots_used_;
+  s.shared_entries_full = s_entries_full_;
+  s.buffer_used = static_cast<std::uint32_t>(buffer_.size());
+  return s;
+}
+
+}  // namespace samie::lsq

@@ -1,0 +1,167 @@
+// SAMIE-LSQ: the set-associative, multiple-instruction-entry load/store
+// queue — the paper's contribution (Section 3).
+//
+// Three structures:
+//   * DistribLSQ — `banks` banks selected by low-order line-address bits,
+//     each with `entries_per_bank` fully-associative entries; an entry
+//     holds one cache-line address and up to `slots_per_entry`
+//     instructions that access that line.
+//   * SharedLSQ — a small fully-associative overflow structure with the
+//     same entry format (configurably unbounded for the Figure 3 study).
+//   * AddrBuffer — a FIFO for instructions that fit in neither; buffered
+//     instructions cannot access the cache and retry with priority.
+//
+// Energy events are emitted per Table 5; the entry also caches the L1D
+// (set, way) behind a presentBit and the DTLB translation (Section 3.4),
+// which the core exploits through `cache_hints`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "src/energy/ledger.h"
+#include "src/lsq/lsq_interface.h"
+
+namespace samie::lsq {
+
+struct SamieConfig {
+  std::uint32_t banks = 64;
+  std::uint32_t entries_per_bank = 2;
+  std::uint32_t slots_per_entry = 8;
+  std::uint32_t shared_entries = 8;
+  /// Let the SharedLSQ grow without bound (Figure 3's measurement mode).
+  bool unbounded_shared = false;
+  std::uint32_t addr_buffer_slots = 64;
+  /// Buffered placements attempted per cycle (FIFO order, stop at first
+  /// failure; they have priority over newly computed addresses).
+  std::uint32_t drain_width = 4;
+  std::uint32_t line_bytes = 32;
+  /// L1D set count, for the presentBit invalidation protocol.
+  std::uint32_t l1d_sets = 64;
+  /// Clear the cache-side presentBit when the last entry caching a
+  /// location is released. The paper's design leaves stale bits in the
+  /// cache (§3.4 describes only the conservative reset), which makes later
+  /// evictions of those lines trigger spurious bank-wide resets; this
+  /// flag is the ablation that removes them (bench_ablation_sizing).
+  bool clear_stale_present_bits = false;
+};
+
+class SamieLsq final : public LoadStoreQueue {
+ public:
+  /// Ledger and/or dtlb ledger may be null (no accounting).
+  SamieLsq(const SamieConfig& cfg, energy::SamieLsqLedger* ledger);
+
+  [[nodiscard]] LsqKind kind() const override { return LsqKind::kSamie; }
+
+  [[nodiscard]] bool can_dispatch(bool) const override { return true; }
+  void on_dispatch(InstSeq, bool) override {}
+  /// The paper's §3.3 alternative: agen issues only when the AddrBuffer is
+  /// guaranteed to have room, so placement can never be rejected.
+  [[nodiscard]] bool can_compute_address() const override;
+  [[nodiscard]] std::uint32_t placement_headroom() const override {
+    return cfg_.addr_buffer_slots - static_cast<std::uint32_t>(buffer_.size());
+  }
+
+  Placement on_address_ready(const MemOpDesc& op) override;
+  void drain(std::vector<InstSeq>& newly_placed) override;
+  [[nodiscard]] bool is_placed(InstSeq seq) const override;
+
+  [[nodiscard]] LoadPlan plan_load(InstSeq seq) const override;
+  [[nodiscard]] CacheHints cache_hints(InstSeq seq) const override;
+  void on_cache_access_complete(InstSeq seq, std::uint32_t set,
+                                std::uint32_t way) override;
+  void on_load_complete(InstSeq seq) override;
+  void on_store_data_ready(InstSeq seq) override;
+
+  void on_commit(InstSeq seq) override;
+  void squash_from(InstSeq seq) override;
+  void on_cache_line_replaced(std::uint32_t set) override;
+  void set_present_bit_clearer(
+      std::function<void(std::uint32_t, std::uint32_t)> fn) override {
+    clear_cache_bit_ = std::move(fn);
+  }
+
+  [[nodiscard]] OccupancySample occupancy() const override;
+
+  // -- SAMIE-specific observability ------------------------------------------
+  [[nodiscard]] std::uint64_t buffered_placements() const { return buffered_; }
+  [[nodiscard]] std::uint64_t present_bit_resets() const { return present_resets_; }
+  [[nodiscard]] std::uint64_t agen_gated_cycles() const { return gated_; }
+  void note_agen_gated() { ++gated_; }
+  [[nodiscard]] const SamieConfig& config() const { return cfg_; }
+
+ private:
+  struct Slot {
+    InstSeq seq = kNoInst;
+    std::uint8_t offset = 0;
+    std::uint8_t size = 0;
+    bool is_load = false;
+    bool data_ready = false;
+    bool valid = false;
+    InstSeq fwd_store = kNoInst;
+    bool fwd_full = false;
+  };
+  struct Entry {
+    Addr line = 0;  ///< line address (byte address >> line_shift)
+    bool valid = false;
+    bool present = false;  ///< (set, way) cached and still trustworthy
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;
+    bool translation = false;  ///< DTLB translation cached
+    std::uint32_t used = 0;
+    std::vector<Slot> slots;
+  };
+  enum class Where : std::uint8_t { kDistrib, kShared };
+  struct Loc {
+    Where where = Where::kDistrib;
+    std::uint32_t bank = 0;   // distrib only
+    std::uint32_t entry = 0;  // index within bank / shared vector
+    std::uint32_t slot = 0;
+  };
+
+  [[nodiscard]] std::uint32_t bank_of(Addr line) const {
+    return static_cast<std::uint32_t>(line % cfg_.banks);
+  }
+  [[nodiscard]] Entry& entry_at(const Loc& loc);
+  [[nodiscard]] const Entry& entry_at(const Loc& loc) const;
+
+  /// Performs the parallel bank+shared search, charges comparison energy,
+  /// and either fills a slot (returns true) or reports no space.
+  bool try_place(const MemOpDesc& op, bool from_buffer);
+  void fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry);
+  void disambiguate(const MemOpDesc& op, Loc self_loc);
+  /// Visits every valid same-line entry in the op's bank and the shared
+  /// structure. `fn(entry)` returns void.
+  template <typename Fn>
+  void for_each_same_line(Addr line, Fn&& fn);
+
+  void free_slot(const Loc& loc, InstSeq seq);
+  void clear_forward_refs(Entry& e, InstSeq store);
+
+  SamieConfig cfg_;
+  energy::SamieLsqLedger* ledger_;
+  std::function<void(std::uint32_t, std::uint32_t)> clear_cache_bit_;
+  std::uint32_t line_shift_;
+  std::vector<std::vector<Entry>> banks_;
+  std::vector<Entry> shared_;
+  std::deque<MemOpDesc> buffer_;
+  std::unordered_map<InstSeq, Loc> where_;
+
+  // O(1) occupancy counters (see OccupancySample).
+  std::uint32_t d_entries_used_ = 0;
+  std::uint32_t d_slots_used_ = 0;
+  std::uint32_t d_entries_full_ = 0;
+  std::uint32_t s_entries_used_ = 0;
+  std::uint32_t s_slots_used_ = 0;
+  std::uint32_t s_entries_full_ = 0;
+  std::vector<std::uint32_t> bank_entries_used_;
+  std::uint32_t banks_full_ = 0;
+
+  std::uint64_t buffered_ = 0;
+  std::uint64_t present_resets_ = 0;
+  std::uint64_t gated_ = 0;
+};
+
+}  // namespace samie::lsq

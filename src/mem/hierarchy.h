@@ -1,0 +1,86 @@
+// The full data/instruction memory hierarchy of the paper's Table 2:
+// L1I 64KB/2-way (1 cycle), L1D 8KB/4-way (2 cycles), unified L2 512KB/4-way
+// (10-cycle hit, 100-cycle miss), 128-entry fully-associative ITLB/DTLB.
+#pragma once
+
+#include <cstdint>
+
+#include "src/mem/cache.h"
+#include "src/mem/tlb.h"
+
+namespace samie::mem {
+
+struct HierarchyConfig {
+  CacheConfig l1i{.name = "L1I",
+                  .size_bytes = 64 * 1024,
+                  .associativity = 2,
+                  .line_bytes = 32,
+                  .hit_latency = 1};
+  CacheConfig l1d{.name = "L1D",
+                  .size_bytes = 8 * 1024,
+                  .associativity = 4,
+                  .line_bytes = 32,
+                  .hit_latency = 2};
+  CacheConfig l2{.name = "L2",
+                 .size_bytes = 512 * 1024,
+                 .associativity = 4,
+                 .line_bytes = 64,
+                 .hit_latency = 10};
+  Cycle memory_latency = 100;
+  TlbConfig itlb{};
+  TlbConfig dtlb{};
+};
+
+/// Outcome of a data-side access through the hierarchy.
+struct DataAccess {
+  /// Total latency including TLB-miss penalty and L2/memory fills.
+  Cycle latency = 0;
+  bool l1_hit = false;
+  std::uint32_t set = 0;
+  std::uint32_t way = 0;
+  /// L1D eviction information for the presentBit invalidation protocol.
+  bool evicted = false;
+  std::uint32_t evicted_set = 0;
+  bool evicted_present_bit = false;
+};
+
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& cfg);
+
+  /// Data access with a DTLB translation (conventional path).
+  DataAccess data_access(Addr addr);
+  /// Data access that skips the DTLB (the SAMIE cached-translation path).
+  DataAccess data_access_translated(Addr addr);
+  /// Data access to a known (set, way): no tag check, no DTLB, L1-hit
+  /// latency guaranteed by the presentBit protocol. Returns protocol
+  /// violation via `ok == false` (must never happen).
+  struct KnownAccess {
+    Cycle latency = 0;
+    bool ok = true;
+  };
+  KnownAccess data_access_known(std::uint32_t set, std::uint32_t way, Addr addr);
+
+  /// Instruction fetch access (ITLB + L1I + L2 on miss).
+  Cycle inst_access(Addr pc);
+
+  [[nodiscard]] Cache& l1d() { return l1d_; }
+  [[nodiscard]] Cache& l1i() { return l1i_; }
+  [[nodiscard]] Cache& l2() { return l2_; }
+  [[nodiscard]] Tlb& dtlb() { return dtlb_; }
+  [[nodiscard]] Tlb& itlb() { return itlb_; }
+
+  void reset();
+
+ private:
+  Cycle fill_from_l2(Addr addr);
+
+  HierarchyConfig cfg_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Tlb itlb_;
+  Tlb dtlb_;
+};
+
+}  // namespace samie::mem

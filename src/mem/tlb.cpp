@@ -1,0 +1,40 @@
+#include "src/mem/tlb.h"
+
+#include <cassert>
+
+namespace samie::mem {
+
+Tlb::Tlb(const TlbConfig& cfg)
+    : cfg_(cfg), page_shift_(log2_floor(cfg.page_bytes)) {
+  assert(is_pow2(cfg.page_bytes));
+  map_.reserve(cfg_.entries * 2);
+}
+
+void Tlb::reset() {
+  map_.clear();
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+bool Tlb::access(Addr vaddr) {
+  const Addr vpn = vaddr >> page_shift_;
+  if (auto it = map_.find(vpn); it != map_.end()) {
+    it->second = ++tick_;
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (map_.size() >= cfg_.entries) {
+    // True-LRU eviction; the scan is miss-path only.
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second < victim->second) victim = it;
+    }
+    map_.erase(victim);
+  }
+  map_.emplace(vpn, ++tick_);
+  return false;
+}
+
+}  // namespace samie::mem

@@ -1,0 +1,44 @@
+// Fully-associative TLB with true-LRU replacement (paper: 128-entry
+// fully-associative ITLB and DTLB, 1-cycle hits).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace samie::mem {
+
+struct TlbConfig {
+  std::uint32_t entries = 128;
+  std::uint32_t page_bytes = 4096;
+  Cycle hit_latency = 1;
+  Cycle miss_penalty = 30;
+};
+
+class Tlb {
+ public:
+  explicit Tlb(const TlbConfig& cfg);
+
+  /// Translates; returns true on hit. Misses install the page (LRU evict).
+  bool access(Addr vaddr);
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] Cycle hit_latency() const { return cfg_.hit_latency; }
+  [[nodiscard]] Cycle miss_penalty() const { return cfg_.miss_penalty; }
+
+  void reset();
+
+ private:
+  TlbConfig cfg_;
+  std::uint32_t page_shift_;
+  /// vpn -> last-use tick. Hit path is O(1); the LRU victim scan runs on
+  /// the (rare) miss path only.
+  std::unordered_map<Addr, std::uint64_t> map_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace samie::mem

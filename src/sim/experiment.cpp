@@ -1,0 +1,78 @@
+#include "src/sim/experiment.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+#include "src/trace/spec2000.h"
+#include "src/trace/workload.h"
+
+namespace samie::sim {
+
+namespace {
+
+/// Thread-safe cache of generated traces, keyed by (program, length, seed).
+class TraceCache {
+ public:
+  std::shared_ptr<const trace::Trace> get(const std::string& program,
+                                          std::uint64_t n, std::uint64_t seed) {
+    const Key key{program, n, seed};
+    {
+      std::scoped_lock lock(mu_);
+      if (auto it = cache_.find(key); it != cache_.end()) return it->second;
+    }
+    // Generate outside the lock: different keys generate concurrently.
+    trace::WorkloadGenerator gen(trace::spec2000_profile(program), seed);
+    auto t = std::make_shared<trace::Trace>(gen.generate(n));
+    std::scoped_lock lock(mu_);
+    auto [it, _] = cache_.try_emplace(key, std::move(t));
+    return it->second;
+  }
+
+ private:
+  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+  std::mutex mu_;
+  std::map<Key, std::shared_ptr<const trace::Trace>> cache_;
+};
+
+}  // namespace
+
+std::vector<JobResult> run_jobs(const std::vector<Job>& jobs, unsigned threads) {
+  if (threads == 0) threads = bench_threads();
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()) + 1);
+
+  TraceCache traces;
+  std::vector<JobResult> results(jobs.size());
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      const Job& job = jobs[i];
+      const auto t =
+          traces.get(job.program, job.config.instructions, job.config.seed);
+      results[i].job = job;
+      results[i].result = run_simulation(job.config, *t);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+std::vector<Job> jobs_for_suite(const SimConfig& cfg, const std::string& tag) {
+  std::vector<Job> jobs;
+  for (const auto& name : trace::spec2000_names()) {
+    jobs.push_back(Job{name, cfg, tag});
+  }
+  return jobs;
+}
+
+}  // namespace samie::sim

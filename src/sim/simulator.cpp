@@ -1,0 +1,170 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/branch/predictor.h"
+#include "src/core/core.h"
+#include "src/energy/ledger.h"
+#include "src/trace/spec2000.h"
+#include "src/trace/workload.h"
+
+namespace samie::sim {
+
+namespace {
+
+/// Integrates occupancy-dependent statistics once per cycle: the paper's
+/// active-area policy (Section 4.2) and the Figure 3/4 occupancy series.
+class StatsCollector final : public core::CycleObserver {
+ public:
+  StatsCollector(const SimConfig& cfg, const energy::LsqEnergyConstants& k)
+      : cfg_(cfg),
+        conv_entry_area_(energy::conv_entry_area_um2(k)),
+        samie_fixed_area_(energy::samie_entry_fixed_area_um2(k)),
+        samie_slot_area_(energy::samie_slot_area_um2(k)),
+        addrbuf_slot_area_(energy::addrbuf_slot_area_um2(k)) {}
+
+  void on_cycle(Cycle /*cycle*/, const lsq::OccupancySample& occ) override {
+    ++cycles_;
+    if (cfg_.lsq == LsqChoice::kSamie) {
+      // DistribLSQ: in-use entries plus one spare entry per non-full bank;
+      // in-use slots plus one spare slot per active entry.
+      const double spare_entries =
+          static_cast<double>(cfg_.samie.banks - occ.distrib_banks_full);
+      const double entries_active =
+          static_cast<double>(occ.distrib_entries_used) + spare_entries;
+      const double slots_active =
+          static_cast<double>(occ.distrib_slots_used) +
+          static_cast<double>(occ.distrib_entries_used - occ.distrib_entries_full) +
+          spare_entries;
+      area_.add_cycle(
+          entries_active * samie_fixed_area_ + slots_active * samie_slot_area_,
+          shared_area(occ),
+          addrbuf_slot_area_ *
+              static_cast<double>(std::min(occ.buffer_used + 4,
+                                           cfg_.samie.addr_buffer_slots)));
+      shared_occ_.add(static_cast<double>(occ.shared_entries_used));
+      shared_max_ = std::max<std::uint64_t>(shared_max_, occ.shared_entries_used);
+      buffer_occ_.add(static_cast<double>(occ.buffer_used));
+      if (occ.buffer_used > 0) ++buffer_nonempty_;
+    } else {
+      // Conventional policy: in-use entries plus four spare entries.
+      const double active = static_cast<double>(
+          std::min(occ.entries_used + 4, cfg_.conventional.entries));
+      area_.add_cycle_conventional(active * conv_entry_area_);
+    }
+  }
+
+  void fold_into(SimResult& r) const {
+    r.area_total = cfg_.lsq == LsqChoice::kSamie ? area_.samie_total()
+                                                 : area_.conventional();
+    r.area_distrib = area_.distrib();
+    r.area_shared = area_.shared();
+    r.area_addrbuf = area_.addrbuf();
+    r.shared_occupancy_mean = shared_occ_.mean();
+    r.shared_occupancy_max = shared_max_;
+    r.buffer_occupancy_mean = buffer_occ_.mean();
+    r.buffer_nonempty_frac =
+        cycles_ == 0 ? 0.0
+                     : static_cast<double>(buffer_nonempty_) /
+                           static_cast<double>(cycles_);
+  }
+
+ private:
+  [[nodiscard]] double shared_area(const lsq::OccupancySample& occ) const {
+    const std::uint32_t capacity = cfg_.samie.unbounded_shared
+                                       ? occ.shared_entries_used + 1
+                                       : cfg_.samie.shared_entries;
+    const double spare = occ.shared_entries_used < capacity ? 1.0 : 0.0;
+    const double entries_active =
+        static_cast<double>(occ.shared_entries_used) + spare;
+    const double slots_active =
+        static_cast<double>(occ.shared_slots_used) +
+        static_cast<double>(occ.shared_entries_used - occ.shared_entries_full) +
+        spare;
+    return entries_active * samie_fixed_area_ + slots_active * samie_slot_area_;
+  }
+
+  const SimConfig& cfg_;
+  double conv_entry_area_;
+  double samie_fixed_area_;
+  double samie_slot_area_;
+  double addrbuf_slot_area_;
+  energy::AreaIntegrator area_;
+  RunningStat shared_occ_;
+  RunningStat buffer_occ_;
+  std::uint64_t shared_max_ = 0;
+  std::uint64_t buffer_nonempty_ = 0;
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace
+
+SimResult run_simulation(const SimConfig& cfg, const trace::Trace& trace) {
+  const energy::LsqEnergyConstants constants =
+      cfg.paper_energy_constants
+          ? energy::paper_constants()
+          : energy::derived_constants(energy::tech_100nm());
+
+  energy::ConvLsqLedger conv_ledger(constants);
+  energy::SamieLsqLedger samie_ledger(constants);
+  energy::DcacheLedger dcache_ledger(constants);
+  energy::DtlbLedger dtlb_ledger(constants);
+
+  std::unique_ptr<lsq::LoadStoreQueue> queue;
+  switch (cfg.lsq) {
+    case LsqChoice::kConventional:
+      queue = std::make_unique<lsq::ConventionalLsq>(cfg.conventional,
+                                                     &conv_ledger);
+      break;
+    case LsqChoice::kUnbounded:
+      queue = lsq::make_unbounded_lsq(cfg.core.rob_size);
+      break;
+    case LsqChoice::kArb:
+      queue = std::make_unique<lsq::ArbLsq>(cfg.arb);
+      break;
+    case LsqChoice::kSamie:
+      queue = std::make_unique<lsq::SamieLsq>(cfg.samie, &samie_ledger);
+      break;
+  }
+
+  mem::MemoryHierarchy memory(cfg.memory);
+  branch::HybridPredictor predictor;
+  branch::Btb btb;
+  StatsCollector collector(cfg, constants);
+
+  core::Core machine(cfg.core, trace, *queue, memory, predictor, btb,
+                     &dcache_ledger, &dtlb_ledger, &collector);
+
+  SimResult r;
+  r.core = machine.run(cfg.instructions);
+  collector.fold_into(r);
+
+  if (cfg.lsq == LsqChoice::kSamie) {
+    r.lsq_energy_nj = samie_ledger.energy_pj() / 1e3;
+    r.lsq_distrib_nj = samie_ledger.distrib_pj() / 1e3;
+    r.lsq_shared_nj = samie_ledger.shared_pj() / 1e3;
+    r.lsq_addrbuf_nj = samie_ledger.addrbuf_pj() / 1e3;
+    r.lsq_bus_nj = samie_ledger.bus_pj() / 1e3;
+  } else {
+    r.lsq_energy_nj = conv_ledger.energy_pj() / 1e3;
+  }
+  r.dcache_energy_nj = dcache_ledger.energy_pj() / 1e3;
+  r.dtlb_energy_nj = dtlb_ledger.energy_pj() / 1e3;
+
+  r.l1d_hits = memory.l1d().hits();
+  r.l1d_misses = memory.l1d().misses();
+  r.dtlb_hits = memory.dtlb().hits();
+  r.dtlb_misses = memory.dtlb().misses();
+  r.branch_mispredicts = predictor.mispredicts();
+  r.branch_lookups = predictor.lookups();
+  return r;
+}
+
+SimResult run_program(const SimConfig& cfg, const std::string& program) {
+  trace::WorkloadGenerator gen(trace::spec2000_profile(program), cfg.seed);
+  const trace::Trace t = gen.generate(cfg.instructions);
+  return run_simulation(cfg, t);
+}
+
+}  // namespace samie::sim

@@ -1,0 +1,63 @@
+// The simulator façade: builds core + memory + predictor + LSQ + ledgers
+// from a SimConfig, runs a trace, and folds everything the paper's figures
+// need into one SimResult.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/stats.h"
+#include "src/sim/sim_config.h"
+#include "src/trace/instruction.h"
+
+namespace samie::sim {
+
+struct SimResult {
+  // -- timing -----------------------------------------------------------------
+  core::CoreResult core;
+
+  // -- dynamic energy (nJ) ------------------------------------------------------
+  double lsq_energy_nj = 0.0;      ///< total for the LSQ organization
+  double lsq_distrib_nj = 0.0;     ///< SAMIE breakdown (Figure 8)
+  double lsq_shared_nj = 0.0;
+  double lsq_addrbuf_nj = 0.0;
+  double lsq_bus_nj = 0.0;
+  double dcache_energy_nj = 0.0;   ///< Figure 9
+  double dtlb_energy_nj = 0.0;     ///< Figure 10
+
+  // -- active area integrals (um^2 * cycles) -----------------------------------
+  double area_total = 0.0;         ///< Figure 11
+  double area_distrib = 0.0;       ///< Figure 12 breakdown
+  double area_shared = 0.0;
+  double area_addrbuf = 0.0;
+
+  // -- occupancy ------------------------------------------------------------------
+  double shared_occupancy_mean = 0.0;   ///< Figure 3 (unbounded SharedLSQ)
+  std::uint64_t shared_occupancy_max = 0;
+  double buffer_nonempty_frac = 0.0;    ///< Figure 4 (cycles AddrBuffer busy)
+  double buffer_occupancy_mean = 0.0;
+
+  // -- memory-system counters ---------------------------------------------------
+  std::uint64_t l1d_hits = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t dtlb_hits = 0;
+  std::uint64_t dtlb_misses = 0;
+  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t branch_lookups = 0;
+
+  /// Deadlock-avoidance flushes per million cycles (Figure 6).
+  [[nodiscard]] double deadlocks_per_mcycle() const {
+    return core.cycles == 0 ? 0.0
+                            : static_cast<double>(core.deadlock_flushes) * 1e6 /
+                                  static_cast<double>(core.cycles);
+  }
+};
+
+/// Runs `cfg` over `trace` (a fresh machine per call; deterministic).
+[[nodiscard]] SimResult run_simulation(const SimConfig& cfg,
+                                       const trace::Trace& trace);
+
+/// Convenience: generates the named SPEC2000-profile trace and runs it.
+[[nodiscard]] SimResult run_program(const SimConfig& cfg,
+                                    const std::string& program);
+
+}  // namespace samie::sim

@@ -1,0 +1,56 @@
+// Offline trace analysis: the statistical properties the SAMIE-LSQ design
+// rests on (Section 1 of the paper: "many in-flight memory instructions
+// access the same cache line" and "in-flight loads/stores access very few
+// cache lines with the same low-order bits").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/trace/instruction.h"
+
+namespace samie::trace {
+
+/// Instruction-mix fractions of a trace.
+struct MixStats {
+  double load_frac = 0.0;
+  double store_frac = 0.0;
+  double branch_frac = 0.0;
+  double fp_frac = 0.0;
+  double int_compute_frac = 0.0;
+  std::uint64_t count = 0;
+};
+
+[[nodiscard]] MixStats compute_mix(const Trace& t);
+
+/// Cache-line sharing within a sliding window of `window` instructions
+/// (a proxy for the instruction window of the machine).
+struct SharingStats {
+  /// Mean number of memory accesses per distinct line in the window.
+  double accesses_per_line = 0.0;
+  /// Fraction of memory accesses whose line was already touched by an
+  /// older in-window access ("reuse" accesses — candidates for SAMIE's
+  /// way-known / cached-translation path).
+  double reuse_fraction = 0.0;
+  std::uint64_t mem_accesses = 0;
+};
+
+[[nodiscard]] SharingStats compute_sharing(const Trace& t, std::size_t window,
+                                           std::uint32_t line_bytes = 32);
+
+/// How distinct in-flight lines spread over `banks` address-indexed banks.
+struct BankSpreadStats {
+  /// Mean distinct lines mapping to the most-loaded bank per window.
+  double max_lines_per_bank = 0.0;
+  /// Mean distinct lines per *occupied* bank.
+  double mean_lines_per_occupied_bank = 0.0;
+  /// Mean number of distinct lines per window.
+  double mean_distinct_lines = 0.0;
+};
+
+[[nodiscard]] BankSpreadStats compute_bank_spread(const Trace& t, std::size_t window,
+                                                  std::uint32_t banks,
+                                                  std::uint32_t line_bytes = 32);
+
+}  // namespace samie::trace

@@ -1,0 +1,334 @@
+#include "src/trace/spec2000.h"
+
+#include <stdexcept>
+
+namespace samie::trace {
+
+namespace {
+
+/// Shorthand builder for one address-stream component.
+[[nodiscard]] StreamComponent stream(double weight, std::uint64_t footprint_lines,
+                                     std::uint64_t line_stride, std::uint32_t per_line,
+                                     std::uint32_t bytes, double jump_p = 0.0) {
+  StreamComponent s;
+  s.weight = weight;
+  s.footprint_lines = footprint_lines;
+  s.line_stride_bytes = line_stride;
+  s.accesses_per_line = per_line;
+  s.access_bytes = bytes;
+  s.jump_p = jump_p;
+  return s;
+}
+
+/// A hot stack/scalar-spill region: few lines, heavily reused.
+[[nodiscard]] StreamComponent stack_stream(double weight) {
+  return stream(weight, 12, 32, 4, 8, 0.35);
+}
+
+/// Common integer-program skeleton.
+[[nodiscard]] WorkloadProfile int_base(std::string name) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.load_frac = 0.26;
+  p.store_frac = 0.11;
+  p.branch_frac = 0.17;
+  p.fp_frac = 0.02;
+  p.branch_entropy = 0.25;
+  p.avg_loop_iters = 12.0;
+  p.avg_loop_body = 20.0;
+  p.dep_mean = 4.0;
+  p.addr_dep_p = 0.35;
+  return p;
+}
+
+/// Common floating-point-program skeleton.
+[[nodiscard]] WorkloadProfile fp_base(std::string name) {
+  WorkloadProfile p;
+  p.name = std::move(name);
+  p.load_frac = 0.28;
+  p.store_frac = 0.12;
+  p.branch_frac = 0.06;
+  p.fp_frac = 0.85;
+  p.branch_entropy = 0.04;
+  p.avg_loop_iters = 80.0;
+  p.avg_loop_body = 40.0;
+  p.dep_mean = 10.0;
+  p.addr_dep_p = 0.08;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<std::string>& spec2000_names() {
+  static const std::vector<std::string> names = {
+      "ammp",   "applu",  "apsi",    "art",    "bzip2",    "crafty", "eon",
+      "equake", "facerec", "fma3d",  "galgel", "gap",      "gcc",    "gzip",
+      "lucas",  "mcf",    "mesa",    "mgrid",  "parser",   "perlbmk",
+      "sixtrack", "swim", "twolf",   "vortex", "vpr",      "wupwise"};
+  return names;
+}
+
+bool spec2000_is_int(const std::string& name) {
+  static const std::vector<std::string> ints = {
+      "bzip2", "crafty", "eon", "gap", "gcc", "gzip",
+      "mcf",   "parser", "perlbmk", "twolf", "vortex", "vpr"};
+  for (const auto& n : ints) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+WorkloadProfile spec2000_profile(const std::string& name) {
+  // --------------------------- pathological FP ---------------------------
+  // ammp: molecular dynamics over an array-of-structures with a 2KB record
+  // pitch — every record lands in the same DistribLSQ bank (64 banks x 32B
+  // = 2KB period) while each record is touched ~6 times (highest Dcache /
+  // DTLB reuse in the suite and by far the highest SharedLSQ pressure).
+  if (name == "ammp") {
+    auto p = fp_base(name);
+    p.load_frac = 0.30;
+    p.store_frac = 0.13;
+    // Two concurrent record walks, each pinned to its own bank, fight for
+    // the SharedLSQ — the paper's dominant deadlock case (Figure 6).
+    p.streams = {stream(0.31, 6000, 2048, 6, 4, 0.04),
+                 stream(0.24, 6000, 2048, 6, 4, 0.04),
+                 stream(0.24, 4000, 32, 7, 8),
+                 stack_stream(0.21)};
+    return p;
+  }
+  // apsi: meso-scale weather; mixed dense walks plus a column (large
+  // power-of-two stride) component — moderate bank concentration.
+  if (name == "apsi") {
+    auto p = fp_base(name);
+    p.streams = {stream(0.30, 3000, 2048, 4, 8),
+                 stream(0.40, 3000, 32, 4, 8),
+                 stack_stream(0.30)};
+    return p;
+  }
+  // art: neural-net image recognition; small footprint, strided scans that
+  // rotate over only four banks (512B pitch).
+  if (name == "art") {
+    auto p = fp_base(name);
+    p.load_frac = 0.32;
+    p.store_frac = 0.10;
+    p.dep_mean = 6.0;
+    p.streams = {stream(0.16, 1500, 512, 3, 4, 0.08),
+                 stream(0.59, 2000, 32, 3, 4),
+                 stack_stream(0.25)};
+    return p;
+  }
+  // facerec: image matching with both a concentrated column walk and a
+  // very large dense footprint — high LSQ pressure (it *gains* IPC under
+  // SAMIE thanks to the larger effective capacity) and high SharedLSQ use.
+  if (name == "facerec") {
+    auto p = fp_base(name);
+    p.load_frac = 0.42;
+    p.store_frac = 0.12;
+    p.dep_mean = 14.0;
+    p.streams = {stream(0.16, 20000, 2048, 4, 4, 0.02),
+                 stream(0.64, 30000, 32, 4, 4),
+                 stack_stream(0.20)};
+    return p;
+  }
+  // mgrid: multigrid stencil; dense sweeps plus a 1KB-pitch plane walk
+  // that alternates between two banks.
+  if (name == "mgrid") {
+    auto p = fp_base(name);
+    p.streams = {stream(0.27, 8000, 1024, 3, 8),
+                 stream(0.58, 8000, 32, 5, 8),
+                 stack_stream(0.15)};
+    return p;
+  }
+
+  // ----------------------------- regular FP ------------------------------
+  if (name == "swim") {  // shallow-water stencil: highest dense-line reuse
+    auto p = fp_base(name);
+    p.streams = {stream(0.50, 12000, 32, 7, 8),
+                 stream(0.40, 12000, 32, 6, 8),
+                 stack_stream(0.10)};
+    return p;
+  }
+  if (name == "applu") {
+    auto p = fp_base(name);
+    p.streams = {stream(0.45, 9000, 32, 5, 8),
+                 stream(0.40, 9000, 32, 4, 8),
+                 stack_stream(0.15)};
+    return p;
+  }
+  if (name == "equake") {
+    auto p = fp_base(name);
+    p.branch_frac = 0.10;
+    p.dep_mean = 7.0;
+    p.streams = {stream(0.40, 16000, 32, 4, 8, 0.10),
+                 stream(0.35, 8000, 32, 3, 8, 0.30),
+                 stack_stream(0.25)};
+    return p;
+  }
+  if (name == "fma3d") {  // crash simulation: load-heavy, huge footprint,
+    auto p = fp_base(name);  // gains IPC from SAMIE's capacity
+    p.load_frac = 0.40;
+    p.store_frac = 0.12;
+    p.dep_mean = 13.0;
+    p.streams = {stream(0.45, 40000, 32, 4, 8),
+                 stream(0.35, 24000, 32, 4, 8, 0.05),
+                 stack_stream(0.20)};
+    return p;
+  }
+  if (name == "galgel") {
+    auto p = fp_base(name);
+    p.streams = {stream(0.45, 6000, 32, 5, 8),
+                 stream(0.35, 6000, 32, 4, 8),
+                 stack_stream(0.20)};
+    return p;
+  }
+  if (name == "lucas") {
+    auto p = fp_base(name);
+    p.streams = {stream(0.50, 20000, 32, 4, 8),
+                 stream(0.35, 20000, 32, 3, 8),
+                 stack_stream(0.15)};
+    return p;
+  }
+  if (name == "mesa") {  // 3D rendering: FP/INT mix, moderate reuse
+    auto p = fp_base(name);
+    p.fp_frac = 0.55;
+    p.branch_frac = 0.12;
+    p.branch_entropy = 0.12;
+    p.dep_mean = 6.0;
+    p.streams = {stream(0.40, 4000, 32, 4, 4),
+                 stream(0.30, 8000, 32, 3, 4, 0.20),
+                 stack_stream(0.30)};
+    return p;
+  }
+  if (name == "sixtrack") {  // particle tracking: lowest line reuse
+    auto p = fp_base(name);
+    p.dep_mean = 8.0;
+    p.load_frac = 0.23;
+    p.store_frac = 0.10;
+    p.streams = {stream(0.40, 10000, 32, 2, 8),
+                 stream(0.33, 10000, 64, 2, 8),
+                 stack_stream(0.27)};
+    return p;
+  }
+  if (name == "wupwise") {
+    auto p = fp_base(name);
+    p.streams = {stream(0.50, 14000, 32, 4, 8),
+                 stream(0.35, 14000, 32, 3, 8),
+                 stack_stream(0.15)};
+    return p;
+  }
+
+  // ------------------------------- integer --------------------------------
+  if (name == "bzip2") {
+    auto p = int_base(name);
+    p.streams = {stream(0.40, 16000, 32, 4, 4),
+                 stream(0.25, 8000, 32, 3, 4, 0.50),
+                 stack_stream(0.35)};
+    return p;
+  }
+  if (name == "crafty") {  // chess: branchy, tiny footprint
+    auto p = int_base(name);
+    p.branch_frac = 0.20;
+    p.branch_entropy = 0.30;
+    p.streams = {stream(0.35, 2000, 32, 4, 8, 0.40),
+                 stream(0.25, 1000, 32, 4, 8, 0.30),
+                 stack_stream(0.40)};
+    return p;
+  }
+  if (name == "eon") {  // C++ ray tracer
+    auto p = int_base(name);
+    p.fp_frac = 0.25;
+    p.branch_entropy = 0.18;
+    p.streams = {stream(0.35, 3000, 32, 4, 8, 0.25),
+                 stream(0.25, 2000, 32, 3, 8, 0.25),
+                 stack_stream(0.40)};
+    return p;
+  }
+  if (name == "gap") {
+    auto p = int_base(name);
+    p.streams = {stream(0.40, 12000, 32, 4, 4, 0.15),
+                 stream(0.25, 12000, 32, 3, 4, 0.40),
+                 stack_stream(0.35)};
+    return p;
+  }
+  if (name == "gcc") {  // pointer-heavy, unpredictable branches
+    auto p = int_base(name);
+    p.branch_frac = 0.19;
+    p.branch_entropy = 0.35;
+    p.addr_dep_p = 0.50;
+    p.streams = {stream(0.35, 24000, 32, 4, 4, 0.55),
+                 stream(0.25, 8000, 32, 4, 4, 0.25),
+                 stack_stream(0.40)};
+    return p;
+  }
+  if (name == "gzip") {
+    auto p = int_base(name);
+    p.streams = {stream(0.45, 8000, 32, 5, 4),
+                 stream(0.25, 4000, 32, 3, 4, 0.35),
+                 stack_stream(0.30)};
+    return p;
+  }
+  if (name == "mcf") {  // sparse-graph pointer chasing over a huge arena:
+    auto p = int_base(name);  // lowest DTLB reuse in the suite
+    p.load_frac = 0.30;
+    p.store_frac = 0.09;
+    p.branch_entropy = 0.28;
+    p.dep_mean = 3.0;
+    p.addr_dep_p = 0.70;
+    p.streams = {stream(0.55, 1000000, 32, 4, 8, 0.90),
+                 stream(0.20, 4000, 32, 2, 8),
+                 stack_stream(0.25)};
+    return p;
+  }
+  if (name == "parser") {
+    auto p = int_base(name);
+    p.branch_entropy = 0.30;
+    p.streams = {stream(0.35, 10000, 32, 4, 4, 0.45),
+                 stream(0.25, 4000, 32, 5, 4),
+                 stack_stream(0.40)};
+    return p;
+  }
+  if (name == "perlbmk") {
+    auto p = int_base(name);
+    p.branch_frac = 0.20;
+    p.branch_entropy = 0.30;
+    p.streams = {stream(0.35, 12000, 32, 4, 4, 0.40),
+                 stream(0.25, 6000, 32, 5, 4),
+                 stack_stream(0.40)};
+    return p;
+  }
+  if (name == "twolf") {  // place&route: random small-structure access
+    auto p = int_base(name);
+    p.branch_entropy = 0.30;
+    p.streams = {stream(0.40, 6000, 32, 4, 8, 0.55),
+                 stream(0.25, 3000, 32, 4, 8, 0.25),
+                 stack_stream(0.35)};
+    return p;
+  }
+  if (name == "vortex") {  // object database
+    auto p = int_base(name);
+    p.branch_entropy = 0.18;
+    p.streams = {stream(0.40, 20000, 32, 4, 4, 0.25),
+                 stream(0.25, 10000, 32, 3, 4, 0.35),
+                 stack_stream(0.35)};
+    return p;
+  }
+  if (name == "vpr") {
+    auto p = int_base(name);
+    p.branch_entropy = 0.28;
+    p.streams = {stream(0.40, 8000, 32, 4, 4, 0.45),
+                 stream(0.25, 4000, 32, 4, 4, 0.20),
+                 stack_stream(0.35)};
+    return p;
+  }
+
+  throw std::out_of_range("unknown SPEC2000 program: " + name);
+}
+
+std::vector<WorkloadProfile> spec2000_all() {
+  std::vector<WorkloadProfile> v;
+  v.reserve(spec2000_names().size());
+  for (const auto& n : spec2000_names()) v.push_back(spec2000_profile(n));
+  return v;
+}
+
+}  // namespace samie::trace

@@ -1,0 +1,37 @@
+// Synthetic stand-ins for the 26 SPEC CPU2000 programs the paper evaluates.
+//
+// Each profile is tuned so the *properties the SAMIE-LSQ evaluation
+// depends on* match the paper's per-program observations (DESIGN.md S9):
+//
+//   * in-flight cache-line sharing degree (drives Dcache/DTLB reuse,
+//     Figures 9/10: ammp/swim highest, sixtrack lowest, mcf low TLB reuse);
+//   * bank concentration of the line addresses (drives SharedLSQ pressure
+//     and deadlocks, Figures 3/6: ammp >> apsi/mgrid/facerec/art > rest);
+//   * LSQ occupancy pressure (drives the IPC deltas of Figure 5:
+//     facerec/fma3d exceed a 128-entry conventional LSQ and *gain*);
+//   * instruction mix / ILP / branch behaviour (drives baseline IPC).
+//
+// The absolute IPCs of the real Alpha binaries are not reproduced — the
+// shapes of the paper's figures are. See DESIGN.md, substitution 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/trace/workload.h"
+
+namespace samie::trace {
+
+/// Names of all 26 programs in the paper's figure order.
+[[nodiscard]] const std::vector<std::string>& spec2000_names();
+
+/// True if `name` is one of the 12 integer programs.
+[[nodiscard]] bool spec2000_is_int(const std::string& name);
+
+/// Profile for one program; throws std::out_of_range for unknown names.
+[[nodiscard]] WorkloadProfile spec2000_profile(const std::string& name);
+
+/// All 26 profiles in figure order.
+[[nodiscard]] std::vector<WorkloadProfile> spec2000_all();
+
+}  // namespace samie::trace

@@ -1,0 +1,249 @@
+// Unit tests for src/common: RNG determinism and distributions,
+// FixedVector semantics, statistics primitives, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/common/fixed_vector.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/common/types.h"
+
+namespace samie {
+namespace {
+
+// ---------------------------------------------------------------- types ---
+TEST(Types, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0U);
+  EXPECT_EQ(log2_floor(2), 1U);
+  EXPECT_EQ(log2_floor(3), 1U);
+  EXPECT_EQ(log2_floor(4), 2U);
+  EXPECT_EQ(log2_floor(1024), 10U);
+  EXPECT_EQ(log2_floor(1ULL << 63), 63U);
+}
+
+TEST(Types, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Types, FpRegClassification) {
+  EXPECT_FALSE(is_fp_reg(0));
+  EXPECT_FALSE(is_fp_reg(31));
+  EXPECT_TRUE(is_fp_reg(32));
+  EXPECT_TRUE(is_fp_reg(63));
+  EXPECT_FALSE(is_fp_reg(kNoReg));
+}
+
+// ------------------------------------------------------------------ rng ---
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DeriveSeedDecorrelates) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t salt = 0; salt < 1000; ++salt) {
+    seen.insert(derive_seed(42, salt));
+  }
+  EXPECT_EQ(seen.size(), 1000U);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17U);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 r(11);
+  std::vector<int> counts(8, 0);
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[r.below(8)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kN / 8, kN / 8 * 0.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximatelyRight) {
+  Xoshiro256 r(5);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(r.geometric(12.0));
+  EXPECT_NEAR(sum / kN, 12.0, 1.0);
+}
+
+TEST(Rng, GeometricNeverBelowOne) {
+  Xoshiro256 r(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(r.geometric(0.1), 1U);
+  }
+}
+
+// --------------------------------------------------------- fixed_vector ---
+TEST(FixedVector, PushPopAndCapacity) {
+  FixedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.push_back(1));
+  EXPECT_TRUE(v.push_back(2));
+  EXPECT_TRUE(v.push_back(3));
+  EXPECT_TRUE(v.push_back(4));
+  EXPECT_TRUE(v.full());
+  EXPECT_FALSE(v.push_back(5));
+  EXPECT_EQ(v.size(), 4U);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 3U);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(FixedVector, EraseUnorderedMovesLast) {
+  FixedVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  v.erase_unordered(1);
+  EXPECT_EQ(v.size(), 4U);
+  EXPECT_EQ(v[1], 4);
+}
+
+TEST(FixedVector, EraseOrderedPreservesOrder) {
+  FixedVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  v.erase_ordered(1);
+  ASSERT_EQ(v.size(), 4U);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  EXPECT_EQ(v[3], 4);
+}
+
+TEST(FixedVector, IterationMatchesContents) {
+  FixedVector<int, 16> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i * i);
+  int idx = 0;
+  for (int x : v) {
+    EXPECT_EQ(x, idx * idx);
+    ++idx;
+  }
+  EXPECT_EQ(idx, 10);
+}
+
+// ---------------------------------------------------------------- stats ---
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, ClampsMassAndComputesMean) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(99);  // clamps into the last bucket (3)
+  EXPECT_EQ(h.total(), 4U);
+  EXPECT_EQ(h.count(3), 1U);
+  EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 2 + 3) / 4.0);
+}
+
+TEST(Histogram, QuantileAndZeroFraction) {
+  Histogram h(16);
+  for (int i = 0; i < 90; ++i) h.add(0);
+  for (int i = 0; i < 10; ++i) h.add(5);
+  EXPECT_DOUBLE_EQ(h.fraction_at_zero(), 0.9);
+  EXPECT_EQ(h.quantile(0.5), 0U);
+  EXPECT_EQ(h.quantile(0.95), 5U);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(4);
+  h.add(1, 10);
+  EXPECT_EQ(h.total(), 10U);
+  EXPECT_EQ(h.count(1), 10U);
+}
+
+TEST(StatsHelpers, PercentDeltaAndSaved) {
+  EXPECT_DOUBLE_EQ(percent_delta(110, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percent_delta(90, 100), -10.0);
+  EXPECT_DOUBLE_EQ(percent_saved(18, 100), 82.0);
+  EXPECT_DOUBLE_EQ(percent_saved(0, 0), 0.0);
+}
+
+TEST(StatsHelpers, Means) {
+  EXPECT_DOUBLE_EQ(arithmetic_mean({1, 2, 3}), 2.0);
+  EXPECT_NEAR(geometric_mean({1, 8}), std::sqrt(8.0), 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+  EXPECT_EQ(geometric_mean({1.0, -2.0}), 0.0);
+}
+
+// ---------------------------------------------------------------- table ---
+TEST(Table, RendersAlignedCells) {
+  Table t({"a", "long-header"});
+  t.add_row({"xx", "1"});
+  t.add_row({"y"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a  | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xx | 1           |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(-1.5, 1), "-1.5%");
+  EXPECT_EQ(Table::pct(2.0, 1), "+2.0%");
+}
+
+}  // namespace
+}  // namespace samie

@@ -1,0 +1,187 @@
+// Tests for the ARB (Franklin & Sohi) banked LSQ baseline: bank/row
+// placement, conflicts and retry, the in-flight cap, and forwarding
+// within a row.
+#include <gtest/gtest.h>
+
+#include "src/lsq/arb_lsq.h"
+
+namespace samie::lsq {
+namespace {
+
+using Status = Placement::Status;
+using Kind = LoadPlan::Kind;
+
+[[nodiscard]] MemOpDesc load(InstSeq seq, Addr addr, std::uint8_t size = 8) {
+  return MemOpDesc{seq, addr, size, true, false};
+}
+[[nodiscard]] MemOpDesc store(InstSeq seq, Addr addr, std::uint8_t size = 8) {
+  return MemOpDesc{seq, addr, size, false, false};
+}
+
+[[nodiscard]] ArbConfig tiny() {
+  return ArbConfig{.banks = 2, .rows_per_bank = 2, .max_inflight = 16,
+                   .line_bytes = 32};
+}
+
+TEST(ArbLsq, PlacesIntoBankByLineAddress) {
+  ArbLsq arb(tiny());
+  arb.on_dispatch(1, true);
+  EXPECT_EQ(arb.on_address_ready(load(1, 0x20)).status, Status::kPlaced);
+  EXPECT_TRUE(arb.is_placed(1));
+}
+
+TEST(ArbLsq, SameLineSharesRow) {
+  ArbLsq arb(tiny());
+  for (InstSeq s = 1; s <= 4; ++s) arb.on_dispatch(s, true);
+  // All four to the same line: one row regardless of rows_per_bank.
+  for (InstSeq s = 1; s <= 4; ++s) {
+    EXPECT_EQ(arb.on_address_ready(load(s, 0x40 + s * 8 - 8)).status,
+              Status::kPlaced);
+  }
+  // A different line in the same bank still fits (second row).
+  arb.on_dispatch(5, true);
+  EXPECT_EQ(arb.on_address_ready(load(5, 0x40 + 2 * 32 * 2)).status,
+            Status::kPlaced);
+}
+
+TEST(ArbLsq, BankConflictBuffersAndDrains) {
+  ArbLsq arb(tiny());
+  // Lines 0, 2, 4 all map to bank 0 (line % 2 == 0); rows_per_bank == 2.
+  for (InstSeq s = 1; s <= 3; ++s) arb.on_dispatch(s, true);
+  EXPECT_EQ(arb.on_address_ready(load(1, 0 * 32)).status, Status::kPlaced);
+  EXPECT_EQ(arb.on_address_ready(load(2, 2 * 32)).status, Status::kPlaced);
+  EXPECT_EQ(arb.on_address_ready(load(3, 4 * 32)).status, Status::kBuffered);
+  EXPECT_FALSE(arb.is_placed(3));
+  EXPECT_EQ(arb.placement_conflicts(), 1U);
+
+  // Nothing frees -> drain achieves nothing.
+  std::vector<InstSeq> placed;
+  arb.drain(placed);
+  EXPECT_TRUE(placed.empty());
+
+  // Committing the row's only instruction frees the row; drain places 3.
+  arb.on_commit(1);
+  arb.drain(placed);
+  ASSERT_EQ(placed.size(), 1U);
+  EXPECT_EQ(placed[0], 3U);
+  EXPECT_TRUE(arb.is_placed(3));
+}
+
+TEST(ArbLsq, InFlightCapGatesDispatch) {
+  ArbConfig cfg = tiny();
+  cfg.max_inflight = 4;
+  ArbLsq arb(cfg);
+  for (InstSeq s = 0; s < 4; ++s) {
+    ASSERT_TRUE(arb.can_dispatch(true));
+    arb.on_dispatch(s, true);
+  }
+  EXPECT_FALSE(arb.can_dispatch(true));
+  arb.on_address_ready(load(0, 0x20));
+  arb.on_commit(0);
+  EXPECT_TRUE(arb.can_dispatch(true));
+}
+
+TEST(ArbLsq, CapCoversSquashedUnplacedInstructions) {
+  ArbConfig cfg = tiny();
+  cfg.max_inflight = 4;
+  ArbLsq arb(cfg);
+  for (InstSeq s = 0; s < 4; ++s) arb.on_dispatch(s, true);
+  // Seqs 1..3 squashed before computing their addresses.
+  arb.squash_from(1);
+  EXPECT_TRUE(arb.can_dispatch(true));
+  arb.on_dispatch(4, true);
+  arb.on_dispatch(5, true);
+  arb.on_dispatch(6, true);
+  EXPECT_FALSE(arb.can_dispatch(true));
+}
+
+TEST(ArbLsq, ForwardingWithinRow) {
+  ArbLsq arb(tiny());
+  arb.on_dispatch(1, false);
+  arb.on_dispatch(2, true);
+  arb.on_address_ready(store(1, 0x40));
+  arb.on_address_ready(load(2, 0x40));
+  LoadPlan p = arb.plan_load(2);
+  EXPECT_EQ(p.kind, Kind::kForwardWait);
+  EXPECT_EQ(p.store, 1U);
+  arb.on_store_data_ready(1);
+  EXPECT_EQ(arb.plan_load(2).kind, Kind::kForwardReady);
+}
+
+TEST(ArbLsq, PartialOverlapWaitsForCommit) {
+  ArbLsq arb(tiny());
+  arb.on_dispatch(1, false);
+  arb.on_dispatch(2, true);
+  arb.on_address_ready(store(1, 0x44, 4));
+  arb.on_address_ready(load(2, 0x40, 8));
+  EXPECT_EQ(arb.plan_load(2).kind, Kind::kWaitCommit);
+  arb.on_store_data_ready(1);
+  arb.on_commit(1);
+  EXPECT_EQ(arb.plan_load(2).kind, Kind::kCacheAccess);
+}
+
+TEST(ArbLsq, LateStoreUpdatesLoadInSameRow) {
+  ArbLsq arb(tiny());
+  arb.on_dispatch(1, false);
+  arb.on_dispatch(2, true);
+  arb.on_address_ready(load(2, 0x60));
+  EXPECT_EQ(arb.plan_load(2).kind, Kind::kCacheAccess);
+  arb.on_address_ready(store(1, 0x60));
+  EXPECT_EQ(arb.plan_load(2).kind, Kind::kForwardWait);
+}
+
+TEST(ArbLsq, SquashClearsRowsWaitersAndRefs) {
+  ArbLsq arb(tiny());
+  for (InstSeq s = 1; s <= 3; ++s) arb.on_dispatch(s, s != 1);
+  arb.on_address_ready(store(1, 0x40));
+  arb.on_address_ready(load(2, 0x40));
+  arb.on_address_ready(load(3, 0x40));
+  arb.squash_from(2);
+  EXPECT_TRUE(arb.is_placed(1));
+  EXPECT_FALSE(arb.is_placed(2));
+  EXPECT_FALSE(arb.is_placed(3));
+  // Row survives with only the store.
+  arb.on_store_data_ready(1);
+  arb.on_commit(1);
+  EXPECT_EQ(arb.occupancy().entries_used, 0U);
+}
+
+TEST(ArbLsq, RowFreedWhenLastSlotCommits) {
+  ArbLsq arb(tiny());
+  // Fill both rows of bank 0, then free one and verify a third line fits.
+  arb.on_dispatch(1, true);
+  arb.on_dispatch(2, true);
+  arb.on_dispatch(3, true);
+  arb.on_address_ready(load(1, 0 * 32));
+  arb.on_address_ready(load(2, 2 * 32));
+  arb.on_commit(1);
+  EXPECT_EQ(arb.on_address_ready(load(3, 4 * 32)).status, Status::kPlaced);
+}
+
+TEST(ArbLsq, OccupancyTracksDispatchAndWaiting) {
+  ArbLsq arb(tiny());
+  arb.on_dispatch(1, true);
+  arb.on_dispatch(2, true);
+  arb.on_dispatch(3, true);
+  arb.on_address_ready(load(1, 0 * 32));
+  arb.on_address_ready(load(2, 2 * 32));
+  arb.on_address_ready(load(3, 4 * 32));  // buffered
+  const OccupancySample occ = arb.occupancy();
+  EXPECT_EQ(occ.entries_used, 3U);
+  EXPECT_EQ(occ.buffer_used, 1U);
+}
+
+TEST(ArbLsq, PaperScaleConfigurationHoldsWindow) {
+  // 8x16 with a 128 in-flight cap comfortably places a spread stream.
+  ArbLsq arb(ArbConfig{.banks = 8, .rows_per_bank = 16, .max_inflight = 128,
+                       .line_bytes = 32});
+  for (InstSeq s = 0; s < 128; ++s) {
+    ASSERT_TRUE(arb.can_dispatch(true));
+    arb.on_dispatch(s, true);
+    ASSERT_EQ(arb.on_address_ready(load(s, s * 32)).status, Status::kPlaced);
+  }
+  EXPECT_FALSE(arb.can_dispatch(true));
+}
+
+}  // namespace
+}  // namespace samie::lsq

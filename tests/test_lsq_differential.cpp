@@ -1,0 +1,206 @@
+// Differential / oracle testing of the LSQ implementations.
+//
+// A randomized driver applies identical event sequences (dispatch,
+// address-ready, store-data-ready, commit, squash, drain) to the
+// conventional LSQ, the ARB and the SAMIE-LSQ, and checks every placed,
+// ordering-eligible load's plan against a reference model:
+//
+//   * if the youngest older overlapping *placed* store fully covers the
+//     load, the plan must name exactly that store (ForwardReady/Wait
+//     according to its data state);
+//   * if it overlaps partially, the plan must be WaitCommit on it;
+//   * if nothing overlaps, the plan must be CacheAccess.
+//
+// All three organizations must agree with the reference — and therefore
+// with each other — on every query, across thousands of randomized
+// states. This pins the disambiguation logic independently of the core.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/lsq/arb_lsq.h"
+#include "src/lsq/conventional_lsq.h"
+#include "src/lsq/samie_lsq.h"
+
+namespace samie::lsq {
+namespace {
+
+struct RefOp {
+  InstSeq seq = kNoInst;
+  Addr addr = 0;
+  std::uint8_t size = 0;
+  bool is_load = false;
+  bool placed = false;
+  bool data_ready = false;
+};
+
+/// Reference disambiguator: youngest older overlapping placed store.
+struct Reference {
+  std::map<InstSeq, RefOp> ops;
+
+  LoadPlan plan(InstSeq load_seq) const {
+    const RefOp& l = ops.at(load_seq);
+    const RefOp* best = nullptr;
+    for (const auto& [s, op] : ops) {
+      if (op.is_load || !op.placed || s >= load_seq) continue;
+      if (ranges_overlap(l.addr, l.size, op.addr, op.size)) {
+        if (best == nullptr || op.seq > best->seq) best = &op;
+      }
+    }
+    LoadPlan p;
+    if (best == nullptr) return p;
+    p.store = best->seq;
+    if (!range_covers(l.addr, l.size, best->addr, best->size)) {
+      p.kind = LoadPlan::Kind::kWaitCommit;
+    } else if (best->data_ready) {
+      p.kind = LoadPlan::Kind::kForwardReady;
+    } else {
+      p.kind = LoadPlan::Kind::kForwardWait;
+    }
+    return p;
+  }
+};
+
+class LsqDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LsqDifferential, AllQueuesMatchTheReferenceModel) {
+  Xoshiro256 rng(GetParam());
+
+  // Generous geometries so capacity never interferes with the semantics
+  // under test (capacity behaviour has its own suites).
+  auto conv = std::make_unique<ConventionalLsq>(
+      ConventionalLsqConfig{.entries = 256, .unbounded = false}, nullptr);
+  auto arb = std::make_unique<ArbLsq>(ArbConfig{
+      .banks = 4, .rows_per_bank = 64, .max_inflight = 256, .line_bytes = 32});
+  auto samie = std::make_unique<SamieLsq>(
+      SamieConfig{.banks = 4,
+                  .entries_per_bank = 8,
+                  .slots_per_entry = 8,
+                  .shared_entries = 16,
+                  .unbounded_shared = false,
+                  .addr_buffer_slots = 64,
+                  .drain_width = 4,
+                  .line_bytes = 32,
+                  .l1d_sets = 4},
+      nullptr);
+  std::vector<LoadStoreQueue*> queues = {conv.get(), arb.get(), samie.get()};
+
+  Reference ref;
+  InstSeq next_seq = 1;
+  std::vector<InstSeq> dispatched_unplaced;  // age-ordered
+  std::vector<InstSeq> placed_uncommitted;   // age-ordered
+
+  auto check_all_loads = [&] {
+    for (InstSeq s : placed_uncommitted) {
+      const RefOp& op = ref.ops.at(s);
+      if (!op.is_load) continue;
+      const LoadPlan expect = ref.plan(s);
+      for (LoadStoreQueue* q : queues) {
+        if (!q->is_placed(s)) continue;  // buffered in SAMIE/ARB: no plan yet
+        const LoadPlan got = q->plan_load(s);
+        // The plan may only be compared when the queue has the same
+        // information as the reference: the reference store must be
+        // placed in this queue too (SAMIE can buffer a store the
+        // reference already counts).
+        if (expect.store != kNoInst && !q->is_placed(expect.store)) continue;
+        ASSERT_EQ(static_cast<int>(got.kind), static_cast<int>(expect.kind))
+            << "load " << s << " seed " << GetParam();
+        ASSERT_EQ(got.store, expect.store) << "load " << s;
+      }
+    }
+  };
+
+  for (int step = 0; step < 1200; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.45) {
+      // Dispatch + address-ready for a new op (addresses in a small pool
+      // of lines so overlaps are frequent).
+      const bool is_load = rng.chance(0.55);
+      const Addr line = rng.below(8);
+      const Addr offset = rng.below(4) * 8;
+      const std::uint8_t size = rng.chance(0.3) ? 4 : 8;
+      const Addr addr = line * 32 + offset;
+      const InstSeq seq = next_seq++;
+      bool ok = true;
+      for (LoadStoreQueue* q : queues) ok = ok && q->can_dispatch(is_load);
+      if (!ok) continue;
+      for (LoadStoreQueue* q : queues) q->on_dispatch(seq, is_load);
+      RefOp op{seq, addr, size, is_load, false, false};
+      const MemOpDesc desc{seq, addr, size, is_load, false};
+      bool placed_everywhere = true;
+      for (LoadStoreQueue* q : queues) {
+        if (q->on_address_ready(desc).status != Placement::Status::kPlaced) {
+          placed_everywhere = false;
+        }
+      }
+      op.placed = true;  // the reference sees the address immediately
+      ref.ops[seq] = op;
+      if (placed_everywhere) {
+        placed_uncommitted.push_back(seq);
+      } else {
+        // Rare with these geometries; retried below via drain.
+        dispatched_unplaced.push_back(seq);
+      }
+    } else if (roll < 0.60 && !placed_uncommitted.empty()) {
+      // A store's data arrives (only for ops placed in every queue).
+      const std::size_t i = rng.below(placed_uncommitted.size());
+      RefOp& op = ref.ops.at(placed_uncommitted[i]);
+      if (!op.is_load && !op.data_ready) {
+        op.data_ready = true;
+        for (LoadStoreQueue* q : queues) q->on_store_data_ready(op.seq);
+      }
+    } else if (roll < 0.85 && !placed_uncommitted.empty() &&
+               (dispatched_unplaced.empty() ||
+                placed_uncommitted.front() < dispatched_unplaced.front())) {
+      // Commit the globally oldest op (in-order; stores need data first).
+      const InstSeq oldest = placed_uncommitted.front();
+      RefOp& op = ref.ops.at(oldest);
+      if (!op.is_load && !op.data_ready) {
+        op.data_ready = true;
+        for (LoadStoreQueue* q : queues) q->on_store_data_ready(oldest);
+      }
+      for (LoadStoreQueue* q : queues) q->on_commit(oldest);
+      placed_uncommitted.erase(placed_uncommitted.begin());
+      ref.ops.erase(oldest);
+    } else if (!placed_uncommitted.empty() || !dispatched_unplaced.empty()) {
+      // Squash a random suffix.
+      const InstSeq cut = 1 + rng.below(next_seq);
+      for (LoadStoreQueue* q : queues) q->squash_from(cut);
+      std::erase_if(placed_uncommitted, [&](InstSeq s) { return s >= cut; });
+      std::erase_if(dispatched_unplaced, [&](InstSeq s) { return s >= cut; });
+      for (auto it = ref.ops.lower_bound(cut); it != ref.ops.end();) {
+        it = ref.ops.erase(it);
+      }
+      next_seq = std::max<InstSeq>(cut, 1);
+    }
+
+    // Drain buffered ops each step.
+    for (LoadStoreQueue* q : queues) {
+      std::vector<InstSeq> placed;
+      q->drain(placed);
+      for (InstSeq s : placed) {
+        auto it = std::find(dispatched_unplaced.begin(),
+                            dispatched_unplaced.end(), s);
+        if (it != dispatched_unplaced.end()) {
+          dispatched_unplaced.erase(it);
+          placed_uncommitted.insert(
+              std::upper_bound(placed_uncommitted.begin(),
+                               placed_uncommitted.end(), s),
+              s);
+        }
+      }
+    }
+    check_all_loads();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsqDifferential,
+                         ::testing::Values(1ULL, 7ULL, 13ULL, 101ULL, 9999ULL,
+                                           424242ULL));
+
+}  // namespace
+}  // namespace samie::lsq

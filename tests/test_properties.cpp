@@ -1,0 +1,185 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// for every LSQ organization and every workload class.
+//
+//   P1  Memory correctness: every load observes its program-order value
+//       (checked against the trace oracle) — zero mismatches, always.
+//   P2  Completeness: every instruction the trace contains commits.
+//   P3  The presentBit protocol never produces a way-known miss (the
+//       simulator throws if it does — a run completing is the assertion).
+//   P4  LSQ energy of SAMIE is bounded by the conventional LSQ's energy on
+//       bank-friendly workloads.
+//   P5  Occupancy samples remain within structural capacity.
+//   P6  Determinism across thread counts and repeated runs.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+#include "src/trace/spec2000.h"
+#include "src/trace/workload.h"
+
+namespace samie::sim {
+namespace {
+
+using Param = std::tuple<LsqChoice, std::string /*program*/, std::uint64_t /*seed*/>;
+
+class LsqWorkloadProperty : public ::testing::TestWithParam<Param> {};
+
+TEST_P(LsqWorkloadProperty, OrderingCompletenessAndCapacity) {
+  const auto& [choice, program, seed] = GetParam();
+  SimConfig cfg = paper_config(choice);
+  cfg.instructions = 15'000;
+  cfg.seed = seed;
+
+  trace::WorkloadGenerator gen(trace::spec2000_profile(program), seed);
+  const trace::Trace t = gen.generate(cfg.instructions);
+  const SimResult r = run_simulation(cfg, t);
+
+  // P1: zero memory-ordering violations.
+  EXPECT_EQ(r.core.value_mismatches, 0U)
+      << program << " under " << lsq_choice_name(choice);
+  // P2: everything commits.
+  EXPECT_EQ(r.core.committed, cfg.instructions);
+  // P5: occupancy within structural bounds.
+  if (choice == LsqChoice::kSamie) {
+    EXPECT_LE(r.shared_occupancy_max, cfg.samie.shared_entries);
+    EXPECT_LE(r.buffer_occupancy_mean,
+              static_cast<double>(cfg.samie.addr_buffer_slots));
+  }
+  // Sanity: the run did real work.
+  EXPECT_GT(r.core.cycles, 0U);
+  EXPECT_GT(r.core.loads_executed + r.core.forwarded_loads, 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossLsqsAndWorkloads, LsqWorkloadProperty,
+    ::testing::Combine(
+        ::testing::Values(LsqChoice::kConventional, LsqChoice::kUnbounded,
+                          LsqChoice::kArb, LsqChoice::kSamie),
+        ::testing::Values("ammp", "swim", "gcc", "mcf", "facerec", "crafty",
+                          "sixtrack"),
+        ::testing::Values(1ULL, 42ULL)),
+    [](const ::testing::TestParamInfo<Param>& pinfo) {
+      return std::string(lsq_choice_name(std::get<0>(pinfo.param))) + "_" +
+             std::get<1>(pinfo.param) + "_s" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+// --- P4: energy dominance on bank-friendly programs ------------------------
+class EnergyDominance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EnergyDominance, SamieUsesLessLsqEnergy) {
+  SimConfig samie = paper_config(LsqChoice::kSamie);
+  SimConfig conv = paper_config(LsqChoice::kConventional);
+  samie.instructions = conv.instructions = 15'000;
+  const SimResult rs = run_program(samie, GetParam());
+  const SimResult rc = run_program(conv, GetParam());
+  EXPECT_LT(rs.lsq_energy_nj, rc.lsq_energy_nj);
+  EXPECT_LT(rs.dcache_energy_nj, rc.dcache_energy_nj);
+  EXPECT_LT(rs.dtlb_energy_nj, rc.dtlb_energy_nj);
+}
+
+INSTANTIATE_TEST_SUITE_P(FriendlyPrograms, EnergyDominance,
+                         ::testing::Values("swim", "applu", "gzip", "gcc",
+                                           "wupwise", "lucas", "galgel"));
+
+// --- P6: determinism under the parallel runner -----------------------------
+TEST(DeterminismProperty, ParallelEqualsSequentialForEveryLsq) {
+  std::vector<Job> jobs;
+  for (const LsqChoice c : {LsqChoice::kConventional, LsqChoice::kArb,
+                            LsqChoice::kSamie}) {
+    SimConfig cfg = paper_config(c);
+    cfg.instructions = 8'000;
+    jobs.push_back(Job{"equake", cfg, lsq_choice_name(c)});
+  }
+  const auto a = run_jobs(jobs, 1);
+  const auto b = run_jobs(jobs, 3);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(a[i].result.core.cycles, b[i].result.core.cycles) << i;
+    EXPECT_DOUBLE_EQ(a[i].result.lsq_energy_nj, b[i].result.lsq_energy_nj) << i;
+  }
+}
+
+// --- sizing sweep: capacity monotonicity -----------------------------------
+class SharedSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SharedSizeSweep, MoreSharedEntriesNeverIncreaseBufferPressure) {
+  SimConfig cfg = paper_config(LsqChoice::kSamie);
+  cfg.instructions = 12'000;
+  cfg.samie.shared_entries = GetParam();
+  const SimResult r = run_program(cfg, "apsi");
+  EXPECT_EQ(r.core.value_mismatches, 0U);
+  // Record for the monotonicity check below via a static table.
+  static std::map<std::uint32_t, double> pressure;
+  pressure[GetParam()] = r.buffer_nonempty_frac;
+  for (auto smaller = pressure.begin(); smaller != pressure.end(); ++smaller) {
+    for (auto larger = std::next(smaller); larger != pressure.end(); ++larger) {
+      EXPECT_LE(larger->second, smaller->second + 0.05)
+          << "shared=" << larger->first << " vs " << smaller->first;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SharedSizeSweep,
+                         ::testing::Values(2U, 4U, 8U, 16U, 32U));
+
+// --- slot-count sweep: reuse monotonicity -----------------------------------
+class SlotSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SlotSweep, RunsCleanAcrossSlotCounts) {
+  SimConfig cfg = paper_config(LsqChoice::kSamie);
+  cfg.instructions = 12'000;
+  cfg.samie.slots_per_entry = GetParam();
+  const SimResult r = run_program(cfg, "swim");
+  EXPECT_EQ(r.core.value_mismatches, 0U);
+  EXPECT_EQ(r.core.committed, cfg.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slots, SlotSweep, ::testing::Values(1U, 2U, 4U, 8U, 16U));
+
+// --- bank-count sweep --------------------------------------------------------
+class BankSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BankSweep, RunsCleanAcrossBankCounts) {
+  SimConfig cfg = paper_config(LsqChoice::kSamie);
+  cfg.instructions = 12'000;
+  cfg.samie.banks = GetParam();
+  const SimResult r = run_program(cfg, "equake");
+  EXPECT_EQ(r.core.value_mismatches, 0U);
+  EXPECT_EQ(r.core.committed, cfg.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Banks, BankSweep,
+                         ::testing::Values(8U, 16U, 32U, 64U, 128U));
+
+// --- ARB geometry sweep (Figure 1 grid never breaks) -------------------------
+class ArbGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(ArbGeometry, RunsCleanAcrossTheFigure1Grid) {
+  SimConfig cfg = paper_config(LsqChoice::kArb);
+  cfg.instructions = 10'000;
+  cfg.arb.banks = GetParam().first;
+  cfg.arb.rows_per_bank = GetParam().second;
+  cfg.arb.max_inflight = 128;
+  const SimResult r = run_program(cfg, "twolf");
+  EXPECT_EQ(r.core.value_mismatches, 0U);
+  EXPECT_EQ(r.core.committed, cfg.instructions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ArbGeometry,
+    ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{1, 128},
+                      std::pair<std::uint32_t, std::uint32_t>{2, 64},
+                      std::pair<std::uint32_t, std::uint32_t>{4, 32},
+                      std::pair<std::uint32_t, std::uint32_t>{8, 16},
+                      std::pair<std::uint32_t, std::uint32_t>{16, 8},
+                      std::pair<std::uint32_t, std::uint32_t>{32, 4},
+                      std::pair<std::uint32_t, std::uint32_t>{64, 2},
+                      std::pair<std::uint32_t, std::uint32_t>{128, 1}));
+
+}  // namespace
+}  // namespace samie::sim

@@ -1,0 +1,167 @@
+// samie_sim: the command-line driver for the simulator.
+//
+//   samie_sim [options] [program ...]
+//
+//   --lsq=<conventional|unbounded|arb|samie>   queue under test (default samie)
+//   --insts=N          instructions per program        (default 200000)
+//   --seed=N           workload seed                   (default 42)
+//   --banks=N          SAMIE DistribLSQ banks          (default 64)
+//   --entries=N        SAMIE entries per bank          (default 2)
+//   --slots=N          SAMIE slots per entry           (default 8)
+//   --shared=N         SAMIE SharedLSQ entries         (default 8)
+//   --addrbuf=N        SAMIE AddrBuffer slots          (default 64)
+//   --unbounded-shared let the SharedLSQ grow freely   (Figure 3 mode)
+//   --arb-banks=N --arb-rows=N --arb-inflight=N        ARB geometry
+//   --conv-entries=N   conventional LSQ entries        (default 128)
+//   --fast-way-known   exploit the lower way-known L1D latency (§3.6)
+//   --derived-energy   account with the analytical surrogate, not the
+//                      paper's published constants
+//   --csv              machine-readable output (one row per program)
+//   --threads=N        parallel jobs (default: all hardware threads)
+//
+// With no programs, the whole 26-program SPEC2000 suite runs.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+#include "src/trace/spec2000.h"
+
+namespace {
+
+using namespace samie;
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::cerr << "samie_sim: " << what << " (see the header of tools/samie_sim.cpp)\n";
+  std::exit(2);
+}
+
+bool parse_u64(const std::string& arg, const char* key, std::uint64_t& out) {
+  const std::string prefix = std::string(key) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
+  cfg.instructions = 200'000;
+  bool csv = false;
+  unsigned threads = 0;
+  std::vector<std::string> programs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::uint64_t v = 0;
+    if (arg.rfind("--lsq=", 0) == 0) {
+      const std::string k = arg.substr(6);
+      if (k == "conventional") cfg.lsq = sim::LsqChoice::kConventional;
+      else if (k == "unbounded") cfg.lsq = sim::LsqChoice::kUnbounded;
+      else if (k == "arb") cfg.lsq = sim::LsqChoice::kArb;
+      else if (k == "samie") cfg.lsq = sim::LsqChoice::kSamie;
+      else usage_error("unknown LSQ kind '" + k + "'");
+    } else if (parse_u64(arg, "--insts", v)) {
+      cfg.instructions = v;
+    } else if (parse_u64(arg, "--seed", v)) {
+      cfg.seed = v;
+    } else if (parse_u64(arg, "--banks", v)) {
+      cfg.samie.banks = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--entries", v)) {
+      cfg.samie.entries_per_bank = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--slots", v)) {
+      cfg.samie.slots_per_entry = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--shared", v)) {
+      cfg.samie.shared_entries = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--addrbuf", v)) {
+      cfg.samie.addr_buffer_slots = static_cast<std::uint32_t>(v);
+    } else if (arg == "--unbounded-shared") {
+      cfg.samie.unbounded_shared = true;
+    } else if (parse_u64(arg, "--arb-banks", v)) {
+      cfg.arb.banks = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--arb-rows", v)) {
+      cfg.arb.rows_per_bank = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--arb-inflight", v)) {
+      cfg.arb.max_inflight = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--conv-entries", v)) {
+      cfg.conventional.entries = static_cast<std::uint32_t>(v);
+    } else if (arg == "--fast-way-known") {
+      cfg.core.exploit_known_line_latency = true;
+    } else if (arg == "--derived-energy") {
+      cfg.paper_energy_constants = false;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (parse_u64(arg, "--threads", v)) {
+      threads = static_cast<unsigned>(v);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "see the header of tools/samie_sim.cpp for options\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      usage_error("unknown option '" + arg + "'");
+    } else {
+      programs.push_back(arg);
+    }
+  }
+  if (programs.empty()) programs = trace::spec2000_names();
+  for (const auto& p : programs) {
+    try {
+      (void)trace::spec2000_profile(p);
+    } catch (const std::out_of_range&) {
+      usage_error("unknown program '" + p + "'");
+    }
+  }
+
+  std::vector<sim::Job> jobs;
+  jobs.reserve(programs.size());
+  for (const auto& p : programs) {
+    jobs.push_back(sim::Job{p, cfg, sim::lsq_choice_name(cfg.lsq)});
+  }
+  const auto results = sim::run_jobs(jobs, threads);
+
+  if (csv) {
+    std::cout << "program,lsq,instructions,cycles,ipc,mispredict_squashes,"
+                 "deadlock_flushes,forwarded_loads,lsq_energy_nj,"
+                 "lsq_distrib_nj,lsq_shared_nj,lsq_addrbuf_nj,lsq_bus_nj,"
+                 "dcache_energy_nj,dtlb_energy_nj,dcache_way_known,"
+                 "dcache_full,dtlb_cached,dtlb_accesses,shared_occ_mean,"
+                 "buffer_busy_frac,area_total,value_mismatches\n";
+    for (const auto& r : results) {
+      const auto& s = r.result;
+      std::cout << r.job.program << ',' << r.job.tag << ','
+                << s.core.committed << ',' << s.core.cycles << ','
+                << s.core.ipc << ',' << s.core.mispredict_squashes << ','
+                << s.core.deadlock_flushes << ',' << s.core.forwarded_loads
+                << ',' << s.lsq_energy_nj << ',' << s.lsq_distrib_nj << ','
+                << s.lsq_shared_nj << ',' << s.lsq_addrbuf_nj << ','
+                << s.lsq_bus_nj << ',' << s.dcache_energy_nj << ','
+                << s.dtlb_energy_nj << ',' << s.core.dcache_way_known << ','
+                << s.core.dcache_full << ',' << s.core.dtlb_cached << ','
+                << s.core.dtlb_accesses << ',' << s.shared_occupancy_mean
+                << ',' << s.buffer_nonempty_frac << ',' << s.area_total << ','
+                << s.core.value_mismatches << '\n';
+    }
+    return 0;
+  }
+
+  Table t({"program", "IPC", "LSQ uJ", "Dcache uJ", "DTLB uJ", "deadlk/Mcyc",
+           "fwd loads", "mismatch"});
+  for (const auto& r : results) {
+    const auto& s = r.result;
+    t.add_row({r.job.program, Table::num(s.core.ipc),
+               Table::num(s.lsq_energy_nj / 1e3),
+               Table::num(s.dcache_energy_nj / 1e3),
+               Table::num(s.dtlb_energy_nj / 1e3),
+               Table::num(s.deadlocks_per_mcycle(), 1),
+               std::to_string(s.core.forwarded_loads),
+               std::to_string(s.core.value_mismatches)});
+  }
+  std::cout << "LSQ: " << sim::lsq_choice_name(cfg.lsq) << ", "
+            << cfg.instructions << " instructions/program\n";
+  t.print(std::cout);
+  return 0;
+}
