@@ -1,0 +1,90 @@
+// bench_hotpath: simulator-throughput benchmark for the per-memory-op hot
+// path (the zero-allocation / static-dispatch refactor's scoreboard).
+//
+// Runs the SPEC2000 suite under the conventional, ARB and SAMIE LSQs on
+// one thread and reports simulated cycles per wall-clock second. When a
+// baseline JSON (written by tools/perf_report on the pre-refactor tree,
+// checked in as bench/baseline_hotpath.json) is found, the SAMIE speedup
+// against it is printed — the acceptance bar is >= 1.5x.
+//
+// Environment:
+//   SAMIE_BENCH_INSTS      instructions/program (default 200000)
+//   SAMIE_BASELINE_JSON    baseline path (default bench/baseline_hotpath.json,
+//                          also tried relative to the source tree)
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "src/common/table.h"
+#include "src/sim/perf_harness.h"
+
+namespace {
+
+using namespace samie;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string load_baseline() {
+  if (const char* env = std::getenv("SAMIE_BASELINE_JSON"); env != nullptr) {
+    return read_file(env);
+  }
+  for (const char* p : {"bench/baseline_hotpath.json",
+                        "../bench/baseline_hotpath.json",
+                        "../../bench/baseline_hotpath.json"}) {
+    if (std::string t = read_file(p); !t.empty()) return t;
+  }
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("hot-path throughput (simulated cycles / second)");
+
+  sim::HotpathOptions opt;
+  opt.instructions = sim::bench_instructions(200'000);
+  opt.repeats = 3;
+  const sim::HotpathReport report = sim::run_hotpath_measurement(opt);
+
+  const std::string baseline = load_baseline();
+
+  // RSS is the process high-water mark, i.e. "peak so far" in run order
+  // (conventional -> arb -> samie), not a per-LSQ footprint.
+  Table t({"lsq", "sim cycles", "wall s", "Mcycles/s", "RSS-so-far MB",
+           "vs baseline"});
+  for (const auto& lr : report.lsqs) {
+    const std::string tag = sim::lsq_choice_name(lr.lsq);
+    const double base =
+        baseline.empty()
+            ? 0.0
+            : sim::hotpath_cycles_per_second_from_json(baseline, tag);
+    t.add_row({tag, std::to_string(lr.total_sim_cycles),
+               Table::num(lr.total_wall_seconds),
+               Table::num(lr.sim_cycles_per_second / 1e6),
+               Table::num(static_cast<double>(lr.peak_rss_kb) / 1024.0),
+               base > 0.0 ? Table::num(lr.sim_cycles_per_second / base, 2) + "x"
+                          : std::string("(no baseline)")});
+  }
+  t.print(std::cout);
+
+  for (const auto& lr : report.lsqs) {
+    if (lr.lsq != sim::LsqChoice::kSamie || baseline.empty()) continue;
+    const double base =
+        sim::hotpath_cycles_per_second_from_json(baseline, "samie");
+    if (base <= 0.0) continue;
+    const double speedup = lr.sim_cycles_per_second / base;
+    std::cout << "\nSAMIE hot-path speedup vs pre-refactor baseline: "
+              << Table::num(speedup, 2) << "x (target >= 1.5x)\n";
+  }
+
+  bench::print_footnote(opt.instructions);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// SortedSeqSet: an ordered set of InstSeqs backed by a flat sorted vector.
+//
+// Replaces std::set on the core's hot path (unplaced stores, ordering-
+// waiting loads). Membership stays small (bounded by the ROB), so the
+// O(n) memmove of a mid-vector insert/erase beats the red-black tree's
+// per-node allocation and pointer chasing — and the squash path becomes a
+// truncation.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie {
+
+class SortedSeqSet {
+ public:
+  void reserve(std::size_t n) { v_.reserve(n); }
+  [[nodiscard]] bool empty() const noexcept { return v_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+  /// Smallest element; undefined when empty.
+  [[nodiscard]] InstSeq min() const noexcept { return v_.front(); }
+
+  [[nodiscard]] auto begin() const noexcept { return v_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return v_.end(); }
+
+  void insert(InstSeq s) {
+    // Hot case: elements arrive in increasing order (program order).
+    if (v_.empty() || v_.back() < s) {
+      v_.push_back(s);
+      return;
+    }
+    const auto it = std::lower_bound(v_.begin(), v_.end(), s);
+    if (it == v_.end() || *it != s) v_.insert(it, s);
+  }
+
+  void erase(InstSeq s) {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), s);
+    if (it != v_.end() && *it == s) v_.erase(it);
+  }
+
+  /// Removes every element >= s (squash).
+  void erase_from(InstSeq s) {
+    v_.resize(static_cast<std::size_t>(
+        std::lower_bound(v_.begin(), v_.end(), s) - v_.begin()));
+  }
+
+  /// Removes the first `k` (smallest) elements in one compaction.
+  void erase_prefix(std::size_t k) {
+    v_.erase(v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(k));
+  }
+
+  void clear() noexcept { v_.clear(); }
+
+ private:
+  std::vector<InstSeq> v_;
+};
+
+}  // namespace samie

@@ -7,16 +7,22 @@
 // squash younger in-flight instructions and restart fetch after a redirect
 // penalty, which models the recovery cost without wrong-path execution
 // (DESIGN.md §4.2).
+//
+// `Core` is a template over the concrete LSQ type: instantiating it with
+// a final class (Core<lsq::SamieLsq>) devirtualizes every LSQ call on the
+// per-memory-op hot path. The default argument Core<lsq::LoadStoreQueue>
+// is the type-erased variant kept for tools, examples and tests that pick
+// the queue at runtime — CTAD from a LoadStoreQueue& selects it
+// automatically, so `Core c(cfg, trace, *queue, ...)` keeps working.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <deque>
-#include <map>
-#include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "src/branch/predictor.h"
+#include "src/common/ring_deque.h"
+#include "src/common/seq_set.h"
 #include "src/core/fu_pool.h"
 #include "src/core/main_memory.h"
 #include "src/energy/ledger.h"
@@ -89,13 +95,16 @@ struct CoreResult {
   std::uint64_t dtlb_cached = 0;
 };
 
-class Core {
+template <typename LsqT = lsq::LoadStoreQueue>
+class Core final : private lsq::PresentBitClearer {
  public:
-  Core(const CoreConfig& cfg, const trace::Trace& trace,
-       lsq::LoadStoreQueue& lsq, mem::MemoryHierarchy& memory,
-       branch::HybridPredictor& predictor, branch::Btb& btb,
-       energy::DcacheLedger* dcache_ledger, energy::DtlbLedger* dtlb_ledger,
-       CycleObserver* observer);
+  Core(const CoreConfig& cfg, const trace::Trace& trace, LsqT& lsq,
+       mem::MemoryHierarchy& memory, branch::HybridPredictor& predictor,
+       branch::Btb& btb, energy::DcacheLedger* dcache_ledger,
+       energy::DtlbLedger* dtlb_ledger, CycleObserver* observer);
+  /// The queue outlives the core (see run_with_queue): unregister the
+  /// present-bit clearer so it never holds a dangling receiver.
+  ~Core() override { lsq_.set_present_bit_clearer(nullptr); }
 
   /// Runs until `max_insts` instructions commit (or the trace ends).
   CoreResult run(std::uint64_t max_insts);
@@ -120,11 +129,32 @@ class Core {
     std::uint64_t load_value = 0;  ///< value the load observed (checked
                                    ///< against the trace oracle)
     std::vector<std::uint64_t> dependents;  ///< (seq << 1) | role
+    /// Stores only — loads waiting on this slot's instruction, indexed
+    /// flat by ROB slot (replaces the former unordered_map waiter tables;
+    /// capacity is retained across slot reuse, so steady state never
+    /// allocates).
+    std::vector<InstSeq> fwd_waiters;     ///< ForwardWait: need the datum
+    std::vector<InstSeq> commit_waiters;  ///< WaitCommit: need retirement
   };
 
   struct Fetched {
     InstSeq seq = kNoInst;
     bool mispredicted = false;
+  };
+
+  /// A scheduled completion event. The heap pops by (cycle, order) so
+  /// same-cycle events complete in insertion order — identical to the
+  /// multimap this replaced, without its per-event node allocation.
+  struct Completion {
+    Cycle at = 0;
+    std::uint64_t order = 0;
+    InstSeq seq = kNoInst;
+  };
+  struct CompletionLater {
+    [[nodiscard]] bool operator()(const Completion& a,
+                                  const Completion& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.order > b.order);
+    }
   };
 
   // -- stages (called commit-first each cycle) -------------------------------
@@ -136,12 +166,15 @@ class Core {
   void fetch_stage();
 
   // -- helpers ---------------------------------------------------------------
-  [[nodiscard]] InFlight& slot(InstSeq seq) {
-    return rob_[static_cast<std::size_t>(seq % cfg_.rob_size)];
+  /// ROB slot index. A power-of-two ROB (the common case, paper default
+  /// 256) masks; only odd-sized configurations pay the division.
+  [[nodiscard]] std::size_t rob_index(InstSeq seq) const {
+    return rob_mask_ != 0 ? static_cast<std::size_t>(seq & rob_mask_)
+                          : static_cast<std::size_t>(seq % cfg_.rob_size);
   }
+  [[nodiscard]] InFlight& slot(InstSeq seq) { return rob_[rob_index(seq)]; }
   [[nodiscard]] bool live(InstSeq seq) const {
-    return seq >= head_ && seq < tail_ &&
-           rob_[static_cast<std::size_t>(seq % cfg_.rob_size)].seq == seq;
+    return seq >= head_ && seq < tail_ && rob_[rob_index(seq)].seq == seq;
   }
   void schedule_completion(InstSeq seq, Cycle at);
   void complete(InstSeq seq);
@@ -157,10 +190,13 @@ class Core {
   void rebuild_rename();
   [[nodiscard]] std::uint64_t forwarded_value(const trace::MicroOp& load,
                                               const trace::MicroOp& store) const;
+  /// lsq::PresentBitClearer — the queue tells us a cached L1D location
+  /// was released; clear the cache-side presentBit.
+  void clear_present_bit(std::uint32_t set, std::uint32_t way) override;
 
   CoreConfig cfg_;
   const trace::Trace& trace_;
-  lsq::LoadStoreQueue& lsq_;
+  LsqT& lsq_;
   mem::MemoryHierarchy& mem_;
   branch::HybridPredictor& predictor_;
   branch::Btb& btb_;
@@ -176,8 +212,9 @@ class Core {
   InstSeq fetch_seq_ = 0;     ///< next trace index to fetch
   Cycle fetch_stall_until_ = 0;
   Addr last_fetch_line_ = ~0ULL;
+  std::uint64_t rob_mask_ = 0;  ///< rob_size - 1 when rob_size is pow2
   std::vector<InFlight> rob_;
-  std::deque<Fetched> fetch_queue_;
+  RingDeque<Fetched> fetch_queue_;
   std::uint32_t iq_int_used_ = 0;
   std::uint32_t iq_fp_used_ = 0;
   std::uint32_t int_regs_used_ = 0;
@@ -185,17 +222,25 @@ class Core {
   std::vector<InstSeq> rename_;  ///< arch reg -> youngest in-flight producer
 
   // Scheduling queues. Entries are validated against the ROB at pop time,
-  // so squashes do not need to filter them.
-  std::deque<InstSeq> ready_int_;
-  std::deque<InstSeq> ready_fp_;
-  std::deque<InstSeq> ready_mem_;  ///< loads cleared to access the cache
-  std::set<InstSeq> unplaced_stores_;
-  std::set<InstSeq> ordering_waiting_loads_;
-  std::unordered_map<InstSeq, std::vector<InstSeq>> fwd_data_waiters_;
-  std::unordered_map<InstSeq, std::vector<InstSeq>> commit_waiters_;
+  // so squashes do not need to filter them. Rings + flat sorted sets:
+  // reserved once, allocation-free in steady state.
+  RingDeque<InstSeq> ready_int_;
+  RingDeque<InstSeq> ready_fp_;
+  RingDeque<InstSeq> ready_mem_;  ///< loads cleared to access the cache
+  SortedSeqSet unplaced_stores_;
+  SortedSeqSet ordering_waiting_loads_;
 
-  // Completion events: min-heap over (cycle, seq).
-  std::multimap<Cycle, InstSeq> completions_;
+  // Completion events: min-heap over (cycle, order) in a reused vector.
+  std::vector<Completion> completions_;
+  std::uint64_t completion_order_ = 0;
+
+  // Reused per-cycle scratch — cleared, never reallocated in steady state.
+  std::vector<InstSeq> drain_scratch_;     ///< memory_stage: drained seqs
+  std::vector<InstSeq> eligible_scratch_;  ///< on_store_placed: readyBit sweep
+  std::vector<InstSeq> waiter_scratch_;    ///< waking forward-waiting loads
+  std::vector<InstSeq> commit_waiter_scratch_;  ///< commit_stage wakeups
+  std::vector<InstSeq> skipped_int_;       ///< issue_stage re-queues
+  std::vector<InstSeq> skipped_fp_;
 
   // Functional units.
   PipelinedPool int_alu_;
@@ -212,4 +257,12 @@ class Core {
   Cycle last_commit_cycle_ = 0;
 };
 
+}  // namespace samie::core
+
+#include "src/core/core_impl.h"  // template member definitions
+
+namespace samie::core {
+/// The type-erased instantiation is compiled once in core.cpp; every
+/// other TU links against it instead of re-instantiating.
+extern template class Core<lsq::LoadStoreQueue>;
 }  // namespace samie::core

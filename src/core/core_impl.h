@@ -1,0 +1,760 @@
+// Template member definitions for core::Core<LsqT> (included by core.h).
+// Keep this file free of non-template code; shared helpers live in the
+// anonymous-namespace-free `detail` namespace so every instantiation
+// (type-erased and devirtualized) compiles from one source of truth.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace samie::core {
+
+namespace detail {
+
+[[nodiscard]] constexpr std::uint64_t encode_dep(InstSeq seq,
+                                                 std::uint8_t role) noexcept {
+  return (seq << 1U) | role;
+}
+
+[[nodiscard]] constexpr std::uint64_t value_mask(std::uint32_t bytes) noexcept {
+  return bytes >= 8 ? ~0ULL : ((1ULL << (8 * bytes)) - 1);
+}
+
+}  // namespace detail
+
+template <typename LsqT>
+Core<LsqT>::Core(const CoreConfig& cfg, const trace::Trace& trace, LsqT& lsq,
+                 mem::MemoryHierarchy& memory,
+                 branch::HybridPredictor& predictor, branch::Btb& btb,
+                 energy::DcacheLedger* dcache_ledger,
+                 energy::DtlbLedger* dtlb_ledger, CycleObserver* observer)
+    : cfg_(cfg),
+      trace_(trace),
+      lsq_(lsq),
+      mem_(memory),
+      predictor_(predictor),
+      btb_(btb),
+      dcache_ledger_(dcache_ledger),
+      dtlb_ledger_(dtlb_ledger),
+      observer_(observer),
+      rob_(cfg.rob_size),
+      rename_(kNumArchRegs, kNoInst),
+      int_alu_(cfg.n_int_alu),
+      fp_alu_(cfg.n_fp_alu),
+      int_muldiv_(cfg.n_int_muldiv),
+      fp_muldiv_(cfg.n_fp_muldiv) {
+  lsq_.set_present_bit_clearer(this);
+  if (std::has_single_bit(static_cast<std::uint64_t>(cfg.rob_size))) {
+    rob_mask_ = cfg.rob_size - 1;
+  }
+  fetch_queue_.reserve(cfg.fetch_queue);
+  ready_int_.reserve(cfg.rob_size);
+  ready_fp_.reserve(cfg.rob_size);
+  ready_mem_.reserve(cfg.rob_size);
+  unplaced_stores_.reserve(cfg.rob_size);
+  ordering_waiting_loads_.reserve(cfg.rob_size);
+  completions_.reserve(static_cast<std::size_t>(cfg.rob_size) * 2);
+  drain_scratch_.reserve(64);
+  eligible_scratch_.reserve(64);
+  waiter_scratch_.reserve(64);
+  commit_waiter_scratch_.reserve(64);
+  skipped_int_.reserve(64);
+  skipped_fp_.reserve(64);
+}
+
+template <typename LsqT>
+void Core<LsqT>::clear_present_bit(std::uint32_t set, std::uint32_t way) {
+  mem_.l1d().set_present_bit(set, way, false);
+}
+
+template <typename LsqT>
+std::uint64_t Core<LsqT>::forwarded_value(const trace::MicroOp& load,
+                                          const trace::MicroOp& store) const {
+  const std::uint64_t shift = (load.mem_addr - store.mem_addr) * 8;
+  return (store.value >> shift) & detail::value_mask(load.mem_size);
+}
+
+template <typename LsqT>
+void Core<LsqT>::schedule_completion(InstSeq seq, Cycle at) {
+  completions_.push_back(Completion{at, completion_order_++, seq});
+  std::push_heap(completions_.begin(), completions_.end(), CompletionLater{});
+}
+
+template <typename LsqT>
+void Core<LsqT>::wake_dependents(InFlight& inst) {
+  for (std::uint64_t enc : inst.dependents) {
+    const InstSeq d = enc >> 1U;
+    const auto role = static_cast<SrcRole>(enc & 1U);
+    if (!live(d)) continue;
+    InFlight& dep = slot(d);
+    if (role == SrcRole::kAgen) {
+      assert(dep.wait_agen > 0);
+      if (--dep.wait_agen == 0 && dep.in_iq) {
+        (trace::is_fp(dep.op->op) ? ready_fp_ : ready_int_).push_back(d);
+      }
+    } else {
+      assert(dep.wait_data > 0);
+      if (--dep.wait_data == 0) {
+        dep.data_ready = true;
+        if (dep.placed) {
+          lsq_.on_store_data_ready(d);
+          // Forward-waiting loads can now take the store's datum.
+          if (!dep.fwd_waiters.empty()) {
+            waiter_scratch_.assign(dep.fwd_waiters.begin(),
+                                   dep.fwd_waiters.end());
+            dep.fwd_waiters.clear();
+            for (InstSeq l : waiter_scratch_) try_schedule_load(l);
+          }
+          if (!dep.executing && !dep.completed) {
+            dep.executing = true;
+            schedule_completion(d, cycle_ + 1);
+          }
+        }
+      }
+    }
+  }
+  inst.dependents.clear();
+}
+
+template <typename LsqT>
+bool Core<LsqT>::load_ordering_clear(InstSeq seq) const {
+  return unplaced_stores_.empty() || unplaced_stores_.min() > seq;
+}
+
+template <typename LsqT>
+void Core<LsqT>::try_schedule_load(InstSeq seq) {
+  if (!live(seq)) return;
+  InFlight& f = slot(seq);
+  if (!f.placed || !f.agen_done || f.completed || f.executing) return;
+  if (!load_ordering_clear(seq)) {
+    ordering_waiting_loads_.insert(seq);
+    return;
+  }
+  ordering_waiting_loads_.erase(seq);
+
+  const lsq::LoadPlan plan = lsq_.plan_load(seq);
+  switch (plan.kind) {
+    case lsq::LoadPlan::Kind::kCacheAccess:
+      f.executing = true;
+      ready_mem_.push_back(seq);
+      break;
+    case lsq::LoadPlan::Kind::kForwardReady: {
+      f.executing = true;
+      ++res_.forwarded_loads;
+      f.load_value = forwarded_value(*f.op, trace_[plan.store]);
+      schedule_completion(seq, cycle_ + 1);
+      break;
+    }
+    case lsq::LoadPlan::Kind::kForwardWait:
+      slot(plan.store).fwd_waiters.push_back(seq);
+      break;
+    case lsq::LoadPlan::Kind::kWaitCommit:
+      ++res_.partial_forward_waits;
+      slot(plan.store).commit_waiters.push_back(seq);
+      break;
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::on_store_placed(InstSeq seq) {
+  InFlight& f = slot(seq);
+  f.placed = true;
+  unplaced_stores_.erase(seq);
+  // Data that arrived before (or with) placement is written to the slot
+  // now; this is the single point that informs the LSQ of store data.
+  if (f.data_ready) {
+    lsq_.on_store_data_ready(seq);
+    if (!f.executing && !f.completed) {
+      f.executing = true;
+      schedule_completion(seq, cycle_ + 1);
+    }
+  }
+  // readyBit sweep (paper §3.1): loads up to the next unknown-address
+  // store become eligible.
+  const InstSeq min_unplaced =
+      unplaced_stores_.empty() ? kNoInst : unplaced_stores_.min();
+  eligible_scratch_.clear();
+  for (InstSeq l : ordering_waiting_loads_) {
+    if (l >= min_unplaced) break;
+    eligible_scratch_.push_back(l);
+  }
+  // The eligible loads are exactly the sorted prefix; drop them in one
+  // compaction before rescheduling (try_schedule_load may re-insert a
+  // load whose plan still blocks, so the erase must happen first).
+  ordering_waiting_loads_.erase_prefix(eligible_scratch_.size());
+  for (InstSeq l : eligible_scratch_) try_schedule_load(l);
+}
+
+template <typename LsqT>
+void Core<LsqT>::on_agen_complete(InstSeq seq) {
+  InFlight& f = slot(seq);
+  f.agen_done = true;
+  assert(agens_outstanding_ > 0);
+  --agens_outstanding_;
+  const bool is_load = f.op->op == trace::OpClass::kLoad;
+  lsq::MemOpDesc desc;
+  desc.seq = seq;
+  desc.addr = f.op->mem_addr;
+  desc.size = f.op->mem_size;
+  desc.is_load = is_load;
+  // Store data is reported through on_store_data_ready after placement so
+  // the datum write is charged exactly once (see on_store_placed).
+  desc.data_ready = false;
+  const lsq::Placement p = lsq_.on_address_ready(desc);
+  switch (p.status) {
+    case lsq::Placement::Status::kPlaced:
+      f.placed = true;
+      if (is_load) {
+        try_schedule_load(seq);
+      } else {
+        on_store_placed(seq);
+      }
+      break;
+    case lsq::Placement::Status::kBuffered:
+      break;  // drain() will surface it
+    case lsq::Placement::Status::kRejected:
+      // The agen gate makes this unreachable; treat as a hard error so
+      // configuration bugs surface loudly.
+      throw std::logic_error("LSQ rejected a placement despite the agen gate");
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::handle_eviction(bool evicted, std::uint32_t set,
+                                 bool had_present_bit) {
+  if (evicted && had_present_bit) lsq_.on_cache_line_replaced(set);
+}
+
+template <typename LsqT>
+void Core<LsqT>::execute_load_access(InstSeq seq) {
+  InFlight& f = slot(seq);
+  // Re-plan: a store may have been placed between scheduling and issue.
+  const lsq::LoadPlan plan = lsq_.plan_load(seq);
+  if (plan.kind != lsq::LoadPlan::Kind::kCacheAccess) {
+    f.executing = false;
+    try_schedule_load(seq);
+    return;
+  }
+  ++dcache_ports_used_;
+  const Addr addr = f.op->mem_addr;
+  const lsq::CacheHints hints = lsq_.cache_hints(seq);
+  Cycle lat = 0;
+  if (hints.translation_known) {
+    ++res_.dtlb_cached;
+    if (dtlb_ledger_ != nullptr) dtlb_ledger_->on_cached_translation();
+  }
+  if (hints.way_known) {
+    const auto k = mem_.data_access_known(hints.set, hints.way, addr);
+    // The presentBit protocol guarantees residency; a violation is a bug.
+    if (!k.ok) throw std::logic_error("presentBit protocol violation (load)");
+    lat = k.latency;
+    if (cfg_.exploit_known_line_latency && lat > 1) --lat;
+    ++res_.dcache_way_known;
+    if (dcache_ledger_ != nullptr) dcache_ledger_->on_way_known_access();
+  } else {
+    const mem::DataAccess a = hints.translation_known
+                                  ? mem_.data_access_translated(addr)
+                                  : mem_.data_access(addr);
+    if (!hints.translation_known) {
+      ++res_.dtlb_accesses;
+      if (dtlb_ledger_ != nullptr) dtlb_ledger_->on_access();
+    }
+    lat = a.latency;
+    ++res_.dcache_full;
+    if (dcache_ledger_ != nullptr) dcache_ledger_->on_full_access();
+    lsq_.on_cache_access_complete(seq, a.set, a.way);
+    if (lsq_.kind() == lsq::LsqKind::kSamie) {
+      mem_.l1d().set_present_bit(a.set, a.way, true);
+    }
+    handle_eviction(a.evicted, a.evicted_set, a.evicted_present_bit);
+  }
+  f.load_value = memory_state_.read(addr, f.op->mem_size);
+  ++res_.loads_executed;
+  schedule_completion(seq, cycle_ + lat);
+}
+
+template <typename LsqT>
+void Core<LsqT>::complete(InstSeq seq) {
+  InFlight& f = slot(seq);
+  assert(!f.completed);
+  f.completed = true;
+  f.executing = false;
+  if (f.op->op == trace::OpClass::kLoad) {
+    if (f.load_value != f.op->value) ++res_.value_mismatches;
+    lsq_.on_load_complete(seq);
+  }
+  wake_dependents(f);
+  if (f.op->op == trace::OpClass::kBranch && f.mispredicted) {
+    ++res_.mispredict_squashes;
+    squash_after(seq);
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::writeback_stage() {
+  while (!completions_.empty() && completions_.front().at <= cycle_) {
+    const InstSeq seq = completions_.front().seq;
+    std::pop_heap(completions_.begin(), completions_.end(), CompletionLater{});
+    completions_.pop_back();
+    if (!live(seq)) continue;
+    InFlight& f = slot(seq);
+    if (trace::is_mem(f.op->op) && !f.agen_done) {
+      on_agen_complete(seq);
+    } else if (!f.completed) {
+      complete(seq);
+    }
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::memory_stage() {
+  drain_scratch_.clear();
+  lsq_.drain(drain_scratch_);
+  for (InstSeq seq : drain_scratch_) {
+    if (!live(seq)) continue;
+    InFlight& f = slot(seq);
+    f.placed = true;
+    if (f.op->op == trace::OpClass::kLoad) {
+      try_schedule_load(seq);
+    } else {
+      on_store_placed(seq);
+    }
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::issue_stage() {
+  // Loads cleared for memory access contend for the remaining cache ports.
+  while (!ready_mem_.empty()) {
+    if (dcache_ports_used_ >= cfg_.dcache_ports) break;
+    const InstSeq seq = ready_mem_.front();
+    ready_mem_.pop_front();
+    if (!live(seq)) continue;
+    InFlight& f = slot(seq);
+    if (f.completed || !f.executing) continue;
+    execute_load_access(seq);
+  }
+
+  // INT side: agen, integer compute, branches.
+  std::uint32_t issued = 0;
+  skipped_int_.clear();
+  while (!ready_int_.empty() && issued < cfg_.issue_width_int) {
+    const InstSeq seq = ready_int_.front();
+    ready_int_.pop_front();
+    if (!live(seq)) continue;
+    InFlight& f = slot(seq);
+    if (!f.in_iq || f.wait_agen > 0) continue;
+    const trace::OpClass op = f.op->op;
+    bool ok = false;
+    Cycle latency = cfg_.lat_int_alu;
+    if (trace::is_mem(op)) {
+      if (agens_outstanding_ >= lsq_.placement_headroom()) {
+        ++res_.agen_gated;
+        skipped_int_.push_back(seq);
+        continue;
+      }
+      ok = int_alu_.try_issue();
+      if (ok) {
+        f.agen_issued = true;
+        ++agens_outstanding_;
+      }
+    } else if (op == trace::OpClass::kIntMul) {
+      ok = int_muldiv_.try_issue(cycle_, 1);
+      latency = cfg_.lat_int_mul;
+    } else if (op == trace::OpClass::kIntDiv) {
+      ok = int_muldiv_.try_issue(cycle_, cfg_.lat_int_div);
+      latency = cfg_.lat_int_div;
+    } else {
+      ok = int_alu_.try_issue();
+    }
+    if (!ok) {
+      skipped_int_.push_back(seq);
+      continue;
+    }
+    f.in_iq = false;
+    assert(iq_int_used_ > 0);
+    --iq_int_used_;
+    ++issued;
+    schedule_completion(seq, cycle_ + latency);
+  }
+  for (auto it = skipped_int_.rbegin(); it != skipped_int_.rend(); ++it) {
+    ready_int_.push_front(*it);
+  }
+
+  // FP side.
+  issued = 0;
+  skipped_fp_.clear();
+  while (!ready_fp_.empty() && issued < cfg_.issue_width_fp) {
+    const InstSeq seq = ready_fp_.front();
+    ready_fp_.pop_front();
+    if (!live(seq)) continue;
+    InFlight& f = slot(seq);
+    if (!f.in_iq || f.wait_agen > 0) continue;
+    const trace::OpClass op = f.op->op;
+    bool ok = false;
+    Cycle latency = cfg_.lat_fp_alu;
+    if (op == trace::OpClass::kFpMul) {
+      ok = fp_muldiv_.try_issue(cycle_, 1);
+      latency = cfg_.lat_fp_mul;
+    } else if (op == trace::OpClass::kFpDiv) {
+      ok = fp_muldiv_.try_issue(cycle_, cfg_.lat_fp_div);
+      latency = cfg_.lat_fp_div;
+    } else {
+      ok = fp_alu_.try_issue();
+    }
+    if (!ok) {
+      skipped_fp_.push_back(seq);
+      continue;
+    }
+    f.in_iq = false;
+    assert(iq_fp_used_ > 0);
+    --iq_fp_used_;
+    ++issued;
+    schedule_completion(seq, cycle_ + latency);
+  }
+  for (auto it = skipped_fp_.rbegin(); it != skipped_fp_.rend(); ++it) {
+    ready_fp_.push_front(*it);
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::dispatch_stage() {
+  for (std::uint32_t n = 0; n < cfg_.dispatch_width && !fetch_queue_.empty(); ++n) {
+    const Fetched fr = fetch_queue_.front();
+    const trace::MicroOp& op = trace_[fr.seq];
+    const bool fp = trace::is_fp(op.op);
+    const bool mem_op = trace::is_mem(op.op);
+
+    if (tail_ - head_ >= cfg_.rob_size) break;
+    if (fp ? iq_fp_used_ >= cfg_.iq_fp : iq_int_used_ >= cfg_.iq_int) break;
+    if (op.dst != kNoReg) {
+      if (is_fp_reg(op.dst) ? fp_regs_used_ >= cfg_.fp_regs
+                            : int_regs_used_ >= cfg_.int_regs) {
+        break;
+      }
+    }
+    if (mem_op && !lsq_.can_dispatch(op.op == trace::OpClass::kLoad)) break;
+
+    fetch_queue_.pop_front();
+    const InstSeq seq = fr.seq;
+    assert(seq == tail_);
+    InFlight& f = slot(seq);
+    f.seq = seq;
+    f.op = &op;
+    f.wait_agen = 0;
+    f.wait_data = 0;
+    f.in_iq = true;
+    f.agen_issued = false;
+    f.agen_done = false;
+    f.placed = false;
+    f.data_ready = false;
+    f.executing = false;
+    f.completed = false;
+    f.mispredicted = fr.mispredicted;
+    f.load_value = 0;
+    f.dependents.clear();
+    f.fwd_waiters.clear();
+    f.commit_waiters.clear();
+    tail_ = seq + 1;
+
+    auto add_dep = [&](RegId src, SrcRole role) {
+      if (src == kNoReg) return;
+      const InstSeq p = rename_[src];
+      if (p != kNoInst && live(p) && !slot(p).completed) {
+        slot(p).dependents.push_back(
+            detail::encode_dep(seq, static_cast<std::uint8_t>(role)));
+        if (role == SrcRole::kAgen) {
+          ++f.wait_agen;
+        } else {
+          ++f.wait_data;
+        }
+      }
+    };
+
+    if (op.op == trace::OpClass::kStore) {
+      add_dep(op.src1, SrcRole::kAgen);   // address base
+      add_dep(op.src2, SrcRole::kData);   // store data
+    } else {
+      add_dep(op.src1, SrcRole::kAgen);
+      add_dep(op.src2, SrcRole::kAgen);
+    }
+
+    if (op.dst != kNoReg) {
+      (is_fp_reg(op.dst) ? fp_regs_used_ : int_regs_used_)++;
+      rename_[op.dst] = seq;
+    }
+
+    if (mem_op) {
+      lsq_.on_dispatch(seq, op.op == trace::OpClass::kLoad);
+      if (op.op == trace::OpClass::kStore) {
+        unplaced_stores_.insert(seq);
+        f.data_ready = f.wait_data == 0;
+      }
+    }
+
+    (fp ? iq_fp_used_ : iq_int_used_)++;
+    if (f.wait_agen == 0) {
+      (fp ? ready_fp_ : ready_int_).push_back(seq);
+    }
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::fetch_stage() {
+  if (cycle_ < fetch_stall_until_) return;
+  for (std::uint32_t n = 0; n < cfg_.fetch_width; ++n) {
+    if (fetch_queue_.size() >= cfg_.fetch_queue) break;
+    if (fetch_seq_ >= trace_.size()) break;
+    const trace::MicroOp& op = trace_[fetch_seq_];
+
+    const Addr line = op.pc >> 5U;
+    if (line != last_fetch_line_) {
+      const Cycle lat = mem_.inst_access(op.pc);
+      last_fetch_line_ = line;
+      if (lat > mem_.l1i().hit_latency()) {
+        fetch_stall_until_ = cycle_ + lat;
+        break;
+      }
+    }
+
+    Fetched fr;
+    fr.seq = fetch_seq_;
+    if (op.op == trace::OpClass::kBranch) {
+      const bool pred = predictor_.predict_and_update(op.pc, op.taken);
+      const branch::Btb::Result target = btb_.lookup(op.pc);
+      if (op.taken) btb_.update(op.pc, op.br_target);
+      fr.mispredicted = (pred != op.taken) || (pred && op.taken && !target.hit);
+      fetch_queue_.push_back(fr);
+      ++fetch_seq_;
+      if (pred) break;  // a predicted-taken branch ends the fetch group
+    } else {
+      fetch_queue_.push_back(fr);
+      ++fetch_seq_;
+    }
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::rebuild_rename() {
+  for (auto& r : rename_) r = kNoInst;
+  for (InstSeq s = head_; s < tail_; ++s) {
+    const InFlight& f = slot(s);
+    if (f.op->dst != kNoReg) rename_[f.op->dst] = s;
+  }
+}
+
+template <typename LsqT>
+void Core<LsqT>::squash_after(InstSeq last_kept) {
+  const InstSeq first_bad = last_kept + 1;
+  if (first_bad >= tail_) {
+    // Nothing younger in flight; still redirect fetch.
+    fetch_queue_.clear();
+    fetch_seq_ = first_bad;
+    fetch_stall_until_ = cycle_ + cfg_.redirect_penalty;
+    last_fetch_line_ = ~0ULL;
+    return;
+  }
+  lsq_.squash_from(first_bad);
+  for (InstSeq s = first_bad; s < tail_; ++s) {
+    InFlight& f = slot(s);
+    assert(f.seq == s);
+    if (f.agen_issued && !f.agen_done) {
+      assert(agens_outstanding_ > 0);
+      --agens_outstanding_;
+    }
+    if (f.op->dst != kNoReg) {
+      auto& used = is_fp_reg(f.op->dst) ? fp_regs_used_ : int_regs_used_;
+      assert(used > 0);
+      --used;
+    }
+    if (f.in_iq) {
+      auto& used = trace::is_fp(f.op->op) ? iq_fp_used_ : iq_int_used_;
+      assert(used > 0);
+      --used;
+    }
+    f.seq = kNoInst;
+    f.dependents.clear();
+    f.fwd_waiters.clear();
+    f.commit_waiters.clear();
+  }
+  tail_ = first_bad;
+
+  unplaced_stores_.erase_from(first_bad);
+  ordering_waiting_loads_.erase_from(first_bad);
+  auto filter_queue = [&](RingDeque<InstSeq>& q) {
+    q.erase_if([&](InstSeq s) { return s >= first_bad; });
+  };
+  filter_queue(ready_int_);
+  filter_queue(ready_fp_);
+  filter_queue(ready_mem_);
+  // Surviving producers must forget squashed dependents and waiters: the
+  // same seq can be re-dispatched after the refetch and would otherwise
+  // be woken twice.
+  for (InstSeq s = head_; s < tail_; ++s) {
+    InFlight& f = slot(s);
+    std::erase_if(f.dependents, [&](std::uint64_t enc) {
+      return (enc >> 1U) >= first_bad;
+    });
+    std::erase_if(f.fwd_waiters, [&](InstSeq l) { return l >= first_bad; });
+    std::erase_if(f.commit_waiters, [&](InstSeq l) { return l >= first_bad; });
+  }
+  const std::size_t erased = std::erase_if(
+      completions_, [&](const Completion& c) { return c.seq >= first_bad; });
+  if (erased != 0) {
+    std::make_heap(completions_.begin(), completions_.end(), CompletionLater{});
+  }
+
+  rebuild_rename();
+  fetch_queue_.clear();
+  fetch_seq_ = first_bad;
+  fetch_stall_until_ = cycle_ + cfg_.redirect_penalty;
+  last_fetch_line_ = ~0ULL;
+}
+
+template <typename LsqT>
+void Core<LsqT>::full_flush() {
+  ++res_.deadlock_flushes;
+  lsq_.squash_from(head_);
+  for (InstSeq s = head_; s < tail_; ++s) {
+    InFlight& f = slot(s);
+    f.seq = kNoInst;
+    f.dependents.clear();
+    f.fwd_waiters.clear();
+    f.commit_waiters.clear();
+  }
+  tail_ = head_;
+  int_regs_used_ = 0;
+  fp_regs_used_ = 0;
+  iq_int_used_ = 0;
+  iq_fp_used_ = 0;
+  unplaced_stores_.clear();
+  ordering_waiting_loads_.clear();
+  ready_int_.clear();
+  ready_fp_.clear();
+  ready_mem_.clear();
+  completions_.clear();
+  int_muldiv_.reset();
+  fp_muldiv_.reset();
+  agens_outstanding_ = 0;
+  for (auto& r : rename_) r = kNoInst;
+  fetch_queue_.clear();
+  fetch_seq_ = head_;
+  fetch_stall_until_ = cycle_ + cfg_.redirect_penalty;
+  last_fetch_line_ = ~0ULL;
+}
+
+template <typename LsqT>
+void Core<LsqT>::commit_stage() {
+  for (std::uint32_t n = 0; n < cfg_.commit_width && head_ < tail_; ++n) {
+    InFlight& h = slot(head_);
+    assert(h.seq == head_);
+    if (!h.completed) {
+      // Deadlock avoidance (paper §3.3): the oldest instruction cannot be
+      // placed — either its address is computed and every candidate slot
+      // is held by younger instructions, or its address computation is
+      // gated by a full AddrBuffer. Flush the pipeline; the oldest
+      // instruction re-enters first and is guaranteed a slot.
+      if (trace::is_mem(h.op->op) && !h.placed &&
+          (h.agen_done || (!h.agen_issued && h.wait_agen == 0 &&
+                           lsq_.placement_headroom() == 0))) {
+        full_flush();
+      }
+      break;
+    }
+
+    if (h.op->op == trace::OpClass::kStore) {
+      if (dcache_ports_used_ >= cfg_.dcache_ports) break;
+      ++dcache_ports_used_;
+      const Addr addr = h.op->mem_addr;
+      const lsq::CacheHints hints = lsq_.cache_hints(head_);
+      if (hints.translation_known) {
+        ++res_.dtlb_cached;
+        if (dtlb_ledger_ != nullptr) dtlb_ledger_->on_cached_translation();
+      }
+      if (hints.way_known) {
+        const auto k = mem_.data_access_known(hints.set, hints.way, addr);
+        if (!k.ok) throw std::logic_error("presentBit protocol violation (store)");
+        ++res_.dcache_way_known;
+        if (dcache_ledger_ != nullptr) dcache_ledger_->on_way_known_access();
+      } else {
+        const mem::DataAccess a = hints.translation_known
+                                      ? mem_.data_access_translated(addr)
+                                      : mem_.data_access(addr);
+        if (!hints.translation_known) {
+          ++res_.dtlb_accesses;
+          if (dtlb_ledger_ != nullptr) dtlb_ledger_->on_access();
+        }
+        ++res_.dcache_full;
+        if (dcache_ledger_ != nullptr) dcache_ledger_->on_full_access();
+        lsq_.on_cache_access_complete(head_, a.set, a.way);
+        if (lsq_.kind() == lsq::LsqKind::kSamie) {
+          mem_.l1d().set_present_bit(a.set, a.way, true);
+        }
+        handle_eviction(a.evicted, a.evicted_set, a.evicted_present_bit);
+      }
+      memory_state_.write(addr, h.op->mem_size, h.op->value);
+      ++res_.stores_committed;
+      if (!h.commit_waiters.empty()) {
+        commit_waiter_scratch_.assign(h.commit_waiters.begin(),
+                                      h.commit_waiters.end());
+        h.commit_waiters.clear();
+        lsq_.on_commit(head_);
+        for (InstSeq l : commit_waiter_scratch_) try_schedule_load(l);
+      } else {
+        lsq_.on_commit(head_);
+      }
+    } else if (h.op->op == trace::OpClass::kLoad) {
+      lsq_.on_commit(head_);
+    }
+
+    if (h.op->dst != kNoReg) {
+      auto& used = is_fp_reg(h.op->dst) ? fp_regs_used_ : int_regs_used_;
+      assert(used > 0);
+      --used;
+      if (rename_[h.op->dst] == head_) rename_[h.op->dst] = kNoInst;
+    }
+    h.seq = kNoInst;
+    ++res_.committed;
+    ++head_;
+    last_commit_cycle_ = cycle_;
+  }
+}
+
+template <typename LsqT>
+CoreResult Core<LsqT>::run(std::uint64_t max_insts) {
+  const std::uint64_t target = std::min<std::uint64_t>(max_insts, trace_.size());
+  last_commit_cycle_ = 0;
+  while (res_.committed < target) {
+    dcache_ports_used_ = 0;
+    int_alu_.new_cycle();
+    fp_alu_.new_cycle();
+
+    commit_stage();
+    if (res_.committed >= target) break;
+    writeback_stage();
+    memory_stage();
+    issue_stage();
+    dispatch_stage();
+    fetch_stage();
+
+    if (observer_ != nullptr) observer_->on_cycle(cycle_, lsq_.occupancy());
+
+    ++cycle_;
+    if (cycle_ - last_commit_cycle_ > cfg_.commit_timeout) {
+      throw std::runtime_error("commit watchdog fired: pipeline wedged at cycle " +
+                               std::to_string(cycle_));
+    }
+    if (head_ == tail_ && fetch_queue_.empty() && fetch_seq_ >= trace_.size()) {
+      break;  // trace exhausted
+    }
+  }
+  res_.cycles = cycle_;
+  res_.ipc = cycle_ > 0 ? static_cast<double>(res_.committed) /
+                              static_cast<double>(cycle_)
+                        : 0.0;
+  return res_;
+}
+
+}  // namespace samie::core

@@ -7,8 +7,12 @@ constexpr Addr kPageMask = ~0xFFFULL;
 }
 
 std::vector<std::uint8_t>& MainMemory::page_for(Addr addr) {
-  auto [it, inserted] = pages_.try_emplace(addr & kPageMask);
+  const Addr page = addr & kPageMask;
+  if (page == last_page_) return *last_;
+  auto [it, inserted] = pages_.try_emplace(page);
   if (inserted) it->second.assign(4096, 0);
+  last_page_ = page;
+  last_ = &it->second;
   return it->second;
 }
 

@@ -16,6 +16,12 @@ namespace samie::core {
 
 class MainMemory {
  public:
+  MainMemory() = default;
+  /// Non-copyable: the MRU cache points into pages_, and a copied cache
+  /// would silently alias the source's memory image.
+  MainMemory(const MainMemory&) = delete;
+  MainMemory& operator=(const MainMemory&) = delete;
+
   void write(Addr addr, std::uint32_t bytes, std::uint64_t value);
   [[nodiscard]] std::uint64_t read(Addr addr, std::uint32_t bytes);
 
@@ -24,6 +30,10 @@ class MainMemory {
  private:
   [[nodiscard]] std::vector<std::uint8_t>& page_for(Addr addr);
   std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
+  /// MRU page: loads/stores cluster heavily, so most accesses skip the
+  /// hash lookup. Pointers into the node-based map stay valid on rehash.
+  Addr last_page_ = 1;  ///< not page-aligned == never matches
+  std::vector<std::uint8_t>* last_ = nullptr;
 };
 
 }  // namespace samie::core

@@ -20,12 +20,21 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "src/common/types.h"
 
 namespace samie::lsq {
+
+/// Receiver for cache-side presentBit clears (see
+/// LoadStoreQueue::set_present_bit_clearer). A plain interface pointer —
+/// not std::function — so the per-release call on the hot path is a
+/// single indirect call with no type-erasure overhead.
+class PresentBitClearer {
+ public:
+  virtual ~PresentBitClearer() = default;
+  virtual void clear_present_bit(std::uint32_t set, std::uint32_t way) = 0;
+};
 
 enum class LsqKind : std::uint8_t { kConventional, kUnbounded, kArb, kSamie };
 
@@ -143,12 +152,14 @@ class LoadStoreQueue {
   virtual void squash_from(InstSeq seq) = 0;
   /// L1D replaced a line in `set`: reset potentially-affected presentBits.
   virtual void on_cache_line_replaced(std::uint32_t set) = 0;
-  /// Registers a callback that clears the *cache-side* presentBit of
+  /// Registers a receiver that clears the *cache-side* presentBit of
   /// (set, way) when the LSQ entry that cached that location is released.
   /// Without this, stale cache bits would trigger spurious invalidation
-  /// sweeps on every later eviction of those lines.
-  virtual void set_present_bit_clearer(
-      std::function<void(std::uint32_t, std::uint32_t)> /*fn*/) {}
+  /// sweeps on every later eviction of those lines. The registered
+  /// receiver must stay valid for as long as the queue may release
+  /// entries; pass nullptr to unregister (the core does this in its
+  /// destructor, since the queue outlives it).
+  virtual void set_present_bit_clearer(PresentBitClearer* /*clearer*/) {}
 
   // -- observability -------------------------------------------------------------
   [[nodiscard]] virtual OccupancySample occupancy() const = 0;

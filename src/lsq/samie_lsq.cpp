@@ -2,59 +2,139 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 namespace samie::lsq {
 
+namespace {
+
+[[nodiscard]] inline std::uint32_t ctz(std::uint64_t m) noexcept {
+  return static_cast<std::uint32_t>(std::countr_zero(m));
+}
+
+}  // namespace
+
 SamieLsq::SamieLsq(const SamieConfig& cfg, energy::SamieLsqLedger* ledger)
     : cfg_(cfg), ledger_(ledger), line_shift_(log2_floor(cfg.line_bytes)) {
+  if (cfg_.banks == 0) {
+    throw std::invalid_argument("SamieConfig: banks must be >= 1");
+  }
+  if (cfg_.entries_per_bank == 0 || cfg_.entries_per_bank > 64 ||
+      cfg_.slots_per_entry == 0 || cfg_.slots_per_entry > 64) {
+    throw std::invalid_argument(
+        "SamieConfig: entries_per_bank and slots_per_entry must be in "
+        "[1, 64] (occupancy bitmask width)");
+  }
+  if (is_pow2(cfg_.banks)) bank_mask_plus1_ = cfg_.banks;
+  full_entry_mask_ = cfg_.entries_per_bank == 64
+                         ? ~0ULL
+                         : (1ULL << cfg_.entries_per_bank) - 1;
+  full_slot_mask_ =
+      cfg_.slots_per_entry == 64 ? ~0ULL : (1ULL << cfg_.slots_per_entry) - 1;
+
   banks_.resize(cfg_.banks);
   for (auto& bank : banks_) {
-    bank.resize(cfg_.entries_per_bank);
-    for (auto& e : bank) e.slots.resize(cfg_.slots_per_entry);
+    bank.entries.resize(cfg_.entries_per_bank);
+    for (auto& e : bank.entries) e.slots.resize(cfg_.slots_per_entry);
   }
   shared_.resize(cfg_.unbounded_shared ? 0 : cfg_.shared_entries);
   for (auto& e : shared_) e.slots.resize(cfg_.slots_per_entry);
-  bank_entries_used_.assign(cfg_.banks, 0);
+  shared_valid_.assign(std::max<std::size_t>(1, (shared_.size() + 63) / 64), 0);
+
+  buffer_.reserve(std::max<std::uint32_t>(1, cfg_.addr_buffer_slots));
+
+  const std::uint64_t window =
+      std::bit_ceil(std::max<std::uint64_t>(64, cfg_.seq_window_hint));
+  where_.resize(window);
+  where_mask_ = window - 1;
 }
 
-SamieLsq::Entry& SamieLsq::entry_at(const Loc& loc) {
-  return loc.where == Where::kDistrib ? banks_[loc.bank][loc.entry]
-                                      : shared_[loc.entry];
+void SamieLsq::where_insert(InstSeq seq, const Loc& loc) {
+  for (;;) {
+    WhereEntry& w = where_[seq & where_mask_];
+    if (w.seq == kNoInst || w.seq == seq) {
+      w.seq = seq;
+      w.loc = loc;
+      return;
+    }
+    where_grow();  // live-residue collision: cold path
+  }
 }
 
-const SamieLsq::Entry& SamieLsq::entry_at(const Loc& loc) const {
-  return loc.where == Where::kDistrib ? banks_[loc.bank][loc.entry]
-                                      : shared_[loc.entry];
+void SamieLsq::where_grow() {
+  std::size_t size = where_.size();
+  for (;;) {
+    size *= 2;
+    std::vector<WhereEntry> bigger(size);
+    const std::uint64_t mask = size - 1;
+    bool ok = true;
+    for (const WhereEntry& w : where_) {
+      if (w.seq == kNoInst) continue;
+      WhereEntry& cell = bigger[w.seq & mask];
+      if (cell.seq != kNoInst) {
+        ok = false;
+        break;
+      }
+      cell = w;
+    }
+    if (ok) {
+      where_ = std::move(bigger);
+      where_mask_ = mask;
+      return;
+    }
+  }
 }
 
-bool SamieLsq::can_compute_address() const {
-  return buffer_.size() < cfg_.addr_buffer_slots;
+template <typename Fn>
+void SamieLsq::for_each_valid_shared(Fn&& fn) {
+  for (std::size_t wi = 0; wi < shared_valid_.size(); ++wi) {
+    for (std::uint64_t m = shared_valid_[wi]; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::uint32_t>(wi * 64 + ctz(m));
+      fn(i, shared_[i]);
+    }
+  }
+}
+
+template <typename Fn>
+void SamieLsq::for_each_valid_shared(Fn&& fn) const {
+  for (std::size_t wi = 0; wi < shared_valid_.size(); ++wi) {
+    for (std::uint64_t m = shared_valid_[wi]; m != 0; m &= m - 1) {
+      const auto i = static_cast<std::uint32_t>(wi * 64 + ctz(m));
+      fn(i, shared_[i]);
+    }
+  }
 }
 
 template <typename Fn>
 void SamieLsq::for_each_same_line(Addr line, Fn&& fn) {
-  for (Entry& e : banks_[bank_of(line)]) {
-    if (e.valid && e.line == line) fn(e);
+  Bank& bank = banks_[bank_of(line)];
+  for (std::uint64_t m = bank.valid_mask; m != 0; m &= m - 1) {
+    Entry& e = bank.entries[ctz(m)];
+    if (e.line == line) fn(e);
   }
-  for (Entry& e : shared_) {
-    if (e.valid && e.line == line) fn(e);
-  }
+  for_each_valid_shared([&](std::uint32_t, Entry& e) {
+    if (e.line == line) fn(e);
+  });
 }
 
 void SamieLsq::fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry) {
   Entry& e = entry_at(loc);
   const bool distrib = loc.where == Where::kDistrib;
   if (new_entry) {
+    assert(e.slot_mask == 0 && e.used == 0);
     e.valid = true;
     e.line = op.addr >> line_shift_;
     e.present = false;
     e.translation = false;
     e.used = 0;
-    for (auto& s : e.slots) s.valid = false;
+    e.slot_mask = 0;
     if (distrib) {
+      Bank& bank = banks_[loc.bank];
+      bank.valid_mask |= 1ULL << loc.entry;
       ++d_entries_used_;
-      if (++bank_entries_used_[loc.bank] == cfg_.entries_per_bank) ++banks_full_;
+      if (bank.valid_mask == full_entry_mask_) ++banks_full_;
     } else {
+      shared_valid_[loc.entry / 64] |= 1ULL << (loc.entry % 64);
       ++s_entries_used_;
     }
     if (ledger_ != nullptr) {
@@ -71,12 +151,13 @@ void SamieLsq::fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry) {
   s.data_ready = op.data_ready;
   s.fwd_store = kNoInst;
   s.fwd_full = false;
+  e.slot_mask |= 1ULL << loc.slot;
   ++e.used;
   if (e.used == cfg_.slots_per_entry) {
     distrib ? ++d_entries_full_ : ++s_entries_full_;
   }
   if (distrib) ++d_slots_used_; else ++s_slots_used_;
-  where_[op.seq] = loc;
+  where_insert(op.seq, loc);
 
   if (ledger_ != nullptr) {
     distrib ? ledger_->on_distrib_age_write() : ledger_->on_shared_age_write();
@@ -93,8 +174,9 @@ void SamieLsq::disambiguate(const MemOpDesc& op, Loc self_loc) {
   Slot& self = entry_at(self_loc).slots[self_loc.slot];
 
   for_each_same_line(line, [&](Entry& e) {
-    for (Slot& s : e.slots) {
-      if (!s.valid || s.seq == op.seq) continue;
+    for (std::uint64_t m = e.slot_mask; m != 0; m &= m - 1) {
+      Slot& s = e.slots[ctz(m)];
+      if (s.seq == op.seq) continue;
       if (op.is_load) {
         if (s.is_load || s.seq >= op.seq) continue;
         if (ranges_overlap(offset, op.size, s.offset, s.size) &&
@@ -118,8 +200,8 @@ void SamieLsq::disambiguate(const MemOpDesc& op, Loc self_loc) {
 
 bool SamieLsq::try_place(const MemOpDesc& op, bool /*from_buffer*/) {
   const Addr line = op.addr >> line_shift_;
-  const std::uint32_t bank = bank_of(line);
-  auto& bank_entries = banks_[bank];
+  const std::uint32_t bank_idx = bank_of(line);
+  Bank& bank = banks_[bank_idx];
 
   // The address is broadcast to its bank and to the SharedLSQ; both are
   // searched in parallel (paper §3.2). Charge the comparisons now — they
@@ -127,73 +209,73 @@ bool SamieLsq::try_place(const MemOpDesc& op, bool /*from_buffer*/) {
   // in-use entry reached by the search are compared as well (§4.2).
   if (ledger_ != nullptr) {
     ledger_->on_bus_send();
-    std::uint64_t bank_inuse = 0;
-    for (const Entry& e : bank_entries) {
-      if (e.valid) {
-        ++bank_inuse;
-        ledger_->on_distrib_age_search(e.used);
-      }
+    for (std::uint64_t m = bank.valid_mask; m != 0; m &= m - 1) {
+      ledger_->on_distrib_age_search(bank.entries[ctz(m)].used);
     }
-    ledger_->on_distrib_addr_search(bank_inuse);
+    ledger_->on_distrib_addr_search(
+        static_cast<std::uint64_t>(std::popcount(bank.valid_mask)));
     std::uint64_t shared_inuse = 0;
-    for (const Entry& e : shared_) {
-      if (e.valid) {
-        ++shared_inuse;
-        ledger_->on_shared_age_search(e.used);
-      }
-    }
+    for_each_valid_shared([&](std::uint32_t, Entry& e) {
+      ++shared_inuse;
+      ledger_->on_shared_age_search(e.used);
+    });
     ledger_->on_shared_addr_search(shared_inuse);
   }
 
   // Placement preference (paper §3.2): same-line entry with a free slot in
   // the bank; else a free bank entry; else same-line with a free slot in
-  // the SharedLSQ; else a free shared entry.
-  auto find_slot = [&](Entry& e) -> std::int64_t {
-    for (std::uint32_t i = 0; i < cfg_.slots_per_entry; ++i) {
-      if (!e.slots[i].valid) return i;
-    }
-    return -1;
-  };
-
+  // the SharedLSQ; else a free shared entry. All scans are bitmask walks.
   Loc loc;
   bool new_entry = false;
   bool found = false;
 
-  for (std::uint32_t i = 0; i < bank_entries.size() && !found; ++i) {
-    Entry& e = bank_entries[i];
-    if (e.valid && e.line == line) {
-      if (const auto s = find_slot(e); s >= 0) {
-        loc = Loc{Where::kDistrib, bank, i, static_cast<std::uint32_t>(s)};
-        found = true;
-      }
+  for (std::uint64_t m = bank.valid_mask; m != 0 && !found; m &= m - 1) {
+    const std::uint32_t i = ctz(m);
+    Entry& e = bank.entries[i];
+    if (e.line == line && e.slot_mask != full_slot_mask_) {
+      loc = Loc{Where::kDistrib, bank_idx, i, ctz(~e.slot_mask)};
+      found = true;
     }
   }
-  for (std::uint32_t i = 0; i < bank_entries.size() && !found; ++i) {
-    if (!bank_entries[i].valid) {
-      loc = Loc{Where::kDistrib, bank, i, 0};
+  if (!found) {
+    const std::uint64_t free_entries = ~bank.valid_mask & full_entry_mask_;
+    if (free_entries != 0) {
+      loc = Loc{Where::kDistrib, bank_idx, ctz(free_entries), 0};
       new_entry = true;
       found = true;
     }
   }
-  for (std::uint32_t i = 0; i < shared_.size() && !found; ++i) {
-    Entry& e = shared_[i];
-    if (e.valid && e.line == line) {
-      if (const auto s = find_slot(e); s >= 0) {
-        loc = Loc{Where::kShared, 0, i, static_cast<std::uint32_t>(s)};
-        found = true;
+  if (!found) {
+    const std::size_t n = shared_.size();
+    for (std::size_t wi = 0; wi * 64 < n && !found; ++wi) {
+      for (std::uint64_t m = shared_valid_[wi]; m != 0 && !found; m &= m - 1) {
+        const auto i = static_cast<std::uint32_t>(wi * 64 + ctz(m));
+        Entry& e = shared_[i];
+        if (e.line == line && e.slot_mask != full_slot_mask_) {
+          loc = Loc{Where::kShared, 0, i, ctz(~e.slot_mask)};
+          found = true;
+        }
       }
     }
   }
-  for (std::uint32_t i = 0; i < shared_.size() && !found; ++i) {
-    if (!shared_[i].valid) {
-      loc = Loc{Where::kShared, 0, i, 0};
-      new_entry = true;
-      found = true;
+  if (!found) {
+    const std::size_t n = shared_.size();
+    for (std::size_t wi = 0; wi * 64 < n && !found; ++wi) {
+      const std::uint64_t covered =
+          n - wi * 64 >= 64 ? ~0ULL : (1ULL << (n - wi * 64)) - 1;
+      const std::uint64_t free_entries = ~shared_valid_[wi] & covered;
+      if (free_entries != 0) {
+        loc = Loc{Where::kShared, 0,
+                  static_cast<std::uint32_t>(wi * 64 + ctz(free_entries)), 0};
+        new_entry = true;
+        found = true;
+      }
     }
   }
   if (!found && cfg_.unbounded_shared) {
     shared_.emplace_back();
     shared_.back().slots.resize(cfg_.slots_per_entry);
+    if (shared_.size() > shared_valid_.size() * 64) shared_valid_.push_back(0);
     loc = Loc{Where::kShared, 0, static_cast<std::uint32_t>(shared_.size() - 1), 0};
     new_entry = true;
     found = true;
@@ -234,18 +316,16 @@ void SamieLsq::drain(std::vector<InstSeq>& newly_placed) {
   }
 }
 
-bool SamieLsq::is_placed(InstSeq seq) const { return where_.count(seq) != 0; }
-
 LoadPlan SamieLsq::plan_load(InstSeq seq) const {
-  auto it = where_.find(seq);
-  assert(it != where_.end());
-  const Slot& s = entry_at(it->second).slots[it->second.slot];
+  const Loc* loc = where_find(seq);
+  assert(loc != nullptr);
+  const Slot& s = entry_at(*loc).slots[loc->slot];
   assert(s.valid && s.is_load);
   LoadPlan p;
   if (s.fwd_store == kNoInst) return p;
-  auto sit = where_.find(s.fwd_store);
-  assert(sit != where_.end());
-  const Slot& st = entry_at(sit->second).slots[sit->second.slot];
+  const Loc* sloc = where_find(s.fwd_store);
+  assert(sloc != nullptr);
+  const Slot& st = entry_at(*sloc).slots[sloc->slot];
   p.store = s.fwd_store;
   if (!s.fwd_full) {
     p.kind = LoadPlan::Kind::kWaitCommit;
@@ -258,9 +338,9 @@ LoadPlan SamieLsq::plan_load(InstSeq seq) const {
 }
 
 CacheHints SamieLsq::cache_hints(InstSeq seq) const {
-  auto it = where_.find(seq);
-  assert(it != where_.end());
-  const Entry& e = entry_at(it->second);
+  const Loc* loc = where_find(seq);
+  assert(loc != nullptr);
+  const Entry& e = entry_at(*loc);
   CacheHints h;
   h.way_known = e.present;
   h.set = e.set;
@@ -268,9 +348,7 @@ CacheHints SamieLsq::cache_hints(InstSeq seq) const {
   h.translation_known = e.translation;
   if (ledger_ != nullptr && (e.present || e.translation)) {
     // Reading the cached line id / translation out of the entry.
-    auto* self = const_cast<SamieLsq*>(this);
-    (void)self;
-    if (it->second.where == Where::kDistrib) {
+    if (loc->where == Where::kDistrib) {
       if (e.present) ledger_->on_distrib_line_id_rw();
       if (e.translation) ledger_->on_distrib_translation_rw();
     } else {
@@ -283,10 +361,10 @@ CacheHints SamieLsq::cache_hints(InstSeq seq) const {
 
 void SamieLsq::on_cache_access_complete(InstSeq seq, std::uint32_t set,
                                         std::uint32_t way) {
-  auto it = where_.find(seq);
-  assert(it != where_.end());
-  Entry& e = entry_at(it->second);
-  const bool distrib = it->second.where == Where::kDistrib;
+  const Loc* loc = where_find(seq);
+  assert(loc != nullptr);
+  Entry& e = entry_at(*loc);
+  const bool distrib = loc->where == Where::kDistrib;
   if (!e.present) {
     e.present = true;
     e.set = set;
@@ -305,39 +383,39 @@ void SamieLsq::on_cache_access_complete(InstSeq seq, std::uint32_t set,
 }
 
 void SamieLsq::on_load_complete(InstSeq seq) {
-  auto it = where_.find(seq);
-  assert(it != where_.end());
-  const bool distrib = it->second.where == Where::kDistrib;
-  const Slot& s = entry_at(it->second).slots[it->second.slot];
+  const Loc* loc = where_find(seq);
+  assert(loc != nullptr);
+  const bool distrib = loc->where == Where::kDistrib;
+  const Slot& s = entry_at(*loc).slots[loc->slot];
   if (ledger_ != nullptr) {
     // The loaded datum is written into the slot; a forwarded load also
     // read the source store's datum.
     distrib ? ledger_->on_distrib_datum_rw() : ledger_->on_shared_datum_rw();
     if (s.fwd_store != kNoInst && s.fwd_full) {
-      auto sit = where_.find(s.fwd_store);
-      if (sit != where_.end()) {
-        sit->second.where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
-                                             : ledger_->on_shared_datum_rw();
+      if (const Loc* sloc = where_find(s.fwd_store); sloc != nullptr) {
+        sloc->where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
+                                       : ledger_->on_shared_datum_rw();
       }
     }
   }
 }
 
 void SamieLsq::on_store_data_ready(InstSeq seq) {
-  auto it = where_.find(seq);
-  assert(it != where_.end());
-  Slot& s = entry_at(it->second).slots[it->second.slot];
+  const Loc* loc = where_find(seq);
+  assert(loc != nullptr);
+  Slot& s = entry_at(*loc).slots[loc->slot];
   assert(s.valid && !s.is_load);
   s.data_ready = true;
   if (ledger_ != nullptr) {
-    it->second.where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
-                                        : ledger_->on_shared_datum_rw();
+    loc->where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
+                                  : ledger_->on_shared_datum_rw();
   }
 }
 
 void SamieLsq::clear_forward_refs(Entry& e, InstSeq store) {
-  for (Slot& s : e.slots) {
-    if (s.valid && s.fwd_store == store) {
+  for (std::uint64_t m = e.slot_mask; m != 0; m &= m - 1) {
+    Slot& s = e.slots[ctz(m)];
+    if (s.fwd_store == store) {
       s.fwd_store = kNoInst;
       s.fwd_full = false;
     }
@@ -353,37 +431,40 @@ void SamieLsq::free_slot(const Loc& loc, InstSeq seq) {
   }
   e.slots[loc.slot].valid = false;
   e.slots[loc.slot].seq = kNoInst;
+  e.slot_mask &= ~(1ULL << loc.slot);
   --e.used;
   if (distrib) --d_slots_used_; else --s_slots_used_;
   if (e.used == 0) {
     e.valid = false;
-    if (e.present && cfg_.clear_stale_present_bits && clear_cache_bit_) {
+    if (e.present && cfg_.clear_stale_present_bits &&
+        clear_cache_bit_ != nullptr) {
       // Only clear the cache-side bit if no sibling entry (same line,
       // slots-full overflow) still relies on the cached location.
       bool sibling_present = false;
       for_each_same_line(e.line, [&](Entry& other) {
-        if (&other != &e && other.valid && other.present) {
-          sibling_present = true;
-        }
+        if (&other != &e && other.present) sibling_present = true;
       });
-      if (!sibling_present) clear_cache_bit_(e.set, e.way);
+      if (!sibling_present) clear_cache_bit_->clear_present_bit(e.set, e.way);
     }
     e.present = false;
     e.translation = false;
     if (distrib) {
+      Bank& bank = banks_[loc.bank];
+      if (bank.valid_mask == full_entry_mask_) --banks_full_;
+      bank.valid_mask &= ~(1ULL << loc.entry);
       --d_entries_used_;
-      if (bank_entries_used_[loc.bank]-- == cfg_.entries_per_bank) --banks_full_;
     } else {
+      shared_valid_[loc.entry / 64] &= ~(1ULL << (loc.entry % 64));
       --s_entries_used_;
     }
   }
-  where_.erase(seq);
+  where_erase(seq);
 }
 
 void SamieLsq::on_commit(InstSeq seq) {
-  auto it = where_.find(seq);
-  assert(it != where_.end());
-  const Loc loc = it->second;
+  const Loc* at = where_find(seq);
+  assert(at != nullptr);
+  const Loc loc = *at;
   Entry& e = entry_at(loc);
   const Slot& s = e.slots[loc.slot];
   if (!s.is_load) {
@@ -400,27 +481,44 @@ void SamieLsq::on_commit(InstSeq seq) {
 }
 
 void SamieLsq::squash_from(InstSeq seq) {
-  std::vector<std::pair<Loc, InstSeq>> doomed;
-  for (const auto& [s, loc] : where_) {
-    if (s >= seq) doomed.emplace_back(loc, s);
-  }
-  for (const auto& [loc, s] : doomed) free_slot(loc, s);
-
-  auto clear_refs = [&](std::vector<Entry>& entries) {
-    for (Entry& e : entries) {
-      if (!e.valid) continue;
-      for (Slot& s : e.slots) {
-        if (s.valid && s.fwd_store != kNoInst && s.fwd_store >= seq) {
-          s.fwd_store = kNoInst;
-          s.fwd_full = false;
-        }
+  squash_scratch_.clear();
+  auto collect = [&](Where where, std::uint32_t bank, std::uint32_t ei,
+                     Entry& e) {
+    for (std::uint64_t m = e.slot_mask; m != 0; m &= m - 1) {
+      const std::uint32_t si = ctz(m);
+      if (e.slots[si].seq >= seq) {
+        squash_scratch_.emplace_back(Loc{where, bank, ei, si}, e.slots[si].seq);
       }
     }
   };
-  for (auto& bank : banks_) clear_refs(bank);
-  clear_refs(shared_);
+  for (std::uint32_t b = 0; b < cfg_.banks; ++b) {
+    for (std::uint64_t m = banks_[b].valid_mask; m != 0; m &= m - 1) {
+      const std::uint32_t ei = ctz(m);
+      collect(Where::kDistrib, b, ei, banks_[b].entries[ei]);
+    }
+  }
+  for_each_valid_shared(
+      [&](std::uint32_t i, Entry& e) { collect(Where::kShared, 0, i, e); });
+  for (const auto& [loc, s] : squash_scratch_) free_slot(loc, s);
 
-  std::erase_if(buffer_, [seq](const MemOpDesc& op) { return op.seq >= seq; });
+  auto clear_refs = [&](Entry& e) {
+    for (std::uint64_t m = e.slot_mask; m != 0; m &= m - 1) {
+      Slot& s = e.slots[ctz(m)];
+      if (s.fwd_store != kNoInst && s.fwd_store >= seq) {
+        s.fwd_store = kNoInst;
+        s.fwd_full = false;
+      }
+    }
+  };
+  for (auto& bank : banks_) {
+    for (std::uint64_t m = bank.valid_mask; m != 0; m &= m - 1) {
+      clear_refs(bank.entries[ctz(m)]);
+    }
+  }
+  for_each_valid_shared([&](std::uint32_t, Entry& e) { clear_refs(e); });
+
+  // Compact the AddrBuffer ring in place, preserving FIFO order.
+  buffer_.erase_if([seq](const MemOpDesc& op) { return op.seq >= seq; });
 }
 
 void SamieLsq::on_cache_line_replaced(std::uint32_t set) {
@@ -431,19 +529,24 @@ void SamieLsq::on_cache_line_replaced(std::uint32_t set) {
   //   banks >= sets: banks b with b % sets == set;
   //   banks <  sets: the single bank set % banks.
   auto reset_entry = [&](Entry& e) {
-    if (e.valid && e.present) {
+    if (e.present) {
       e.present = false;
       ++present_resets_;
     }
   };
+  auto reset_bank = [&](Bank& bank) {
+    for (std::uint64_t m = bank.valid_mask; m != 0; m &= m - 1) {
+      reset_entry(bank.entries[ctz(m)]);
+    }
+  };
   if (cfg_.banks >= cfg_.l1d_sets) {
     for (std::uint32_t b = set; b < cfg_.banks; b += cfg_.l1d_sets) {
-      for (Entry& e : banks_[b]) reset_entry(e);
+      reset_bank(banks_[b]);
     }
   } else {
-    for (Entry& e : banks_[set % cfg_.banks]) reset_entry(e);
+    reset_bank(banks_[set % cfg_.banks]);
   }
-  for (Entry& e : shared_) reset_entry(e);
+  for_each_valid_shared([&](std::uint32_t, Entry& e) { reset_entry(e); });
 }
 
 OccupancySample SamieLsq::occupancy() const {
@@ -455,6 +558,45 @@ OccupancySample SamieLsq::occupancy() const {
   s.shared_entries_used = s_entries_used_;
   s.shared_slots_used = s_slots_used_;
   s.shared_entries_full = s_entries_full_;
+  s.buffer_used = static_cast<std::uint32_t>(buffer_.size());
+  return s;
+}
+
+OccupancySample SamieLsq::recount_occupancy() const {
+  // From-scratch recount off the per-slot valid flags — deliberately NOT
+  // off the bitmasks, so it cross-checks mask maintenance too.
+  OccupancySample s;
+  auto count_entry = [&](const Entry& e, bool distrib) {
+    std::uint32_t used = 0;
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < e.slots.size(); ++i) {
+      if (e.slots[i].valid) {
+        ++used;
+        mask |= 1ULL << i;
+      }
+    }
+    assert(mask == e.slot_mask);
+    assert(used == e.used);
+    if (used == 0) return;
+    if (distrib) {
+      ++s.distrib_entries_used;
+      s.distrib_slots_used += used;
+      if (used == cfg_.slots_per_entry) ++s.distrib_entries_full;
+    } else {
+      ++s.shared_entries_used;
+      s.shared_slots_used += used;
+      if (used == cfg_.slots_per_entry) ++s.shared_entries_full;
+    }
+  };
+  for (const Bank& bank : banks_) {
+    std::uint32_t in_use = 0;
+    for (const Entry& e : bank.entries) {
+      if (e.valid) ++in_use;
+      count_entry(e, /*distrib=*/true);
+    }
+    if (in_use == cfg_.entries_per_bank) ++s.distrib_banks_full;
+  }
+  for (const Entry& e : shared_) count_entry(e, /*distrib=*/false);
   s.buffer_used = static_cast<std::uint32_t>(buffer_.size());
   return s;
 }

@@ -14,13 +14,26 @@
 // Energy events are emitted per Table 5; the entry also caches the L1D
 // (set, way) behind a presentBit and the DTLB translation (Section 3.4),
 // which the core exploits through `cache_hints`.
+//
+// Hot-path representation (this is the simulator's per-memory-op fast
+// path, so it mirrors the paper's constant-factor argument):
+//   * occupancy bitmasks — each bank keeps a 64-bit valid mask over its
+//     entries and each entry a 64-bit valid mask over its slots, so
+//     placement, same-line visits and frees scan via countr_zero/popcount
+//     instead of iterating every Entry/Slot;
+//   * a flat ring-indexed in-flight table keyed by `InstSeq % window`
+//     replaces the former `unordered_map<InstSeq, Loc>` — O(1) with no
+//     hashing or allocation (the table doubles in the cold, pathological
+//     case of a residue collision between live instructions);
+//   * the AddrBuffer is a fixed ring of `addr_buffer_slots` descriptors,
+//     not a deque — placement never allocates.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/ring_deque.h"
 #include "src/energy/ledger.h"
 #include "src/lsq/lsq_interface.h"
 
@@ -28,8 +41,8 @@ namespace samie::lsq {
 
 struct SamieConfig {
   std::uint32_t banks = 64;
-  std::uint32_t entries_per_bank = 2;
-  std::uint32_t slots_per_entry = 8;
+  std::uint32_t entries_per_bank = 2;  ///< <= 64 (bank occupancy bitmask)
+  std::uint32_t slots_per_entry = 8;   ///< <= 64 (entry occupancy bitmask)
   std::uint32_t shared_entries = 8;
   /// Let the SharedLSQ grow without bound (Figure 3's measurement mode).
   bool unbounded_shared = false;
@@ -46,11 +59,17 @@ struct SamieConfig {
   /// evictions of those lines trigger spurious bank-wide resets; this
   /// flag is the ablation that removes them (bench_ablation_sizing).
   bool clear_stale_present_bits = false;
+  /// Initial size of the ring-indexed in-flight table (rounded up to a
+  /// power of two). Collisions between live InstSeqs grow it; any value
+  /// >= the core's ROB size never grows.
+  std::uint32_t seq_window_hint = 1024;
 };
 
 class SamieLsq final : public LoadStoreQueue {
  public:
-  /// Ledger and/or dtlb ledger may be null (no accounting).
+  /// Ledger may be null (no accounting). Throws std::invalid_argument
+  /// when entries_per_bank or slots_per_entry exceeds 64 (the bitmask
+  /// width) or banks == 0.
   SamieLsq(const SamieConfig& cfg, energy::SamieLsqLedger* ledger);
 
   [[nodiscard]] LsqKind kind() const override { return LsqKind::kSamie; }
@@ -59,14 +78,23 @@ class SamieLsq final : public LoadStoreQueue {
   void on_dispatch(InstSeq, bool) override {}
   /// The paper's §3.3 alternative: agen issues only when the AddrBuffer is
   /// guaranteed to have room, so placement can never be rejected.
-  [[nodiscard]] bool can_compute_address() const override;
+  [[nodiscard]] bool can_compute_address() const override {
+    return placement_headroom() > 0;
+  }
+  /// Free AddrBuffer slots. Guarded against underflow: a configuration
+  /// change or squash-ordering bug can leave more buffered ops than
+  /// `addr_buffer_slots`; the headroom saturates at zero (and
+  /// can_compute_address() goes false) instead of wrapping around.
   [[nodiscard]] std::uint32_t placement_headroom() const override {
-    return cfg_.addr_buffer_slots - static_cast<std::uint32_t>(buffer_.size());
+    const auto used = static_cast<std::uint32_t>(buffer_.size());
+    return used >= cfg_.addr_buffer_slots ? 0 : cfg_.addr_buffer_slots - used;
   }
 
   Placement on_address_ready(const MemOpDesc& op) override;
   void drain(std::vector<InstSeq>& newly_placed) override;
-  [[nodiscard]] bool is_placed(InstSeq seq) const override;
+  [[nodiscard]] bool is_placed(InstSeq seq) const override {
+    return where_find(seq) != nullptr;
+  }
 
   [[nodiscard]] LoadPlan plan_load(InstSeq seq) const override;
   [[nodiscard]] CacheHints cache_hints(InstSeq seq) const override;
@@ -78,9 +106,8 @@ class SamieLsq final : public LoadStoreQueue {
   void on_commit(InstSeq seq) override;
   void squash_from(InstSeq seq) override;
   void on_cache_line_replaced(std::uint32_t set) override;
-  void set_present_bit_clearer(
-      std::function<void(std::uint32_t, std::uint32_t)> fn) override {
-    clear_cache_bit_ = std::move(fn);
+  void set_present_bit_clearer(PresentBitClearer* clearer) override {
+    clear_cache_bit_ = clearer;
   }
 
   [[nodiscard]] OccupancySample occupancy() const override;
@@ -91,6 +118,9 @@ class SamieLsq final : public LoadStoreQueue {
   [[nodiscard]] std::uint64_t agen_gated_cycles() const { return gated_; }
   void note_agen_gated() { ++gated_; }
   [[nodiscard]] const SamieConfig& config() const { return cfg_; }
+  /// Test hook: recomputes every occupancy counter from scratch and
+  /// returns it, for cross-checking the O(1) bitmask bookkeeping.
+  [[nodiscard]] OccupancySample recount_occupancy() const;
 
  private:
   struct Slot {
@@ -111,7 +141,12 @@ class SamieLsq final : public LoadStoreQueue {
     std::uint32_t way = 0;
     bool translation = false;  ///< DTLB translation cached
     std::uint32_t used = 0;
+    std::uint64_t slot_mask = 0;  ///< bit i <=> slots[i].valid
     std::vector<Slot> slots;
+  };
+  struct Bank {
+    std::uint64_t valid_mask = 0;  ///< bit i <=> entries[i].valid
+    std::vector<Entry> entries;
   };
   enum class Where : std::uint8_t { kDistrib, kShared };
   struct Loc {
@@ -120,12 +155,37 @@ class SamieLsq final : public LoadStoreQueue {
     std::uint32_t entry = 0;  // index within bank / shared vector
     std::uint32_t slot = 0;
   };
+  /// Ring-indexed in-flight table cell.
+  struct WhereEntry {
+    InstSeq seq = kNoInst;
+    Loc loc;
+  };
 
   [[nodiscard]] std::uint32_t bank_of(Addr line) const {
-    return static_cast<std::uint32_t>(line % cfg_.banks);
+    return bank_mask_plus1_ != 0
+               ? static_cast<std::uint32_t>(line & (bank_mask_plus1_ - 1))
+               : static_cast<std::uint32_t>(line % cfg_.banks);
   }
-  [[nodiscard]] Entry& entry_at(const Loc& loc);
-  [[nodiscard]] const Entry& entry_at(const Loc& loc) const;
+  [[nodiscard]] Entry& entry_at(const Loc& loc) {
+    return loc.where == Where::kDistrib ? banks_[loc.bank].entries[loc.entry]
+                                        : shared_[loc.entry];
+  }
+  [[nodiscard]] const Entry& entry_at(const Loc& loc) const {
+    return loc.where == Where::kDistrib ? banks_[loc.bank].entries[loc.entry]
+                                        : shared_[loc.entry];
+  }
+
+  // -- in-flight table -------------------------------------------------------
+  [[nodiscard]] const Loc* where_find(InstSeq seq) const {
+    const WhereEntry& w = where_[seq & where_mask_];
+    return w.seq == seq ? &w.loc : nullptr;
+  }
+  void where_insert(InstSeq seq, const Loc& loc);
+  void where_erase(InstSeq seq) {
+    WhereEntry& w = where_[seq & where_mask_];
+    if (w.seq == seq) w.seq = kNoInst;
+  }
+  void where_grow();
 
   /// Performs the parallel bank+shared search, charges comparison energy,
   /// and either fills a slot (returns true) or reports no space.
@@ -133,21 +193,40 @@ class SamieLsq final : public LoadStoreQueue {
   void fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry);
   void disambiguate(const MemOpDesc& op, Loc self_loc);
   /// Visits every valid same-line entry in the op's bank and the shared
-  /// structure. `fn(entry)` returns void.
+  /// structure (bitmask scan). `fn(entry)` returns void.
   template <typename Fn>
   void for_each_same_line(Addr line, Fn&& fn);
+  /// Visits every valid shared entry (multi-word bitmask scan — the
+  /// shared structure can be unbounded).
+  template <typename Fn>
+  void for_each_valid_shared(Fn&& fn);
+  template <typename Fn>
+  void for_each_valid_shared(Fn&& fn) const;
 
   void free_slot(const Loc& loc, InstSeq seq);
   void clear_forward_refs(Entry& e, InstSeq store);
 
   SamieConfig cfg_;
   energy::SamieLsqLedger* ledger_;
-  std::function<void(std::uint32_t, std::uint32_t)> clear_cache_bit_;
+  PresentBitClearer* clear_cache_bit_ = nullptr;
   std::uint32_t line_shift_;
-  std::vector<std::vector<Entry>> banks_;
+  std::uint64_t bank_mask_plus1_ = 0;  ///< banks when pow2 (mask = banks-1)
+  std::uint64_t full_entry_mask_;  ///< (1 << entries_per_bank) - 1
+  std::uint64_t full_slot_mask_;   ///< (1 << slots_per_entry) - 1
+  std::vector<Bank> banks_;
   std::vector<Entry> shared_;
-  std::deque<MemOpDesc> buffer_;
-  std::unordered_map<InstSeq, Loc> where_;
+  std::vector<std::uint64_t> shared_valid_;  ///< word i covers entries 64i..
+
+  /// AddrBuffer: a reserved ring — FIFO retries, order-preserving squash
+  /// compaction, no steady-state allocation.
+  RingDeque<MemOpDesc> buffer_;
+
+  // In-flight location table (power-of-two ring, see class comment).
+  std::vector<WhereEntry> where_;
+  std::uint64_t where_mask_ = 0;
+
+  // Reused scratch (squash paths) — no per-call allocation.
+  std::vector<std::pair<Loc, InstSeq>> squash_scratch_;
 
   // O(1) occupancy counters (see OccupancySample).
   std::uint32_t d_entries_used_ = 0;
@@ -156,7 +235,6 @@ class SamieLsq final : public LoadStoreQueue {
   std::uint32_t s_entries_used_ = 0;
   std::uint32_t s_slots_used_ = 0;
   std::uint32_t s_entries_full_ = 0;
-  std::vector<std::uint32_t> bank_entries_used_;
   std::uint32_t banks_full_ = 0;
 
   std::uint64_t buffered_ = 0;

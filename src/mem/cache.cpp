@@ -9,7 +9,8 @@ Cache::Cache(const CacheConfig& cfg)
       num_sets_(static_cast<std::uint32_t>(
           cfg.size_bytes / (static_cast<std::uint64_t>(cfg.associativity) *
                             cfg.line_bytes))),
-      line_shift_(log2_floor(cfg.line_bytes)) {
+      line_shift_(log2_floor(cfg.line_bytes)),
+      set_shift_(log2_floor(num_sets_)) {
   assert(is_pow2(num_sets_) && is_pow2(cfg.line_bytes));
   lines_.resize(static_cast<std::size_t>(num_sets_) * cfg_.associativity);
 }
@@ -26,7 +27,7 @@ std::uint32_t Cache::set_index(Addr addr) const {
 }
 
 Addr Cache::tag_of(Addr addr) const {
-  return addr >> line_shift_ >> log2_floor(num_sets_);
+  return addr >> line_shift_ >> set_shift_;
 }
 
 CacheAccess Cache::access(Addr addr) {
@@ -60,8 +61,7 @@ CacheAccess Cache::access(Addr addr) {
   if (v.valid) {
     r.evicted = true;
     r.evicted_set = r.set;
-    r.evicted_line_addr =
-        ((v.tag << log2_floor(num_sets_)) | r.set) << line_shift_;
+    r.evicted_line_addr = ((v.tag << set_shift_) | r.set) << line_shift_;
     r.evicted_present_bit = v.present_bit;
   }
   v.valid = true;

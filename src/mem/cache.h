@@ -82,6 +82,7 @@ class Cache {
   CacheConfig cfg_;
   std::uint32_t num_sets_;
   std::uint32_t line_shift_;
+  std::uint32_t set_shift_;  ///< log2(num_sets_), precomputed off the hot path
   std::vector<Line> lines_;  // sets * ways, row-major by set
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;

@@ -1,0 +1,162 @@
+#include "src/sim/perf_harness.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "src/trace/spec2000.h"
+#include "src/trace/workload.h"
+
+namespace samie::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void json_number(std::ostream& os, double v) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+}  // namespace
+
+std::uint64_t peak_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kb = std::strtoull(line + 6, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
+  HotpathReport report;
+  report.instructions = opt.instructions;
+  report.seed = opt.seed;
+  report.repeats = opt.repeats == 0 ? 1 : opt.repeats;
+
+  const std::vector<std::string> programs =
+      opt.programs.empty() ? trace::spec2000_names() : opt.programs;
+  const std::vector<LsqChoice> lsqs =
+      opt.lsqs.empty()
+          ? std::vector<LsqChoice>{LsqChoice::kConventional, LsqChoice::kArb,
+                                   LsqChoice::kSamie}
+          : opt.lsqs;
+
+  // Generate every trace up front so allocation and RNG work never lands
+  // in a timed region.
+  std::vector<trace::Trace> traces;
+  traces.reserve(programs.size());
+  for (const auto& p : programs) {
+    trace::WorkloadGenerator gen(trace::spec2000_profile(p), opt.seed);
+    traces.push_back(gen.generate(opt.instructions));
+  }
+
+  for (const LsqChoice lsq : lsqs) {
+    HotpathLsqResult lr;
+    lr.lsq = lsq;
+    SimConfig cfg = paper_config(lsq);
+    cfg.instructions = opt.instructions;
+    cfg.seed = opt.seed;
+
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      HotpathProgramResult pr;
+      pr.program = programs[i];
+      pr.best_wall_seconds = std::numeric_limits<double>::infinity();
+      for (std::uint32_t r = 0; r < report.repeats; ++r) {
+        const auto t0 = Clock::now();
+        SimResult res = run_simulation(cfg, traces[i]);
+        const double wall = seconds_since(t0);
+        if (wall < pr.best_wall_seconds) pr.best_wall_seconds = wall;
+        if (r == 0) pr.result = std::move(res);
+      }
+      lr.total_sim_cycles += pr.result.core.cycles;
+      lr.total_wall_seconds += pr.best_wall_seconds;
+      lr.programs.push_back(std::move(pr));
+    }
+    lr.sim_cycles_per_second =
+        lr.total_wall_seconds > 0.0
+            ? static_cast<double>(lr.total_sim_cycles) / lr.total_wall_seconds
+            : 0.0;
+    lr.peak_rss_kb = peak_rss_kb();
+    report.lsqs.push_back(std::move(lr));
+  }
+  return report;
+}
+
+void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
+  os << "{\n";
+  os << "  \"schema\": \"samie-bench-hotpath-v1\",\n";
+  os << "  \"instructions\": " << report.instructions << ",\n";
+  os << "  \"seed\": " << report.seed << ",\n";
+  os << "  \"repeats\": " << report.repeats << ",\n";
+  os << "  \"lsqs\": {\n";
+  for (std::size_t li = 0; li < report.lsqs.size(); ++li) {
+    const HotpathLsqResult& lr = report.lsqs[li];
+    os << "    \"" << lsq_choice_name(lr.lsq) << "\": {\n";
+    os << "      \"total_sim_cycles\": " << lr.total_sim_cycles << ",\n";
+    os << "      \"total_wall_seconds\": ";
+    json_number(os, lr.total_wall_seconds);
+    os << ",\n      \"sim_cycles_per_second\": ";
+    json_number(os, lr.sim_cycles_per_second);
+    os << ",\n      \"peak_rss_kb\": " << lr.peak_rss_kb << ",\n";
+    os << "      \"programs\": [\n";
+    for (std::size_t pi = 0; pi < lr.programs.size(); ++pi) {
+      const HotpathProgramResult& pr = lr.programs[pi];
+      const SimResult& s = pr.result;
+      os << "        {\"program\": \"" << pr.program << "\""
+         << ", \"cycles\": " << s.core.cycles
+         << ", \"committed\": " << s.core.committed << ", \"ipc\": ";
+      json_number(os, s.core.ipc);
+      os << ", \"wall_seconds\": ";
+      json_number(os, pr.best_wall_seconds);
+      os << ", \"mispredict_squashes\": " << s.core.mispredict_squashes
+         << ", \"deadlock_flushes\": " << s.core.deadlock_flushes
+         << ", \"forwarded_loads\": " << s.core.forwarded_loads
+         << ", \"value_mismatches\": " << s.core.value_mismatches
+         << ", \"lsq_energy_nj\": ";
+      json_number(os, s.lsq_energy_nj);
+      os << ", \"dcache_energy_nj\": ";
+      json_number(os, s.dcache_energy_nj);
+      os << ", \"dtlb_energy_nj\": ";
+      json_number(os, s.dtlb_energy_nj);
+      os << ", \"area_total\": ";
+      json_number(os, s.area_total);
+      os << ", \"shared_occupancy_mean\": ";
+      json_number(os, s.shared_occupancy_mean);
+      os << ", \"buffer_nonempty_frac\": ";
+      json_number(os, s.buffer_nonempty_frac);
+      os << "}" << (pi + 1 < lr.programs.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }" << (li + 1 < report.lsqs.size() ? "," : "") << "\n";
+  }
+  os << "  }\n";
+  os << "}\n";
+}
+
+double hotpath_cycles_per_second_from_json(const std::string& json_text,
+                                           const std::string& lsq_tag) {
+  const std::string section = "\"" + lsq_tag + "\"";
+  const std::size_t at = json_text.find(section);
+  if (at == std::string::npos) return 0.0;
+  const std::string key = "\"sim_cycles_per_second\":";
+  const std::size_t k = json_text.find(key, at);
+  if (k == std::string::npos) return 0.0;
+  return std::strtod(json_text.c_str() + k + key.size(), nullptr);
+}
+
+}  // namespace samie::sim

@@ -1,0 +1,77 @@
+// Hot-path performance harness: measures *simulator* throughput
+// (simulated cycles per wall-clock second) for each LSQ organization over
+// the SPEC2000 suite, excluding trace generation from the timed region.
+//
+// This is the repo's perf trajectory: `tools/perf_report` writes
+// BENCH_hotpath.json (schema documented in docs/BENCH_hotpath.md) and
+// `bench/bench_hotpath` prints the same measurement as a table and
+// compares it against the checked-in pre-refactor baseline
+// (bench/baseline_hotpath.json).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/sim_config.h"
+#include "src/sim/simulator.h"
+
+namespace samie::sim {
+
+/// One (LSQ, program) measurement. Wall time is the best of `repeats`
+/// timed simulations; the SimResult is taken from the first run and is
+/// deterministic (bit-identical across runs and refactors by contract).
+struct HotpathProgramResult {
+  std::string program;
+  double best_wall_seconds = 0.0;
+  SimResult result;
+};
+
+struct HotpathLsqResult {
+  LsqChoice lsq = LsqChoice::kSamie;
+  std::vector<HotpathProgramResult> programs;
+  std::uint64_t total_sim_cycles = 0;
+  double total_wall_seconds = 0.0;  ///< sum of per-program best walls
+  double sim_cycles_per_second = 0.0;
+  /// Process peak RSS (VmHWM) after this LSQ's runs, in kB. Monotonic
+  /// across the whole process: meaningful as "peak so far".
+  std::uint64_t peak_rss_kb = 0;
+};
+
+struct HotpathReport {
+  std::uint64_t instructions = 0;
+  std::uint64_t seed = 0;
+  std::uint32_t repeats = 0;
+  std::vector<HotpathLsqResult> lsqs;
+};
+
+struct HotpathOptions {
+  std::uint64_t instructions = 200'000;
+  std::uint64_t seed = 42;
+  std::uint32_t repeats = 3;
+  /// Empty = the whole SPEC2000 suite.
+  std::vector<std::string> programs;
+  /// LSQs to measure; empty = conventional, arb, samie.
+  std::vector<LsqChoice> lsqs;
+};
+
+/// Runs the measurement (single-threaded, deterministic job order).
+[[nodiscard]] HotpathReport run_hotpath_measurement(const HotpathOptions& opt);
+
+/// Serializes the report as BENCH_hotpath.json (schema v1). Simulation
+/// statistics are printed with max_digits10, so comparing two reports
+/// with the timing fields (wall_seconds, total_wall_seconds,
+/// sim_cycles_per_second, peak_rss_kb) filtered out checks bit-identical
+/// simulation results; a raw byte diff will always differ on timing.
+void write_hotpath_json(std::ostream& os, const HotpathReport& report);
+
+/// Extracts `"sim_cycles_per_second": <x>` for the given LSQ tag from a
+/// BENCH_hotpath.json document. Returns 0.0 when absent (no baseline).
+[[nodiscard]] double hotpath_cycles_per_second_from_json(
+    const std::string& json_text, const std::string& lsq_tag);
+
+/// Current process peak RSS (VmHWM) in kB; 0 when /proc is unavailable.
+[[nodiscard]] std::uint64_t peak_rss_kb();
+
+}  // namespace samie::sim

@@ -1,11 +1,14 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <memory>
+#include <stdexcept>
 
 #include "src/branch/predictor.h"
 #include "src/core/core.h"
 #include "src/energy/ledger.h"
+#include "src/lsq/arb_lsq.h"
+#include "src/lsq/conventional_lsq.h"
+#include "src/lsq/samie_lsq.h"
 #include "src/trace/spec2000.h"
 #include "src/trace/workload.h"
 
@@ -98,6 +101,39 @@ class StatsCollector final : public core::CycleObserver {
   std::uint64_t cycles_ = 0;
 };
 
+/// Builds the machine around a *concrete* queue type and runs it. The
+/// LSQ types are all `final`, so Core<LsqT> statically dispatches every
+/// LSQ call on the per-memory-op hot path (no virtual calls in the
+/// simulation loop).
+template <typename LsqT>
+SimResult run_with_queue(const SimConfig& cfg, const trace::Trace& trace,
+                         LsqT& queue,
+                         const energy::LsqEnergyConstants& constants,
+                         energy::DcacheLedger& dcache_ledger,
+                         energy::DtlbLedger& dtlb_ledger) {
+  mem::MemoryHierarchy memory(cfg.memory);
+  branch::HybridPredictor predictor;
+  branch::Btb btb;
+  StatsCollector collector(cfg, constants);
+
+  core::Core<LsqT> machine(cfg.core, trace, queue, memory, predictor, btb,
+                           &dcache_ledger, &dtlb_ledger, &collector);
+
+  SimResult r;
+  r.core = machine.run(cfg.instructions);
+  collector.fold_into(r);
+
+  r.dcache_energy_nj = dcache_ledger.energy_pj() / 1e3;
+  r.dtlb_energy_nj = dtlb_ledger.energy_pj() / 1e3;
+  r.l1d_hits = memory.l1d().hits();
+  r.l1d_misses = memory.l1d().misses();
+  r.dtlb_hits = memory.dtlb().hits();
+  r.dtlb_misses = memory.dtlb().misses();
+  r.branch_mispredicts = predictor.mispredicts();
+  r.branch_lookups = predictor.lookups();
+  return r;
+}
+
 }  // namespace
 
 SimResult run_simulation(const SimConfig& cfg, const trace::Trace& trace) {
@@ -106,59 +142,42 @@ SimResult run_simulation(const SimConfig& cfg, const trace::Trace& trace) {
           ? energy::paper_constants()
           : energy::derived_constants(energy::tech_100nm());
 
-  energy::ConvLsqLedger conv_ledger(constants);
-  energy::SamieLsqLedger samie_ledger(constants);
   energy::DcacheLedger dcache_ledger(constants);
   energy::DtlbLedger dtlb_ledger(constants);
 
-  std::unique_ptr<lsq::LoadStoreQueue> queue;
   switch (cfg.lsq) {
-    case LsqChoice::kConventional:
-      queue = std::make_unique<lsq::ConventionalLsq>(cfg.conventional,
-                                                     &conv_ledger);
-      break;
-    case LsqChoice::kUnbounded:
-      queue = lsq::make_unbounded_lsq(cfg.core.rob_size);
-      break;
-    case LsqChoice::kArb:
-      queue = std::make_unique<lsq::ArbLsq>(cfg.arb);
-      break;
-    case LsqChoice::kSamie:
-      queue = std::make_unique<lsq::SamieLsq>(cfg.samie, &samie_ledger);
-      break;
+    case LsqChoice::kConventional: {
+      energy::ConvLsqLedger conv_ledger(constants);
+      lsq::ConventionalLsq queue(cfg.conventional, &conv_ledger);
+      SimResult r = run_with_queue(cfg, trace, queue, constants, dcache_ledger,
+                                   dtlb_ledger);
+      r.lsq_energy_nj = conv_ledger.energy_pj() / 1e3;
+      return r;
+    }
+    case LsqChoice::kUnbounded: {
+      const auto queue = lsq::make_unbounded_lsq(cfg.core.rob_size);
+      return run_with_queue(cfg, trace, *queue, constants, dcache_ledger,
+                            dtlb_ledger);
+    }
+    case LsqChoice::kArb: {
+      lsq::ArbLsq queue(cfg.arb);
+      return run_with_queue(cfg, trace, queue, constants, dcache_ledger,
+                            dtlb_ledger);
+    }
+    case LsqChoice::kSamie: {
+      energy::SamieLsqLedger samie_ledger(constants);
+      lsq::SamieLsq queue(cfg.samie, &samie_ledger);
+      SimResult r = run_with_queue(cfg, trace, queue, constants, dcache_ledger,
+                                   dtlb_ledger);
+      r.lsq_energy_nj = samie_ledger.energy_pj() / 1e3;
+      r.lsq_distrib_nj = samie_ledger.distrib_pj() / 1e3;
+      r.lsq_shared_nj = samie_ledger.shared_pj() / 1e3;
+      r.lsq_addrbuf_nj = samie_ledger.addrbuf_pj() / 1e3;
+      r.lsq_bus_nj = samie_ledger.bus_pj() / 1e3;
+      return r;
+    }
   }
-
-  mem::MemoryHierarchy memory(cfg.memory);
-  branch::HybridPredictor predictor;
-  branch::Btb btb;
-  StatsCollector collector(cfg, constants);
-
-  core::Core machine(cfg.core, trace, *queue, memory, predictor, btb,
-                     &dcache_ledger, &dtlb_ledger, &collector);
-
-  SimResult r;
-  r.core = machine.run(cfg.instructions);
-  collector.fold_into(r);
-
-  if (cfg.lsq == LsqChoice::kSamie) {
-    r.lsq_energy_nj = samie_ledger.energy_pj() / 1e3;
-    r.lsq_distrib_nj = samie_ledger.distrib_pj() / 1e3;
-    r.lsq_shared_nj = samie_ledger.shared_pj() / 1e3;
-    r.lsq_addrbuf_nj = samie_ledger.addrbuf_pj() / 1e3;
-    r.lsq_bus_nj = samie_ledger.bus_pj() / 1e3;
-  } else {
-    r.lsq_energy_nj = conv_ledger.energy_pj() / 1e3;
-  }
-  r.dcache_energy_nj = dcache_ledger.energy_pj() / 1e3;
-  r.dtlb_energy_nj = dtlb_ledger.energy_pj() / 1e3;
-
-  r.l1d_hits = memory.l1d().hits();
-  r.l1d_misses = memory.l1d().misses();
-  r.dtlb_hits = memory.dtlb().hits();
-  r.dtlb_misses = memory.dtlb().misses();
-  r.branch_mispredicts = predictor.mispredicts();
-  r.branch_lookups = predictor.lookups();
-  return r;
+  throw std::logic_error("run_simulation: unknown LsqChoice");
 }
 
 SimResult run_program(const SimConfig& cfg, const std::string& program) {

@@ -202,5 +202,262 @@ INSTANTIATE_TEST_SUITE_P(Seeds, LsqDifferential,
                          ::testing::Values(1ULL, 7ULL, 13ULL, 101ULL, 9999ULL,
                                            424242ULL));
 
+// ---------------------------------------------------------------------------
+// Randomized SAMIE-vs-conventional equivalence sweep.
+//
+// A tighter SAMIE geometry than the reference test above, so placements
+// regularly overflow into the SharedLSQ and the AddrBuffer, exercising the
+// bitmask search, the ring-indexed in-flight table, the AddrBuffer ring
+// and the drain path. The conventional LSQ (placement never fails) acts as
+// the oracle: whenever a load is placed in both queues and its reference
+// store (if any) is also placed in both, the two plans must agree exactly.
+// Squashes and in-order commits are interleaved aggressively, and after
+// every step the O(1) occupancy counters are checked against a
+// from-scratch recount (the bitmask-refactor regression test).
+// ---------------------------------------------------------------------------
+
+class SamieVsConventional : public ::testing::TestWithParam<std::uint64_t> {};
+
+namespace {
+
+void expect_occupancy_counters_match(const SamieLsq& samie) {
+  const OccupancySample fast = samie.occupancy();
+  const OccupancySample slow = samie.recount_occupancy();
+  ASSERT_EQ(fast.distrib_entries_used, slow.distrib_entries_used);
+  ASSERT_EQ(fast.distrib_slots_used, slow.distrib_slots_used);
+  ASSERT_EQ(fast.distrib_banks_full, slow.distrib_banks_full);
+  ASSERT_EQ(fast.distrib_entries_full, slow.distrib_entries_full);
+  ASSERT_EQ(fast.shared_entries_used, slow.shared_entries_used);
+  ASSERT_EQ(fast.shared_slots_used, slow.shared_slots_used);
+  ASSERT_EQ(fast.shared_entries_full, slow.shared_entries_full);
+  ASSERT_EQ(fast.buffer_used, slow.buffer_used);
+}
+
+}  // namespace
+
+TEST_P(SamieVsConventional, RandomizedEquivalenceUnderPressure) {
+  Xoshiro256 rng(GetParam());
+
+  ConventionalLsq conv(ConventionalLsqConfig{.entries = 512, .unbounded = false},
+                       nullptr);
+  SamieLsq samie(SamieConfig{.banks = 2,
+                             .entries_per_bank = 1,
+                             .slots_per_entry = 2,
+                             .shared_entries = 2,
+                             .unbounded_shared = false,
+                             .addr_buffer_slots = 16,
+                             .drain_width = 2,
+                             .line_bytes = 32,
+                             .l1d_sets = 2,
+                             .clear_stale_present_bits = false,
+                             // Tiny window: the ring-indexed table must
+                             // grow on live-residue collisions and stay
+                             // correct.
+                             .seq_window_hint = 8},
+                 nullptr);
+
+  std::map<InstSeq, RefOp> ops;  // in flight (placed in conv = addr known)
+  std::vector<InstSeq> order;    // age-ordered in-flight seqs
+  InstSeq next_seq = 1;
+
+  auto samie_headroom_ok = [&] {
+    // Headroom is consistent with the gate at every step (the former
+    // underflow bug made it wrap to ~4e9 when the buffer was full).
+    const std::uint32_t headroom = samie.placement_headroom();
+    EXPECT_LE(headroom, samie.config().addr_buffer_slots);
+    EXPECT_EQ(headroom > 0, samie.can_compute_address());
+  };
+
+  auto check_plans = [&] {
+    for (InstSeq s : order) {
+      const RefOp& op = ops.at(s);
+      if (!op.is_load) continue;
+      if (!samie.is_placed(s) || !conv.is_placed(s)) continue;
+      const LoadPlan expect = conv.plan_load(s);
+      if (expect.store != kNoInst && !samie.is_placed(expect.store)) continue;
+      const LoadPlan got = samie.plan_load(s);
+      ASSERT_EQ(static_cast<int>(got.kind), static_cast<int>(expect.kind))
+          << "load " << s << " seed " << GetParam();
+      ASSERT_EQ(got.store, expect.store) << "load " << s << " seed "
+                                         << GetParam();
+    }
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.50) {
+      // New memory op; SAMIE may buffer (kBuffered) where the generous
+      // conventional queue always places.
+      if (!samie.can_compute_address()) {
+        // The agen gate: headroom exhausted, no new address computations.
+        samie.note_agen_gated();
+      } else if (conv.can_dispatch(true)) {
+        const bool is_load = rng.chance(0.5);
+        const Addr line = rng.below(6);
+        const Addr offset = rng.below(4) * 8;
+        const std::uint8_t size = rng.chance(0.3) ? 4 : 8;
+        const MemOpDesc desc{next_seq, line * 32 + offset, size, is_load,
+                             false};
+        conv.on_dispatch(next_seq, is_load);
+        samie.on_dispatch(next_seq, is_load);
+        const auto conv_placed = conv.on_address_ready(desc);
+        ASSERT_EQ(static_cast<int>(conv_placed.status),
+                  static_cast<int>(Placement::Status::kPlaced));
+        const auto samie_placed = samie.on_address_ready(desc);
+        ASSERT_NE(static_cast<int>(samie_placed.status),
+                  static_cast<int>(Placement::Status::kRejected))
+            << "rejected despite the agen gate, seed " << GetParam();
+        ops[next_seq] = RefOp{next_seq, desc.addr, size, is_load, true, false};
+        order.push_back(next_seq);
+        ++next_seq;
+      }
+    } else if (roll < 0.62 && !order.empty()) {
+      // Store data arrives (both queues must know the op).
+      const InstSeq s = order[rng.below(order.size())];
+      RefOp& op = ops.at(s);
+      if (!op.is_load && !op.data_ready && samie.is_placed(s)) {
+        op.data_ready = true;
+        conv.on_store_data_ready(s);
+        samie.on_store_data_ready(s);
+      }
+    } else if (roll < 0.85 && !order.empty()) {
+      // Commit the oldest op if it is placed everywhere (in-order).
+      const InstSeq oldest = order.front();
+      if (samie.is_placed(oldest)) {
+        RefOp& op = ops.at(oldest);
+        if (!op.is_load && !op.data_ready) {
+          op.data_ready = true;
+          conv.on_store_data_ready(oldest);
+          samie.on_store_data_ready(oldest);
+        }
+        conv.on_commit(oldest);
+        samie.on_commit(oldest);
+        order.erase(order.begin());
+        ops.erase(oldest);
+      }
+    } else if (!order.empty()) {
+      // Squash a random suffix.
+      const InstSeq cut = order[rng.below(order.size())];
+      conv.squash_from(cut);
+      samie.squash_from(cut);
+      std::erase_if(order, [&](InstSeq s) { return s >= cut; });
+      for (auto it = ops.lower_bound(cut); it != ops.end();) {
+        it = ops.erase(it);
+      }
+      next_seq = std::max<InstSeq>(cut, 1);
+    }
+
+    // Drain SAMIE's AddrBuffer every step.
+    std::vector<InstSeq> placed;
+    samie.drain(placed);
+    for (InstSeq s : placed) {
+      ASSERT_TRUE(ops.count(s) != 0) << "drained unknown seq " << s;
+      ASSERT_TRUE(samie.is_placed(s));
+    }
+
+    samie_headroom_ok();
+    ASSERT_NO_FATAL_FAILURE(expect_occupancy_counters_match(samie));
+    check_plans();
+  }
+
+  // The geometry is tight enough that the sweep must have exercised the
+  // AddrBuffer (and therefore the drain/ring paths).
+  EXPECT_GT(samie.buffered_placements(), 0U) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamieVsConventional,
+                         ::testing::Values(3ULL, 17ULL, 271ULL, 65537ULL,
+                                           31337ULL, 987654321ULL));
+
+// ---------------------------------------------------------------------------
+// O(1) occupancy counters vs from-scratch recount, across every structural
+// transition: fills into distrib + shared, AddrBuffer overflow, drains,
+// suffix squashes, and a full drain-out at the end.
+// ---------------------------------------------------------------------------
+TEST(SamieOccupancyCounters, MatchRecountAcrossLifecycle) {
+  Xoshiro256 rng(99);
+  SamieLsq samie(SamieConfig{.banks = 4,
+                             .entries_per_bank = 2,
+                             .slots_per_entry = 2,
+                             .shared_entries = 2,
+                             .unbounded_shared = false,
+                             .addr_buffer_slots = 8,
+                             .drain_width = 1,
+                             .line_bytes = 32,
+                             .l1d_sets = 4},
+                 nullptr);
+
+  std::vector<InstSeq> live;
+  InstSeq next_seq = 1;
+  for (int step = 0; step < 2000; ++step) {
+    const double roll = rng.uniform();
+    if (roll < 0.55 && samie.can_compute_address()) {
+      const MemOpDesc desc{next_seq, rng.below(16) * 8,
+                           8, rng.chance(0.5), false};
+      const auto p = samie.on_address_ready(desc);
+      ASSERT_NE(static_cast<int>(p.status),
+                static_cast<int>(Placement::Status::kRejected));
+      live.push_back(next_seq);
+      ++next_seq;
+    } else if (roll < 0.80 && !live.empty()) {
+      const InstSeq oldest = live.front();
+      if (samie.is_placed(oldest)) {
+        samie.on_commit(oldest);
+        live.erase(live.begin());
+      }
+    } else if (!live.empty()) {
+      const InstSeq cut = live[rng.below(live.size())];
+      samie.squash_from(cut);
+      std::erase_if(live, [&](InstSeq s) { return s >= cut; });
+    }
+    std::vector<InstSeq> placed;
+    samie.drain(placed);
+    ASSERT_NO_FATAL_FAILURE(expect_occupancy_counters_match(samie));
+  }
+
+  // Drain out: commit everything placed, squash the rest; all counters
+  // must return to zero and still match the recount.
+  samie.squash_from(0);
+  ASSERT_NO_FATAL_FAILURE(expect_occupancy_counters_match(samie));
+  const OccupancySample end = samie.occupancy();
+  EXPECT_EQ(end.distrib_entries_used, 0U);
+  EXPECT_EQ(end.distrib_slots_used, 0U);
+  EXPECT_EQ(end.shared_entries_used, 0U);
+  EXPECT_EQ(end.shared_slots_used, 0U);
+  EXPECT_EQ(end.buffer_used, 0U);
+}
+
+// The former placement_headroom() underflowed when the buffer held more
+// ops than a (shrunken) addr_buffer_slots claims; it must saturate at 0
+// and agree with can_compute_address().
+TEST(SamiePlacementHeadroom, SaturatesWhenBufferFull) {
+  SamieLsq samie(SamieConfig{.banks = 1,
+                             .entries_per_bank = 1,
+                             .slots_per_entry = 1,
+                             .shared_entries = 1,
+                             .unbounded_shared = false,
+                             .addr_buffer_slots = 2,
+                             .drain_width = 1,
+                             .line_bytes = 32,
+                             .l1d_sets = 1},
+                 nullptr);
+  // Fill the single distrib slot + single shared slot, then overflow two
+  // ops into the AddrBuffer (capacity 2).
+  for (InstSeq s = 1; s <= 4; ++s) {
+    ASSERT_NE(static_cast<int>(
+                  samie.on_address_ready(MemOpDesc{s, s * 64, 8, true, false})
+                      .status),
+              static_cast<int>(Placement::Status::kRejected));
+  }
+  EXPECT_EQ(samie.placement_headroom(), 0U);
+  EXPECT_FALSE(samie.can_compute_address());
+  // A fifth placement must be rejected, not wrapped into a huge headroom.
+  EXPECT_EQ(static_cast<int>(
+                samie.on_address_ready(MemOpDesc{5, 5 * 64, 8, true, false})
+                    .status),
+            static_cast<int>(Placement::Status::kRejected));
+  EXPECT_EQ(samie.placement_headroom(), 0U);
+}
+
 }  // namespace
 }  // namespace samie::lsq
