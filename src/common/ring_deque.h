@@ -67,6 +67,18 @@ class RingDeque {
     head_ = (head_ + 1) & mask_;
     --size_;
   }
+  [[nodiscard]] T& back() noexcept {
+    assert(size_ > 0);
+    return data_[(head_ + size_ - 1) & mask_];
+  }
+  [[nodiscard]] const T& back() const noexcept {
+    assert(size_ > 0);
+    return data_[(head_ + size_ - 1) & mask_];
+  }
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
 
   /// Removes every element matching `pred`, preserving order.
   template <typename Pred>

@@ -29,6 +29,7 @@
 #include "src/lsq/lsq_interface.h"
 #include "src/mem/hierarchy.h"
 #include "src/trace/instruction.h"
+#include "src/trace/trace_view.h"
 
 namespace samie::core {
 
@@ -98,7 +99,9 @@ struct CoreResult {
 template <typename LsqT = lsq::LoadStoreQueue>
 class Core final : private lsq::PresentBitClearer {
  public:
-  Core(const CoreConfig& cfg, const trace::Trace& trace, LsqT& lsq,
+  /// `trace` is a borrowed view: the backing storage (an owned Trace, a
+  /// TraceSource, a file mapping) must outlive the core.
+  Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
        mem::MemoryHierarchy& memory, branch::HybridPredictor& predictor,
        branch::Btb& btb, energy::DcacheLedger* dcache_ledger,
        energy::DtlbLedger* dtlb_ledger, CycleObserver* observer);
@@ -195,7 +198,7 @@ class Core final : private lsq::PresentBitClearer {
   void clear_present_bit(std::uint32_t set, std::uint32_t way) override;
 
   CoreConfig cfg_;
-  const trace::Trace& trace_;
+  trace::TraceView trace_;
   LsqT& lsq_;
   mem::MemoryHierarchy& mem_;
   branch::HybridPredictor& predictor_;

@@ -25,7 +25,7 @@ namespace detail {
 }  // namespace detail
 
 template <typename LsqT>
-Core<LsqT>::Core(const CoreConfig& cfg, const trace::Trace& trace, LsqT& lsq,
+Core<LsqT>::Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
                  mem::MemoryHierarchy& memory,
                  branch::HybridPredictor& predictor, branch::Btb& btb,
                  energy::DcacheLedger* dcache_ledger,

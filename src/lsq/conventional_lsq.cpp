@@ -1,6 +1,5 @@
 #include "src/lsq/conventional_lsq.h"
 
-#include <algorithm>
 #include <cassert>
 
 namespace samie::lsq {
@@ -12,10 +11,18 @@ ConventionalLsq::ConventionalLsq(const ConventionalLsqConfig& cfg,
 }
 
 ConventionalLsq::Entry* ConventionalLsq::find(InstSeq seq) {
-  // Entries are age-ordered; binary search by seq.
-  auto it = std::lower_bound(entries_.begin(), entries_.end(), seq,
-                             [](const Entry& e, InstSeq s) { return e.seq < s; });
-  return (it != entries_.end() && it->seq == seq) ? &*it : nullptr;
+  // Entries are age-ordered; binary search by seq over the ring indices.
+  std::size_t lo = 0, hi = entries_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (entries_[mid].seq < seq) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo < entries_.size() && entries_[lo].seq == seq) ? &entries_[lo]
+                                                           : nullptr;
 }
 
 const ConventionalLsq::Entry* ConventionalLsq::find(InstSeq seq) const {
@@ -48,7 +55,8 @@ Placement ConventionalLsq::on_address_ready(const MemOpDesc& op) {
   if (op.is_load) {
     // Compare against older stores with known addresses; remember the
     // youngest overlapping one.
-    for (const Entry& e : entries_) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
       if (e.seq >= op.seq) break;
       if (e.is_load || !e.addr_known) continue;
       ++compared;
@@ -61,7 +69,8 @@ Placement ConventionalLsq::on_address_ready(const MemOpDesc& op) {
     // Compare against younger loads with known addresses and update their
     // forwarding information.
     if (op.data_ready && ledger_ != nullptr) ledger_->on_datum_write();
-    for (Entry& e : entries_) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      Entry& e = entries_[i];
       if (e.seq <= op.seq) continue;
       if (!e.is_load || !e.addr_known) continue;
       ++compared;
@@ -87,7 +96,9 @@ LoadPlan ConventionalLsq::plan_load(InstSeq seq) const {
   const Entry* e = find(seq);
   assert(e != nullptr && e->is_load && e->addr_known);
   LoadPlan p;
-  if (e->fwd_store == kNoInst) {
+  // A reference to an already-committed store means memory is up to date:
+  // fall back to the cache (lazy form of the eager clearing on commit).
+  if (e->fwd_store == kNoInst || !store_live(e->fwd_store)) {
     p.kind = LoadPlan::Kind::kCacheAccess;
     return p;
   }
@@ -115,9 +126,11 @@ void ConventionalLsq::on_cache_access_complete(InstSeq /*seq*/,
 void ConventionalLsq::on_load_complete(InstSeq seq) {
   assert(find(seq) != nullptr);
   if (ledger_ != nullptr) ledger_->on_datum_write();
-  // A forwarded load also read the store's datum.
+  // A forwarded load also read the store's datum (only if the store is
+  // still queued — after its commit the datum came from the cache).
   const Entry* e = find(seq);
-  if (e->fwd_store != kNoInst && e->fwd_full && ledger_ != nullptr) {
+  if (e->fwd_store != kNoInst && store_live(e->fwd_store) && e->fwd_full &&
+      ledger_ != nullptr) {
     ledger_->on_datum_read();
   }
 }
@@ -136,20 +149,17 @@ void ConventionalLsq::on_commit(InstSeq seq) {
     ledger_->on_datum_read();  // the store's datum leaves for the cache
     ledger_->on_addr_read();
   }
-  // Loads that planned to forward from this store fall back to the cache:
-  // everything older has committed, so memory is up to date.
-  for (Entry& other : entries_) {
-    if (other.fwd_store == seq) {
-      other.fwd_store = kNoInst;
-      other.fwd_full = false;
-    }
-  }
-  entries_.erase(entries_.begin());
+  // Loads that planned to forward from this store fall back to the cache;
+  // their references go stale and store_live() filters them at read time,
+  // so commit is O(1) instead of an O(n) ref sweep + front erase.
+  entries_.pop_front();
+  (void)seq;
 }
 
 void ConventionalLsq::squash_from(InstSeq seq) {
   while (!entries_.empty() && entries_.back().seq >= seq) entries_.pop_back();
-  for (Entry& e : entries_) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
     if (e.fwd_store != kNoInst && e.fwd_store >= seq) {
       e.fwd_store = kNoInst;
       e.fwd_full = false;

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/ring_deque.h"
 #include "src/energy/ledger.h"
 #include "src/lsq/lsq_interface.h"
 
@@ -66,12 +67,20 @@ class ConventionalLsq final : public LoadStoreQueue {
 
   [[nodiscard]] Entry* find(InstSeq seq);
   [[nodiscard]] const Entry* find(InstSeq seq) const;
+  /// True if `seq` names a still-queued (uncommitted) store. Forwarding
+  /// references are invalidated lazily: commit just pops the ring, and
+  /// readers treat a reference to a departed store as "forward from
+  /// memory" — bit-identical to the eager clearing this replaced.
+  [[nodiscard]] bool store_live(InstSeq seq) const {
+    return !entries_.empty() && seq >= entries_.front().seq;
+  }
 
   ConventionalLsqConfig cfg_;
   energy::ConvLsqLedger* ledger_;
-  /// Age-ordered (entries_[i].seq increasing); allocation appends,
-  /// commit pops from the front, squash pops from the back.
-  std::vector<Entry> entries_;
+  /// Age-ordered ring (entries_[i].seq increasing): allocation appends,
+  /// commit pops the front in O(1) (no vector front-erase shift), squash
+  /// pops from the back.
+  RingDeque<Entry> entries_;
 };
 
 /// The unbounded LSQ of Figure 1: never stalls dispatch or placement.

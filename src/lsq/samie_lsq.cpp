@@ -85,22 +85,12 @@ void SamieLsq::where_grow() {
   }
 }
 
-template <typename Fn>
-void SamieLsq::for_each_valid_shared(Fn&& fn) {
-  for (std::size_t wi = 0; wi < shared_valid_.size(); ++wi) {
-    for (std::uint64_t m = shared_valid_[wi]; m != 0; m &= m - 1) {
+template <typename Self, typename Fn>
+void SamieLsq::for_each_valid_shared_impl(Self& self, Fn&& fn) {
+  for (std::size_t wi = 0; wi < self.shared_valid_.size(); ++wi) {
+    for (std::uint64_t m = self.shared_valid_[wi]; m != 0; m &= m - 1) {
       const auto i = static_cast<std::uint32_t>(wi * 64 + ctz(m));
-      fn(i, shared_[i]);
-    }
-  }
-}
-
-template <typename Fn>
-void SamieLsq::for_each_valid_shared(Fn&& fn) const {
-  for (std::size_t wi = 0; wi < shared_valid_.size(); ++wi) {
-    for (std::uint64_t m = shared_valid_[wi]; m != 0; m &= m - 1) {
-      const auto i = static_cast<std::uint32_t>(wi * 64 + ctz(m));
-      fn(i, shared_[i]);
+      fn(i, self.shared_[i]);
     }
   }
 }

@@ -31,6 +31,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/common/ring_deque.h"
@@ -197,11 +198,19 @@ class SamieLsq final : public LoadStoreQueue {
   template <typename Fn>
   void for_each_same_line(Addr line, Fn&& fn);
   /// Visits every valid shared entry (multi-word bitmask scan — the
-  /// shared structure can be unbounded).
+  /// shared structure can be unbounded). One body serves both constness
+  /// flavours: `Self` deduces as SamieLsq or const SamieLsq, so `fn`
+  /// receives Entry& or const Entry& accordingly.
+  template <typename Self, typename Fn>
+  static void for_each_valid_shared_impl(Self& self, Fn&& fn);
   template <typename Fn>
-  void for_each_valid_shared(Fn&& fn);
+  void for_each_valid_shared(Fn&& fn) {
+    for_each_valid_shared_impl(*this, std::forward<Fn>(fn));
+  }
   template <typename Fn>
-  void for_each_valid_shared(Fn&& fn) const;
+  void for_each_valid_shared(Fn&& fn) const {
+    for_each_valid_shared_impl(*this, std::forward<Fn>(fn));
+  }
 
   void free_slot(const Loc& loc, InstSeq seq);
   void clear_forward_refs(Entry& e, InstSeq store);

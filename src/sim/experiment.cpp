@@ -1,6 +1,7 @@
 #include "src/sim/experiment.h"
 
 #include <atomic>
+#include <exception>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -8,25 +9,37 @@
 #include <tuple>
 
 #include "src/trace/spec2000.h"
-#include "src/trace/workload.h"
+#include "src/trace/trace_source.h"
 
 namespace samie::sim {
 
 namespace {
 
-/// Thread-safe cache of generated traces, keyed by (program, length, seed).
+/// Thread-safe cache of trace sources. Generated workloads are keyed by
+/// (program, length, seed); recorded SAMT files by path alone (the file
+/// is the same trace regardless of length/seed, and `instructions` only
+/// caps how much of it each job replays). Either way, every worker
+/// sharing a key holds one TraceSource — for replay jobs that is a
+/// single file mapping, not a per-worker heap copy.
 class TraceCache {
  public:
-  std::shared_ptr<const trace::Trace> get(const std::string& program,
-                                          std::uint64_t n, std::uint64_t seed) {
-    const Key key{program, n, seed};
+  std::shared_ptr<const trace::TraceSource> get(const Job& job) {
+    const std::string& path = job.config.trace_path;
+    const Key key = path.empty()
+                        ? Key{job.program, job.config.instructions,
+                              job.config.seed}
+                        : Key{"file:" + path, 0, 0};
     {
       std::scoped_lock lock(mu_);
       if (auto it = cache_.find(key); it != cache_.end()) return it->second;
     }
-    // Generate outside the lock: different keys generate concurrently.
-    trace::WorkloadGenerator gen(trace::spec2000_profile(program), seed);
-    auto t = std::make_shared<trace::Trace>(gen.generate(n));
+    // Build outside the lock: different keys materialize concurrently.
+    auto t = std::make_shared<const trace::TraceSource>(
+        path.empty()
+            ? trace::TraceSource::generate(
+                  trace::spec2000_profile(job.program), job.config.seed,
+                  job.config.instructions)
+            : trace::TraceSource::open_samt(path));
     std::scoped_lock lock(mu_);
     auto [it, _] = cache_.try_emplace(key, std::move(t));
     return it->second;
@@ -35,7 +48,7 @@ class TraceCache {
  private:
   using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
   std::mutex mu_;
-  std::map<Key, std::shared_ptr<const trace::Trace>> cache_;
+  std::map<Key, std::shared_ptr<const trace::TraceSource>> cache_;
 };
 
 }  // namespace
@@ -48,15 +61,27 @@ std::vector<JobResult> run_jobs(const std::vector<Job>& jobs, unsigned threads) 
   std::vector<JobResult> results(jobs.size());
   std::atomic<std::size_t> next{0};
 
+  // A worker hitting an error (e.g. a malformed trace file) parks the
+  // exception and the pool drains; the first one is rethrown to the
+  // caller after join instead of terminating the process.
+  std::mutex error_mu;
+  std::exception_ptr error;
+
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
-      const Job& job = jobs[i];
-      const auto t =
-          traces.get(job.program, job.config.instructions, job.config.seed);
-      results[i].job = job;
-      results[i].result = run_simulation(job.config, *t);
+      try {
+        const Job& job = jobs[i];
+        const auto t = traces.get(job);
+        results[i].job = job;
+        results[i].result = run_simulation(job.config, t->view());
+      } catch (...) {
+        std::scoped_lock lock(error_mu);
+        if (!error) error = std::current_exception();
+        next.store(jobs.size());  // stop handing out work
+        return;
+      }
     }
   };
 
@@ -64,6 +89,7 @@ std::vector<JobResult> run_jobs(const std::vector<Job>& jobs, unsigned threads) 
   pool.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
   for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
   return results;
 }
 

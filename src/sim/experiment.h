@@ -1,7 +1,8 @@
 // Parallel experiment runner: fans (program, config) jobs out over worker
-// threads. Traces are generated once per (program, length, seed) and
-// shared read-only between workers (Core Guidelines CP.1: workers share
-// only immutable traces and write disjoint result slots).
+// threads. Traces are materialized once per (program, length, seed) — or
+// mmapped once per recorded trace file when `config.trace_path` is set —
+// and shared read-only between workers (Core Guidelines CP.1: workers
+// share only immutable traces and write disjoint result slots).
 #pragma once
 
 #include <functional>
@@ -14,7 +15,9 @@
 namespace samie::sim {
 
 struct Job {
-  std::string program;  ///< SPEC2000 profile name
+  /// SPEC2000 profile name; when `config.trace_path` is set this is only
+  /// a display label (usually the recorded trace's header name).
+  std::string program;
   SimConfig config;
   /// Free-form tag benches use to group results (e.g. "64x2", "samie").
   std::string tag;

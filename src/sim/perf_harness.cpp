@@ -1,15 +1,18 @@
 #include "src/sim/perf_harness.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iomanip>
 #include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
 #include "src/trace/spec2000.h"
-#include "src/trace/workload.h"
+#include "src/trace/trace_source.h"
 
 namespace samie::sim {
 
@@ -48,21 +51,59 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
   report.seed = opt.seed;
   report.repeats = opt.repeats == 0 ? 1 : opt.repeats;
 
-  const std::vector<std::string> programs =
-      opt.programs.empty() ? trace::spec2000_names() : opt.programs;
   const std::vector<LsqChoice> lsqs =
       opt.lsqs.empty()
           ? std::vector<LsqChoice>{LsqChoice::kConventional, LsqChoice::kArb,
                                    LsqChoice::kSamie}
           : opt.lsqs;
 
-  // Generate every trace up front so allocation and RNG work never lands
-  // in a timed region.
-  std::vector<trace::Trace> traces;
-  traces.reserve(programs.size());
-  for (const auto& p : programs) {
-    trace::WorkloadGenerator gen(trace::spec2000_profile(p), opt.seed);
-    traces.push_back(gen.generate(opt.instructions));
+  // Generated workloads are materialized up front so allocation and RNG
+  // work never land in a timed region. Canned traces are only *named*
+  // here (cheap header reads for the labels); each file is mmapped right
+  // before its timed runs and unmapped right after, so the sweep's peak
+  // RSS tracks one trace at a time instead of the whole suite. The
+  // checksum verification at open faults the pages in, keeping the timed
+  // replay on a warm page cache.
+  std::vector<trace::TraceSource> traces;
+  std::vector<std::string> trace_files;
+  std::vector<std::string> programs;
+  if (!opt.trace_dir.empty()) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opt.trace_dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".samt") {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      // An empty report would read as "no baseline" downstream and
+      // silently disable perf-regression gating — refuse instead.
+      throw trace::TraceFormatError("no *.samt traces under '" +
+                                    opt.trace_dir + "'");
+    }
+    std::uint64_t common_count = 0;
+    bool uniform = true;
+    for (const auto& f : files) {
+      trace_files.push_back(f.string());
+      const trace::SamtHeader h = trace::read_samt_header(f.string());
+      const std::size_t len = ::strnlen(h.name, sizeof h.name);
+      programs.push_back(len > 0 ? std::string(h.name, len)
+                                 : f.stem().string());
+      if (common_count == 0) common_count = h.count;
+      uniform = uniform && h.count == common_count;
+    }
+    // opt.instructions is unused in replay mode; report the real
+    // per-program trace length (0 when the traces differ in length —
+    // the per-program "committed" fields then carry the truth).
+    report.instructions = uniform ? common_count : 0;
+  } else {
+    programs = opt.programs.empty() ? trace::spec2000_names() : opt.programs;
+    for (const auto& p : programs) {
+      traces.push_back(trace::TraceSource::generate(trace::spec2000_profile(p),
+                                                    opt.seed,
+                                                    opt.instructions));
+    }
   }
 
   for (const LsqChoice lsq : lsqs) {
@@ -73,12 +114,22 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
     cfg.seed = opt.seed;
 
     for (std::size_t i = 0; i < programs.size(); ++i) {
+      std::optional<trace::TraceSource> mapped;
+      trace::TraceView view;
+      if (opt.trace_dir.empty()) {
+        view = traces[i].view();
+        cfg.instructions = opt.instructions;
+      } else {
+        mapped.emplace(trace::TraceSource::open_samt(trace_files[i]));
+        view = mapped->view();
+        cfg.instructions = static_cast<std::uint64_t>(mapped->size());
+      }
       HotpathProgramResult pr;
       pr.program = programs[i];
       pr.best_wall_seconds = std::numeric_limits<double>::infinity();
       for (std::uint32_t r = 0; r < report.repeats; ++r) {
         const auto t0 = Clock::now();
-        SimResult res = run_simulation(cfg, traces[i]);
+        SimResult res = run_simulation(cfg, view);
         const double wall = seconds_since(t0);
         if (wall < pr.best_wall_seconds) pr.best_wall_seconds = wall;
         if (r == 0) pr.result = std::move(res);
@@ -153,9 +204,19 @@ double hotpath_cycles_per_second_from_json(const std::string& json_text,
   const std::string section = "\"" + lsq_tag + "\"";
   const std::size_t at = json_text.find(section);
   if (at == std::string::npos) return 0.0;
+  // Bound the key search to this tag's own object: find its opening
+  // brace, then the matching close. Without the bound, a section missing
+  // the key would silently read the next section's value.
+  const std::size_t open = json_text.find('{', at + section.size());
+  if (open == std::string::npos) return 0.0;
+  std::size_t end = open;
+  for (int depth = 0; end < json_text.size(); ++end) {
+    if (json_text[end] == '{') ++depth;
+    else if (json_text[end] == '}' && --depth == 0) break;
+  }
   const std::string key = "\"sim_cycles_per_second\":";
-  const std::size_t k = json_text.find(key, at);
-  if (k == std::string::npos) return 0.0;
+  const std::size_t k = json_text.find(key, open);
+  if (k == std::string::npos || k >= end) return 0.0;
   return std::strtod(json_text.c_str() + k + key.size(), nullptr);
 }
 

@@ -54,6 +54,11 @@ struct HotpathOptions {
   std::vector<std::string> programs;
   /// LSQs to measure; empty = conventional, arb, samie.
   std::vector<LsqChoice> lsqs;
+  /// When non-empty: sweep the *.samt traces in this directory (sorted by
+  /// filename, mmap-replayed) instead of generating `programs`. Program
+  /// labels come from the SAMT headers; `instructions` and `seed` are
+  /// ignored (each trace replays in full).
+  std::string trace_dir;
 };
 
 /// Runs the measurement (single-threaded, deterministic job order).
@@ -67,7 +72,9 @@ struct HotpathOptions {
 void write_hotpath_json(std::ostream& os, const HotpathReport& report);
 
 /// Extracts `"sim_cycles_per_second": <x>` for the given LSQ tag from a
-/// BENCH_hotpath.json document. Returns 0.0 when absent (no baseline).
+/// BENCH_hotpath.json document. The search is bounded to the tag's own
+/// JSON object, so a section missing the key yields 0.0 instead of
+/// silently reading the next section's value. Returns 0.0 when absent.
 [[nodiscard]] double hotpath_cycles_per_second_from_json(
     const std::string& json_text, const std::string& lsq_tag);
 

@@ -34,6 +34,10 @@ struct SimConfig {
   bool paper_energy_constants = true;
   std::uint64_t instructions = 300'000;
   std::uint64_t seed = 42;
+  /// When non-empty, the workload is the recorded SAMT trace at this path
+  /// (replayed via mmap) instead of a (profile, seed, length) triple;
+  /// `instructions` then caps how much of the trace is replayed.
+  std::string trace_path;
 };
 
 /// The paper's evaluation configuration with the given LSQ choice.

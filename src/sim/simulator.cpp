@@ -10,6 +10,7 @@
 #include "src/lsq/conventional_lsq.h"
 #include "src/lsq/samie_lsq.h"
 #include "src/trace/spec2000.h"
+#include "src/trace/trace_source.h"
 #include "src/trace/workload.h"
 
 namespace samie::sim {
@@ -106,7 +107,7 @@ class StatsCollector final : public core::CycleObserver {
 /// LSQ call on the per-memory-op hot path (no virtual calls in the
 /// simulation loop).
 template <typename LsqT>
-SimResult run_with_queue(const SimConfig& cfg, const trace::Trace& trace,
+SimResult run_with_queue(const SimConfig& cfg, trace::TraceView trace,
                          LsqT& queue,
                          const energy::LsqEnergyConstants& constants,
                          energy::DcacheLedger& dcache_ledger,
@@ -136,7 +137,7 @@ SimResult run_with_queue(const SimConfig& cfg, const trace::Trace& trace,
 
 }  // namespace
 
-SimResult run_simulation(const SimConfig& cfg, const trace::Trace& trace) {
+SimResult run_simulation(const SimConfig& cfg, trace::TraceView trace) {
   const energy::LsqEnergyConstants constants =
       cfg.paper_energy_constants
           ? energy::paper_constants()
@@ -181,9 +182,18 @@ SimResult run_simulation(const SimConfig& cfg, const trace::Trace& trace) {
 }
 
 SimResult run_program(const SimConfig& cfg, const std::string& program) {
+  if (!cfg.trace_path.empty()) return run_trace_file(cfg);
   trace::WorkloadGenerator gen(trace::spec2000_profile(program), cfg.seed);
   const trace::Trace t = gen.generate(cfg.instructions);
   return run_simulation(cfg, t);
+}
+
+SimResult run_trace_file(const SimConfig& cfg) {
+  if (cfg.trace_path.empty()) {
+    throw std::invalid_argument("run_trace_file: cfg.trace_path is empty");
+  }
+  const trace::TraceSource source = trace::TraceSource::open_samt(cfg.trace_path);
+  return run_simulation(cfg, source.view());
 }
 
 }  // namespace samie::sim

@@ -8,6 +8,7 @@
 #include "src/common/stats.h"
 #include "src/sim/sim_config.h"
 #include "src/trace/instruction.h"
+#include "src/trace/trace_view.h"
 
 namespace samie::sim {
 
@@ -53,11 +54,19 @@ struct SimResult {
 };
 
 /// Runs `cfg` over `trace` (a fresh machine per call; deterministic).
+/// The view's backing storage — an owned Trace, a TraceSource, a file
+/// mapping — must stay alive for the duration of the call; `const
+/// trace::Trace&` call sites convert implicitly.
 [[nodiscard]] SimResult run_simulation(const SimConfig& cfg,
-                                       const trace::Trace& trace);
+                                       trace::TraceView trace);
 
 /// Convenience: generates the named SPEC2000-profile trace and runs it.
 [[nodiscard]] SimResult run_program(const SimConfig& cfg,
                                     const std::string& program);
+
+/// Convenience: replays the recorded SAMT trace at `cfg.trace_path`
+/// (mmap, zero-copy). Throws trace::TraceFormatError on malformed files
+/// and std::invalid_argument when `cfg.trace_path` is empty.
+[[nodiscard]] SimResult run_trace_file(const SimConfig& cfg);
 
 }  // namespace samie::sim

@@ -5,12 +5,12 @@
 
 namespace samie::trace {
 
-MixStats compute_mix(const Trace& t) {
+MixStats compute_mix(TraceView t) {
   MixStats m;
   m.count = t.size();
   if (t.size() == 0) return m;
   std::uint64_t loads = 0, stores = 0, branches = 0, fp = 0, intc = 0;
-  for (const auto& op : t.ops) {
+  for (const auto& op : t) {
     switch (op.op) {
       case OpClass::kLoad: ++loads; break;
       case OpClass::kStore: ++stores; break;
@@ -30,7 +30,7 @@ MixStats compute_mix(const Trace& t) {
   return m;
 }
 
-SharingStats compute_sharing(const Trace& t, std::size_t window,
+SharingStats compute_sharing(TraceView t, std::size_t window,
                              std::uint32_t line_bytes) {
   SharingStats s;
   const Addr line_mask = ~static_cast<Addr>(line_bytes - 1);
@@ -41,7 +41,7 @@ SharingStats compute_sharing(const Trace& t, std::size_t window,
   double accesses_per_line_acc = 0.0;
   std::uint64_t samples = 0;
 
-  for (const auto& op : t.ops) {
+  for (const auto& op : t) {
     if (!is_mem(op.op)) continue;
     const Addr line = op.mem_addr & line_mask;
     if (auto it = line_count.find(line); it != line_count.end() && it->second > 0) {
@@ -72,7 +72,7 @@ SharingStats compute_sharing(const Trace& t, std::size_t window,
   return s;
 }
 
-BankSpreadStats compute_bank_spread(const Trace& t, std::size_t window,
+BankSpreadStats compute_bank_spread(TraceView t, std::size_t window,
                                     std::uint32_t banks, std::uint32_t line_bytes) {
   BankSpreadStats b;
   const Addr line_shift = log2_floor(line_bytes);
@@ -83,7 +83,7 @@ BankSpreadStats compute_bank_spread(const Trace& t, std::size_t window,
   std::vector<std::uint32_t> per_bank(banks, 0);
 
   std::uint64_t mem_seen = 0;
-  for (const auto& op : t.ops) {
+  for (const auto& op : t) {
     if (!is_mem(op.op)) continue;
     const Addr line = op.mem_addr >> line_shift;
     in_window.push_back(line);

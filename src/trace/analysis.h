@@ -9,6 +9,7 @@
 
 #include "src/common/types.h"
 #include "src/trace/instruction.h"
+#include "src/trace/trace_view.h"
 
 namespace samie::trace {
 
@@ -22,7 +23,7 @@ struct MixStats {
   std::uint64_t count = 0;
 };
 
-[[nodiscard]] MixStats compute_mix(const Trace& t);
+[[nodiscard]] MixStats compute_mix(TraceView t);
 
 /// Cache-line sharing within a sliding window of `window` instructions
 /// (a proxy for the instruction window of the machine).
@@ -36,7 +37,7 @@ struct SharingStats {
   std::uint64_t mem_accesses = 0;
 };
 
-[[nodiscard]] SharingStats compute_sharing(const Trace& t, std::size_t window,
+[[nodiscard]] SharingStats compute_sharing(TraceView t, std::size_t window,
                                            std::uint32_t line_bytes = 32);
 
 /// How distinct in-flight lines spread over `banks` address-indexed banks.
@@ -49,7 +50,7 @@ struct BankSpreadStats {
   double mean_distinct_lines = 0.0;
 };
 
-[[nodiscard]] BankSpreadStats compute_bank_spread(const Trace& t, std::size_t window,
+[[nodiscard]] BankSpreadStats compute_bank_spread(TraceView t, std::size_t window,
                                                   std::uint32_t banks,
                                                   std::uint32_t line_bytes = 32);
 

@@ -1,0 +1,488 @@
+#include "src/trace/trace_io.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace samie::trace {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Writes the record into `dst` in canonical form: the MicroOp fields
+/// copied one by one into a zeroed staging object whose full object
+/// representation is then memcpy'd, so padding bytes are
+/// deterministically zero and the same trace always produces
+/// byte-identical files (copy *assignment* would not do — it need not
+/// preserve padding).
+void canonical_record(const MicroOp& op, MicroOp* dst) noexcept {
+  MicroOp r;
+  std::memset(static_cast<void*>(&r), 0, sizeof r);
+  r.pc = op.pc;
+  r.mem_addr = op.mem_addr;
+  r.br_target = op.br_target;
+  r.value = op.value;
+  r.op = op.op;
+  r.mem_size = op.mem_size;
+  r.src1 = op.src1;
+  r.src2 = op.src2;
+  r.dst = op.dst;
+  r.taken = op.taken;
+  std::memcpy(static_cast<void*>(dst), &r, sizeof r);
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw TraceFormatError(path + ": " + what);
+}
+
+void validate_header(const std::string& path, const SamtHeader& h,
+                     std::uint64_t file_bytes) {
+  if (std::memcmp(h.magic, kSamtMagic, sizeof kSamtMagic) != 0) {
+    fail(path, "not a SAMT trace (bad magic)");
+  }
+  if (h.version != kSamtVersion) {
+    fail(path, "unsupported SAMT version " + std::to_string(h.version) +
+                   " (this build reads version " +
+                   std::to_string(kSamtVersion) + ")");
+  }
+  if (h.record_bytes != sizeof(MicroOp)) {
+    fail(path, "record size " + std::to_string(h.record_bytes) +
+                   " does not match this build's MicroOp (" +
+                   std::to_string(sizeof(MicroOp)) + " bytes)");
+  }
+  const std::uint64_t want = sizeof(SamtHeader) + h.count * sizeof(MicroOp);
+  if (file_bytes != want) {
+    fail(path, "truncated or oversized: header promises " +
+                   std::to_string(h.count) + " records (" +
+                   std::to_string(want) + " bytes), file has " +
+                   std::to_string(file_bytes));
+  }
+}
+
+[[nodiscard]] std::string header_name(const SamtHeader& h) {
+  const std::size_t len = ::strnlen(h.name, sizeof h.name);
+  return std::string(h.name, len);
+}
+
+[[nodiscard]] std::uint64_t file_size_of(const std::string& path,
+                                         std::FILE* f) {
+  if (std::fseek(f, 0, SEEK_END) != 0) fail(path, "seek failed");
+  const long n = std::ftell(f);
+  if (n < 0) fail(path, "tell failed");
+  if (std::fseek(f, 0, SEEK_SET) != 0) fail(path, "seek failed");
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_64(const void* bytes, std::size_t n,
+                       std::uint64_t h) noexcept {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// ----------------------------------------------------------- TraceWriter --
+
+TraceWriter::TraceWriter(const std::string& path, const std::string& name,
+                         std::uint64_t seed)
+    : path_(path), file_(std::fopen(path.c_str(), "wb")) {
+  if (file_ == nullptr) {
+    fail(path, std::string("cannot open for writing: ") + std::strerror(errno));
+  }
+  std::memcpy(header_.magic, kSamtMagic, sizeof kSamtMagic);
+  header_.version = kSamtVersion;
+  header_.record_bytes = sizeof(MicroOp);
+  header_.seed = seed;
+  std::memset(header_.name, 0, sizeof header_.name);
+  std::memcpy(header_.name, name.data(),
+              std::min(name.size(), sizeof header_.name - 1));
+  if (std::fwrite(&header_, sizeof header_, 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+    fail(path, "cannot write header");
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    std::remove(path_.c_str());  // unfinished file: don't leave a torso
+  }
+}
+
+void TraceWriter::append(const MicroOp& op) {
+  append(TraceView{&op, 1});
+}
+
+void TraceWriter::append(TraceView ops) {
+  if (file_ == nullptr) fail(path_, "append after finish()");
+  std::array<MicroOp, 256> chunk;
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    const std::size_t n = std::min(ops.size() - i, chunk.size());
+    for (std::size_t j = 0; j < n; ++j) canonical_record(ops[i + j], &chunk[j]);
+    checksum_ = fnv1a_64(chunk.data(), n * sizeof(MicroOp), checksum_);
+    if (std::fwrite(chunk.data(), sizeof(MicroOp), n, file_) != n) {
+      fail(path_, "short write");
+    }
+    header_.count += n;
+    i += n;
+  }
+}
+
+void TraceWriter::finish() {
+  if (file_ == nullptr) fail(path_, "finish() called twice");
+  header_.checksum = checksum_;
+  const bool ok = std::fseek(file_, 0, SEEK_SET) == 0 &&
+                  std::fwrite(&header_, sizeof header_, 1, file_) == 1 &&
+                  std::fclose(file_) == 0;
+  file_ = nullptr;
+  if (!ok) {
+    std::remove(path_.c_str());
+    fail(path_, "cannot finalize header");
+  }
+}
+
+void write_samt(const std::string& path, TraceView ops,
+                const std::string& name, std::uint64_t seed) {
+  TraceWriter w(path, name, seed);
+  w.append(ops);
+  w.finish();
+}
+
+// ----------------------------------------------------------- TraceReader --
+
+SamtHeader read_samt_header(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    fail(path, std::string("cannot open: ") + std::strerror(errno));
+  }
+  const std::uint64_t bytes = file_size_of(path, f);
+  SamtHeader h{};
+  if (bytes < sizeof h || std::fread(&h, sizeof h, 1, f) != 1) {
+    std::fclose(f);
+    fail(path, "too short for a SAMT header");
+  }
+  std::fclose(f);
+  validate_header(path, h, bytes);
+  return h;
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : path_(path), header_(read_samt_header(path)) {}
+
+std::string TraceReader::name() const { return header_name(header_); }
+
+Trace TraceReader::read_all() const {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) {
+    fail(path_, std::string("cannot open: ") + std::strerror(errno));
+  }
+  Trace t;
+  t.name = name();
+  t.seed = header_.seed;
+  bool ok = std::fseek(f, sizeof(SamtHeader), SEEK_SET) == 0;
+  if (ok) {
+    t.ops.resize(static_cast<std::size_t>(header_.count));
+    ok = header_.count == 0 ||
+         std::fread(t.ops.data(), sizeof(MicroOp),
+                    static_cast<std::size_t>(header_.count),
+                    f) == header_.count;
+  }
+  std::fclose(f);
+  if (!ok) fail(path_, "truncated record array");
+  const std::uint64_t sum =
+      fnv1a_64(t.ops.data(), t.ops.size() * sizeof(MicroOp));
+  if (sum != header_.checksum) fail(path_, "record checksum mismatch");
+  return t;
+}
+
+// ----------------------------------------------------------- MappedTrace --
+
+MappedTrace::MappedTrace(const std::string& path, bool verify_checksum) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    fail(path, std::string("cannot open: ") + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "stat failed");
+  }
+  const auto bytes = static_cast<std::uint64_t>(st.st_size);
+  if (bytes < sizeof(SamtHeader)) {
+    ::close(fd);
+    fail(path, "too short for a SAMT header");
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(bytes), PROT_READ,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    fail(path, std::string("mmap failed: ") + std::strerror(errno));
+  }
+  map_ = map;
+  map_len_ = static_cast<std::size_t>(bytes);
+  std::memcpy(&header_, map_, sizeof header_);
+  try {
+    validate_header(path, header_, bytes);
+  } catch (...) {
+    unmap();
+    throw;
+  }
+  records_ = reinterpret_cast<const MicroOp*>(
+      static_cast<const char*>(map_) + sizeof(SamtHeader));
+  // Sequential replay: tell the kernel to read ahead aggressively.
+  ::madvise(map_, map_len_, MADV_SEQUENTIAL);
+  if (verify_checksum) {
+    const std::uint64_t sum =
+        fnv1a_64(records_, static_cast<std::size_t>(header_.count) *
+                               sizeof(MicroOp));
+    if (sum != header_.checksum) {
+      unmap();
+      fail(path, "record checksum mismatch");
+    }
+  }
+}
+
+MappedTrace::MappedTrace(MappedTrace&& other) noexcept
+    : header_(other.header_),
+      map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      records_(std::exchange(other.records_, nullptr)) {}
+
+MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    header_ = other.header_;
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    records_ = std::exchange(other.records_, nullptr);
+  }
+  return *this;
+}
+
+MappedTrace::~MappedTrace() { unmap(); }
+
+void MappedTrace::unmap() noexcept {
+  if (map_ != nullptr) {
+    ::munmap(map_, map_len_);
+    map_ = nullptr;
+    map_len_ = 0;
+    records_ = nullptr;
+  }
+}
+
+std::string MappedTrace::name() const { return header_name(header_); }
+
+// ----------------------------------------------------------- text import --
+
+namespace {
+
+/// Oracle memory for the importer: program-order byte store, same
+/// semantics as WorkloadGenerator's page map.
+class OracleMemory {
+ public:
+  void store(Addr addr, std::uint32_t bytes, std::uint64_t value) {
+    for (std::uint32_t i = 0; i < bytes; ++i) {
+      bytes_[addr + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+  }
+  [[nodiscard]] std::uint64_t load(Addr addr, std::uint32_t bytes) const {
+    std::uint64_t v = 0;
+    for (std::uint32_t i = 0; i < bytes; ++i) {
+      const auto it = bytes_.find(addr + i);
+      const std::uint8_t b = it == bytes_.end() ? 0 : it->second;
+      v |= static_cast<std::uint64_t>(b) << (8 * i);
+    }
+    return v;
+  }
+
+ private:
+  std::unordered_map<Addr, std::uint8_t> bytes_;
+};
+
+[[nodiscard]] bool parse_op_class(const std::string& tok, OpClass& out) {
+  for (const OpClass c :
+       {OpClass::kIntAlu, OpClass::kIntMul, OpClass::kIntDiv, OpClass::kFpAlu,
+        OpClass::kFpMul, OpClass::kFpDiv, OpClass::kLoad, OpClass::kStore,
+        OpClass::kBranch, OpClass::kNop}) {
+    if (tok == op_class_name(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Parses a non-negative integer (decimal, or hex with 0x prefix),
+/// rejecting trailing junk.
+[[nodiscard]] bool parse_number(const std::string& tok, std::uint64_t& out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(tok.c_str(), &end, 0);
+  return errno == 0 && end == tok.c_str() + tok.size();
+}
+
+/// The producing op's destination register, provided it is still the
+/// youngest writer of that register at `ops.size()` (otherwise the
+/// dependency is unrepresentable through rename and is dropped).
+[[nodiscard]] RegId dep_register(const std::vector<MicroOp>& ops,
+                                 std::uint64_t distance) {
+  if (distance == 0 || distance > ops.size()) return kNoReg;
+  const std::size_t producer = ops.size() - static_cast<std::size_t>(distance);
+  const RegId reg = ops[producer].dst;
+  if (reg == kNoReg) return kNoReg;
+  for (std::size_t i = producer + 1; i < ops.size(); ++i) {
+    if (ops[i].dst == reg) return kNoReg;
+  }
+  return reg;
+}
+
+}  // namespace
+
+Trace import_text_trace_from_string(const std::string& text,
+                                    const std::string& origin) {
+  Trace t;
+  t.name = origin;
+  t.seed = 0;
+  OracleMemory oracle;
+  Addr pc = 0x00400000;
+  std::uint32_t next_int_dst = 0;
+  std::uint32_t next_fp_dst = 0;
+  std::uint64_t store_counter = 0;
+
+  std::istringstream lines(text);
+  std::string line;
+  std::uint64_t lineno = 0;
+  auto bad = [&](const std::string& what) -> TraceFormatError {
+    return TraceFormatError(origin + ":" + std::to_string(lineno) + ": " +
+                            what);
+  };
+
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::vector<std::string> tok;
+    for (std::string f; fields >> f;) tok.push_back(std::move(f));
+    if (tok.empty()) continue;
+
+    OpClass cls{};
+    if (!parse_op_class(tok[0], cls)) {
+      throw bad("unknown op class '" + tok[0] + "'");
+    }
+
+    MicroOp op;
+    op.op = cls;
+    op.pc = pc;
+
+    // Positional fields after the class: addr, size, dep1, dep2 (for
+    // branches the addr column is the target and the size column the
+    // taken flag; compute classes start at dep1).
+    std::size_t f = 1;
+    auto number_at = [&](std::size_t idx, const char* what) {
+      std::uint64_t v = 0;
+      if (idx >= tok.size() || !parse_number(tok[idx], v)) {
+        throw bad(std::string("expected ") + what + " for '" + tok[0] + "'");
+      }
+      return v;
+    };
+
+    if (is_mem(cls)) {
+      op.mem_addr = number_at(f++, "an address");
+      const std::uint64_t size = number_at(f++, "an access size");
+      if (size != 4 && size != 8) {
+        throw bad("access size must be 4 or 8, got " + std::to_string(size));
+      }
+      if (op.mem_addr % size != 0) {
+        throw bad("address 0x" + [&] {
+          std::ostringstream os;
+          os << std::hex << op.mem_addr;
+          return os.str();
+        }() + " is not " + std::to_string(size) + "-byte aligned");
+      }
+      op.mem_size = static_cast<std::uint8_t>(size);
+    } else if (cls == OpClass::kBranch) {
+      if (f < tok.size()) {
+        const std::uint64_t taken = number_at(f++, "a taken flag (0/1)");
+        if (taken > 1) throw bad("taken flag must be 0 or 1");
+        op.taken = taken != 0;
+      }
+      if (f < tok.size()) {
+        op.br_target = number_at(f++, "a branch target");
+      } else {
+        // Synthesized control flow: taken branches close a short backward
+        // loop, not-taken ones skip ahead (both deterministic).
+        op.br_target = op.taken && pc >= 64 ? pc - 64 : pc + 8;
+      }
+    }
+
+    // Dependency distances (dynamic instructions back to the producer).
+    RegId deps[2] = {kNoReg, kNoReg};
+    for (int d = 0; d < 2 && f < tok.size(); ++d) {
+      deps[d] = dep_register(t.ops, number_at(f++, "a dependency distance"));
+    }
+    if (f < tok.size()) throw bad("trailing fields after '" + tok[f] + "'");
+    op.src1 = deps[0];
+    op.src2 = deps[1];
+
+    // Destinations: loads and compute ops produce a value; round-robin
+    // over the architectural registers so recent producers stay live for
+    // dependency encoding.
+    if (cls == OpClass::kLoad || cls == OpClass::kIntAlu ||
+        cls == OpClass::kIntMul || cls == OpClass::kIntDiv) {
+      op.dst = static_cast<RegId>(1 + next_int_dst++ % (kNumIntRegs - 1));
+    } else if (is_fp(cls)) {
+      op.dst = static_cast<RegId>(kNumIntRegs + next_fp_dst++ % kNumFpRegs);
+    }
+
+    // Oracle values: stores write a deterministic token, loads record the
+    // program-order-correct value (so the core's value check still runs).
+    if (cls == OpClass::kStore) {
+      op.value = 0x9E3779B97F4A7C15ULL * ++store_counter;
+      oracle.store(op.mem_addr, op.mem_size, op.value);
+    } else if (cls == OpClass::kLoad) {
+      op.value = oracle.load(op.mem_addr, op.mem_size);
+    }
+
+    t.ops.push_back(op);
+    pc += 4;
+  }
+  return t;
+}
+
+Trace import_text_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(path, std::string("cannot open: ") + std::strerror(errno));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Trace t = import_text_trace_from_string(buf.str(), path);
+  // Name the trace after the file, not its full path (the SAMT header
+  // name field is 23 chars; error messages keep the full path).
+  t.name = std::filesystem::path(path).stem().string();
+  return t;
+}
+
+}  // namespace samie::trace

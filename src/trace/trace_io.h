@@ -1,0 +1,174 @@
+// SAMT — the repo's versioned binary trace format — plus a plain-text
+// import path for traces recorded by external simulators.
+//
+// Layout (all fields little-endian):
+//
+//   [SamtHeader: 64 bytes]  magic "SAMTRACE", version, record size,
+//                           record count, generator seed, FNV-1a checksum
+//                           of the record bytes, NUL-padded profile name
+//   [count x MicroOp: 40 bytes each]  the in-memory record, verbatim,
+//                           with padding bytes zeroed by the writer
+//
+// Because the on-disk record *is* the in-memory `MicroOp` (layout pinned
+// by static_asserts below), a reader can either copy the array out
+// (TraceReader) or map the file and replay straight from the page cache
+// (MappedTrace) — zero copies, and one physical mapping shared by every
+// worker replaying the same file. docs/TRACE_FORMAT.md specifies the
+// format and its versioning rules.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "src/trace/instruction.h"
+#include "src/trace/trace_view.h"
+
+namespace samie::trace {
+
+/// Any malformed SAMT or text-trace input: bad magic, version or record
+/// size mismatch, truncation, checksum failure, unparseable text line.
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr std::uint32_t kSamtVersion = 1;
+inline constexpr char kSamtMagic[8] = {'S', 'A', 'M', 'T', 'R', 'A', 'C', 'E'};
+
+#pragma pack(push, 1)
+struct SamtHeader {
+  char magic[8];                ///< "SAMTRACE" (not NUL-terminated)
+  std::uint32_t version = kSamtVersion;
+  std::uint32_t record_bytes = 0;  ///< sizeof(MicroOp); rejects layout drift
+  std::uint64_t count = 0;         ///< MicroOp records after the header
+  std::uint64_t seed = 0;          ///< provenance (generator seed, or 0)
+  std::uint64_t checksum = 0;      ///< FNV-1a 64 over all record bytes
+  char name[24] = {};              ///< profile/program name, NUL-padded
+};
+#pragma pack(pop)
+static_assert(sizeof(SamtHeader) == 64, "SAMT header is 64 bytes");
+
+// The on-disk record is the in-memory MicroOp; pin the layout so a build
+// whose MicroOp drifted cannot silently read or write garbage. A layout
+// change requires bumping kSamtVersion (see docs/TRACE_FORMAT.md).
+static_assert(std::endian::native == std::endian::little,
+              "SAMT I/O assumes a little-endian host");
+static_assert(sizeof(MicroOp) == 40);
+static_assert(offsetof(MicroOp, pc) == 0);
+static_assert(offsetof(MicroOp, mem_addr) == 8);
+static_assert(offsetof(MicroOp, br_target) == 16);
+static_assert(offsetof(MicroOp, value) == 24);
+static_assert(offsetof(MicroOp, op) == 32);
+static_assert(offsetof(MicroOp, mem_size) == 33);
+static_assert(offsetof(MicroOp, src1) == 34);
+static_assert(offsetof(MicroOp, src2) == 35);
+static_assert(offsetof(MicroOp, dst) == 36);
+static_assert(offsetof(MicroOp, taken) == 37);
+
+/// FNV-1a 64-bit over `n` bytes, continuing from `h` (pass the offset
+/// basis for a fresh hash).
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+[[nodiscard]] std::uint64_t fnv1a_64(const void* bytes, std::size_t n,
+                                     std::uint64_t h = kFnvBasis) noexcept;
+
+/// Streaming SAMT writer. Records are appended in canonical form (padding
+/// bytes zeroed, so identical traces produce byte-identical files);
+/// `finish()` seeks back and patches count + checksum into the header.
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and emits a provisional header. Throws
+  /// TraceFormatError if the file cannot be created.
+  TraceWriter(const std::string& path, const std::string& name,
+              std::uint64_t seed);
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+  /// Abandons the file if finish() was never called.
+  ~TraceWriter();
+
+  void append(const MicroOp& op);
+  void append(TraceView ops);
+  /// Patches the final header and closes the file. Throws on I/O error.
+  void finish();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  SamtHeader header_{};
+  std::uint64_t checksum_ = kFnvBasis;
+};
+
+/// Convenience: writes a whole trace in one call.
+void write_samt(const std::string& path, TraceView ops,
+                const std::string& name, std::uint64_t seed);
+
+/// Reads and validates only the 64-byte header (magic, version, record
+/// size, file length vs count). Cheap: does not touch the records.
+[[nodiscard]] SamtHeader read_samt_header(const std::string& path);
+
+/// Copying reader: validates the header, reads the record array into an
+/// owned Trace and verifies the checksum.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  [[nodiscard]] const SamtHeader& header() const noexcept { return header_; }
+  [[nodiscard]] std::string name() const;
+  /// Reads all records; throws TraceFormatError on truncation or
+  /// checksum mismatch.
+  [[nodiscard]] Trace read_all() const;
+
+ private:
+  std::string path_;
+  SamtHeader header_{};
+};
+
+/// mmap-backed zero-copy trace. The record array is replayed directly
+/// from the page cache; N workers opening the same file share one
+/// physical mapping instead of N heap copies.
+class MappedTrace {
+ public:
+  /// Maps `path` read-only and validates header + checksum (the checksum
+  /// pass touches every page once; pass verify_checksum=false to defer
+  /// faulting to replay).
+  explicit MappedTrace(const std::string& path, bool verify_checksum = true);
+  MappedTrace(MappedTrace&& other) noexcept;
+  MappedTrace& operator=(MappedTrace&& other) noexcept;
+  MappedTrace(const MappedTrace&) = delete;
+  MappedTrace& operator=(const MappedTrace&) = delete;
+  ~MappedTrace();
+
+  [[nodiscard]] const SamtHeader& header() const noexcept { return header_; }
+  [[nodiscard]] std::string name() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(header_.count);
+  }
+  [[nodiscard]] TraceView view() const noexcept {
+    return TraceView{records_, static_cast<std::size_t>(header_.count)};
+  }
+
+ private:
+  void unmap() noexcept;
+
+  SamtHeader header_{};
+  void* map_ = nullptr;        ///< whole-file mapping (header + records)
+  std::size_t map_len_ = 0;
+  const MicroOp* records_ = nullptr;
+};
+
+/// Imports a plain-text trace (one op per line: class, addr, size, dep
+/// distances — grammar in docs/TRACE_FORMAT.md). PCs, registers and
+/// oracle load values are synthesized so the imported trace satisfies the
+/// same invariants as a generated one. Throws TraceFormatError naming the
+/// offending line on malformed input.
+[[nodiscard]] Trace import_text_trace(const std::string& path);
+
+/// The same importer over an already-read text buffer (`origin` names the
+/// source in error messages).
+[[nodiscard]] Trace import_text_trace_from_string(const std::string& text,
+                                                  const std::string& origin);
+
+}  // namespace samie::trace

@@ -10,6 +10,9 @@
 //   --programs=a,b  comma-separated SPEC2000 subset (default: whole suite)
 //   --lsq=K         restrict to one LSQ (conventional|arb|samie);
 //                   default: all three
+//   --trace-dir=D   sweep the recorded *.samt traces in D (mmap replay)
+//                   instead of generating synthetic workloads; replays
+//                   each trace in full (--insts/--seed are ignored)
 //
 // Runs the SPEC2000 suite under the requested LSQ organizations on a
 // single thread (deterministic job order, stable timings) and writes
@@ -17,6 +20,7 @@
 // peak RSS, plus the full deterministic statistics of every run so two
 // reports can be diffed for bit-identical simulation results. Schema:
 // docs/BENCH_hotpath.md.
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -25,6 +29,7 @@
 
 #include "src/sim/perf_harness.h"
 #include "src/trace/spec2000.h"
+#include "tools/cli_util.h"
 
 namespace {
 
@@ -37,10 +42,8 @@ using namespace samie;
 }
 
 bool parse_u64(const std::string& arg, const char* key, std::uint64_t& out) {
-  const std::string prefix = std::string(key) + "=";
-  if (arg.rfind(prefix, 0) != 0) return false;
-  out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
-  return true;
+  return tools::parse_u64(arg, key, out,
+                          [](const std::string& what) { usage_error(what); });
 }
 
 }  // namespace
@@ -66,6 +69,8 @@ int main(int argc, char** argv) {
       while (std::getline(ss, p, ',')) {
         if (!p.empty()) opt.programs.push_back(p);
       }
+    } else if (arg.rfind("--trace-dir=", 0) == 0) {
+      opt.trace_dir = arg.substr(12);
     } else if (arg.rfind("--lsq=", 0) == 0) {
       const std::string k = arg.substr(6);
       if (k == "conventional") opt.lsqs = {sim::LsqChoice::kConventional};
@@ -79,6 +84,9 @@ int main(int argc, char** argv) {
       usage_error("unknown option '" + arg + "'");
     }
   }
+  if (!opt.trace_dir.empty() && !opt.programs.empty()) {
+    usage_error("--trace-dir and --programs are mutually exclusive");
+  }
   for (const auto& p : opt.programs) {
     try {
       (void)trace::spec2000_profile(p);
@@ -87,7 +95,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  const sim::HotpathReport report = sim::run_hotpath_measurement(opt);
+  sim::HotpathReport report;
+  try {
+    report = sim::run_hotpath_measurement(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "perf_report: " << e.what() << "\n";
+    return 1;
+  }
 
   std::ofstream out(out_path);
   if (!out) usage_error("cannot open '" + out_path + "' for writing");

@@ -19,9 +19,25 @@
 //   --csv              machine-readable output (one row per program)
 //   --threads=N        parallel jobs (default: all hardware threads)
 //
+// Trace modes (SAMT format: docs/TRACE_FORMAT.md):
+//   --record-trace=DIR   additionally write each program's generated
+//                        trace to DIR/<program>.samt (DIR is created);
+//                        combined with --import-trace this converts the
+//                        imported text traces to SAMT
+//   --replay-trace=PATH  replay a recorded .samt file — or every .samt
+//                        in a directory — via mmap (zero-copy; workers
+//                        sweeping one trace share a single mapping).
+//                        Replays the full trace unless --insts is given
+//   --import-trace=PATH  import a plain-text trace file (or directory of
+//                        .txt/.trace files; one op per line) and run it
+//
 // With no programs, the whole 26-program SPEC2000 suite runs.
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <initializer_list>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,6 +46,9 @@
 #include "src/sim/experiment.h"
 #include "src/sim/simulator.h"
 #include "src/trace/spec2000.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
+#include "tools/cli_util.h"
 
 namespace {
 
@@ -41,10 +60,33 @@ using namespace samie;
 }
 
 bool parse_u64(const std::string& arg, const char* key, std::uint64_t& out) {
-  const std::string prefix = std::string(key) + "=";
-  if (arg.rfind(prefix, 0) != 0) return false;
-  out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
-  return true;
+  return tools::parse_u64(arg, key, out,
+                          [](const std::string& what) { usage_error(what); });
+}
+
+/// Collects PATH itself (a file) or the files under it (a directory)
+/// whose extension is in `exts`, sorted by name.
+std::vector<std::string> collect_files(const std::string& path,
+                                       std::initializer_list<const char*> exts) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  if (fs::is_directory(path)) {
+    for (const auto& entry : fs::directory_iterator(path)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      for (const char* e : exts) {
+        if (ext == e) {
+          out.push_back(entry.path().string());
+          break;
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    if (out.empty()) usage_error("no matching trace files under '" + path + "'");
+  } else {
+    out.push_back(path);
+  }
+  return out;
 }
 
 }  // namespace
@@ -53,13 +95,23 @@ int main(int argc, char** argv) {
   sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
   cfg.instructions = 200'000;
   bool csv = false;
+  bool insts_given = false;
   unsigned threads = 0;
+  std::string record_dir;
+  std::string replay_path;
+  std::string import_path;
   std::vector<std::string> programs;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::uint64_t v = 0;
-    if (arg.rfind("--lsq=", 0) == 0) {
+    if (arg.rfind("--record-trace=", 0) == 0) {
+      record_dir = arg.substr(15);
+    } else if (arg.rfind("--replay-trace=", 0) == 0) {
+      replay_path = arg.substr(15);
+    } else if (arg.rfind("--import-trace=", 0) == 0) {
+      import_path = arg.substr(15);
+    } else if (arg.rfind("--lsq=", 0) == 0) {
       const std::string k = arg.substr(6);
       if (k == "conventional") cfg.lsq = sim::LsqChoice::kConventional;
       else if (k == "unbounded") cfg.lsq = sim::LsqChoice::kUnbounded;
@@ -68,6 +120,7 @@ int main(int argc, char** argv) {
       else usage_error("unknown LSQ kind '" + k + "'");
     } else if (parse_u64(arg, "--insts", v)) {
       cfg.instructions = v;
+      insts_given = true;
     } else if (parse_u64(arg, "--seed", v)) {
       cfg.seed = v;
     } else if (parse_u64(arg, "--banks", v)) {
@@ -107,21 +160,98 @@ int main(int argc, char** argv) {
       programs.push_back(arg);
     }
   }
-  if (programs.empty()) programs = trace::spec2000_names();
-  for (const auto& p : programs) {
-    try {
-      (void)trace::spec2000_profile(p);
-    } catch (const std::out_of_range&) {
-      usage_error("unknown program '" + p + "'");
-    }
+  if (!replay_path.empty() && !import_path.empty()) {
+    usage_error("--replay-trace and --import-trace are mutually exclusive");
+  }
+  if (!replay_path.empty() && !record_dir.empty()) {
+    usage_error("--record-trace cannot be combined with --replay-trace "
+                "(the trace is already recorded)");
+  }
+  if ((!replay_path.empty() || !import_path.empty()) && !programs.empty()) {
+    usage_error("program names cannot be combined with trace replay/import");
+  }
+  if (!record_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(record_dir, ec);
+    if (ec) usage_error("cannot create '" + record_dir + "': " + ec.message());
   }
 
-  std::vector<sim::Job> jobs;
-  jobs.reserve(programs.size());
-  for (const auto& p : programs) {
-    jobs.push_back(sim::Job{p, cfg, sim::lsq_choice_name(cfg.lsq)});
+  std::vector<sim::JobResult> results;
+  const std::string tag = sim::lsq_choice_name(cfg.lsq);
+
+  try {
+  if (!replay_path.empty()) {
+    // Replay recorded SAMT traces through the parallel runner: workers
+    // sweeping one file share a single mmap via the trace cache.
+    std::vector<sim::Job> jobs;
+    for (const auto& file : collect_files(replay_path, {".samt"})) {
+      const trace::SamtHeader header = trace::read_samt_header(file);
+      sim::Job job;
+      job.program = header.name[0] != '\0'
+                        ? std::string(header.name,
+                                      ::strnlen(header.name, sizeof header.name))
+                        : std::filesystem::path(file).stem().string();
+      job.config = cfg;
+      job.config.trace_path = file;
+      if (!insts_given) job.config.instructions = header.count;
+      job.tag = tag;
+      jobs.push_back(std::move(job));
+    }
+    results = sim::run_jobs(jobs, threads);
+  } else if (!import_path.empty()) {
+    // Text import: materialize each trace once, optionally convert it to
+    // SAMT, and run it in place.
+    for (const auto& file : collect_files(import_path, {".txt", ".trace"})) {
+      const trace::TraceSource src = trace::TraceSource::import_text(file);
+      if (!record_dir.empty()) {
+        const auto out = std::filesystem::path(record_dir) /
+                         (std::filesystem::path(file).stem().string() + ".samt");
+        trace::write_samt(out.string(), src.view(), src.name(), src.seed());
+        std::cerr << "recorded " << out.string() << " (" << src.size()
+                  << " ops)\n";
+      }
+      sim::SimConfig run_cfg = cfg;
+      if (!insts_given) run_cfg.instructions = src.size();
+      sim::JobResult jr;
+      jr.job = sim::Job{std::filesystem::path(file).stem().string(), run_cfg, tag};
+      jr.result = sim::run_simulation(run_cfg, src.view());
+      results.push_back(std::move(jr));
+    }
+  } else {
+    if (programs.empty()) programs = trace::spec2000_names();
+    for (const auto& p : programs) {
+      try {
+        (void)trace::spec2000_profile(p);
+      } catch (const std::out_of_range&) {
+        usage_error("unknown program '" + p + "'");
+      }
+    }
+    if (!record_dir.empty()) {
+      // Record mode: generate and write each trace, then run the suite
+      // through the normal generated path (the parallel pool's trace
+      // cache regenerates the identical traces) — replaying the files
+      // must be bit-identical to these results, and the CI smoke step
+      // asserts exactly that.
+      for (const auto& p : programs) {
+        const trace::TraceSource src = trace::TraceSource::generate(
+            trace::spec2000_profile(p), cfg.seed, cfg.instructions);
+        const auto out = std::filesystem::path(record_dir) / (p + ".samt");
+        trace::write_samt(out.string(), src.view(), p, cfg.seed);
+        std::cerr << "recorded " << out.string() << " (" << src.size()
+                  << " ops)\n";
+      }
+    }
+    std::vector<sim::Job> jobs;
+    jobs.reserve(programs.size());
+    for (const auto& p : programs) {
+      jobs.push_back(sim::Job{p, cfg, tag});
+    }
+    results = sim::run_jobs(jobs, threads);
   }
-  const auto results = sim::run_jobs(jobs, threads);
+  } catch (const trace::TraceFormatError& e) {
+    std::cerr << "samie_sim: " << e.what() << "\n";
+    return 1;
+  }
 
   if (csv) {
     std::cout << "program,lsq,instructions,cycles,ipc,mispredict_squashes,"
@@ -160,8 +290,13 @@ int main(int argc, char** argv) {
                std::to_string(s.core.forwarded_loads),
                std::to_string(s.core.value_mismatches)});
   }
-  std::cout << "LSQ: " << sim::lsq_choice_name(cfg.lsq) << ", "
-            << cfg.instructions << " instructions/program\n";
+  std::cout << "LSQ: " << sim::lsq_choice_name(cfg.lsq) << ", ";
+  if (!replay_path.empty() || !import_path.empty()) {
+    std::cout << results.size() << " replayed trace"
+              << (results.size() == 1 ? "" : "s") << "\n";
+  } else {
+    std::cout << cfg.instructions << " instructions/program\n";
+  }
   t.print(std::cout);
   return 0;
 }
