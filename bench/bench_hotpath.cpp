@@ -2,15 +2,22 @@
 // path (the zero-allocation / static-dispatch refactor's scoreboard).
 //
 // Runs the SPEC2000 suite under the conventional, ARB and SAMIE LSQs on
-// one thread and reports simulated cycles per wall-clock second. When a
-// baseline JSON (written by tools/perf_report on the pre-refactor tree,
-// checked in as bench/baseline_hotpath.json) is found, the SAMIE speedup
-// against it is printed — the acceptance bar is >= 1.5x.
+// one thread and reports simulated cycles per wall-clock second. Two
+// checked-in references frame the measurement:
+//   * bench/baseline_hotpath.json — the pre-refactor tree (perf_report
+//     output); the SAMIE speedup against it is printed (PR 1's
+//     acceptance bar was >= 1.5x);
+//   * bench/trajectory_hotpath.json — the PR-indexed history of
+//     sim_cycles_per_second per LSQ, re-measured back-to-back on one
+//     host at each perf PR, printed as a table so the full trajectory is
+//     visible, not just the endpoint.
 //
 // Environment:
 //   SAMIE_BENCH_INSTS      instructions/program (default 200000)
 //   SAMIE_BASELINE_JSON    baseline path (default bench/baseline_hotpath.json,
 //                          also tried relative to the source tree)
+//   SAMIE_TRAJECTORY_JSON  trajectory path (default
+//                          bench/trajectory_hotpath.json, same fallbacks)
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -39,6 +46,18 @@ std::string load_baseline() {
   for (const char* p : {"bench/baseline_hotpath.json",
                         "../bench/baseline_hotpath.json",
                         "../../bench/baseline_hotpath.json"}) {
+    if (std::string t = read_file(p); !t.empty()) return t;
+  }
+  return {};
+}
+
+std::string load_trajectory() {
+  if (const char* env = std::getenv("SAMIE_TRAJECTORY_JSON"); env != nullptr) {
+    return read_file(env);
+  }
+  for (const char* p : {"bench/trajectory_hotpath.json",
+                        "../bench/trajectory_hotpath.json",
+                        "../../bench/trajectory_hotpath.json"}) {
     if (std::string t = read_file(p); !t.empty()) return t;
   }
   return {};
@@ -83,6 +102,27 @@ int main() {
     const double speedup = lr.sim_cycles_per_second / base;
     std::cout << "\nSAMIE hot-path speedup vs pre-refactor baseline: "
               << Table::num(speedup, 2) << "x (target >= 1.5x)\n";
+  }
+
+  // The PR-indexed history: every perf PR re-measures all entries
+  // back-to-back on its host, so the ratios are comparable even though
+  // the absolute numbers are machine-dependent.
+  const std::vector<sim::TrajectoryEntry> history =
+      sim::parse_hotpath_trajectory(load_trajectory());
+  if (!history.empty()) {
+    std::cout << "\nperf trajectory (Mcycles/s per LSQ, same-host "
+                 "back-to-back measurements):\n";
+    Table h({"entry", "conventional", "arb", "samie", "samie vs prev"});
+    double prev_samie = 0.0;
+    for (const auto& e : history) {
+      h.add_row({e.label, Table::num(e.conventional / 1e6),
+                 Table::num(e.arb / 1e6), Table::num(e.samie / 1e6),
+                 prev_samie > 0.0
+                     ? Table::num(e.samie / prev_samie, 2) + "x"
+                     : std::string("-")});
+      prev_samie = e.samie;
+    }
+    h.print(std::cout);
   }
 
   bench::print_footnote(opt.instructions);

@@ -1,0 +1,31 @@
+// Bit-scan helpers for the 64-bit occupancy masks the LSQs are built on
+// (set-bit walks via `m &= m - 1`, free-slot searches via first zero).
+// Shared by SamieLsq and ArbLsq so the two queues' mask code cannot
+// silently diverge.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace samie {
+
+/// Index of the lowest set bit (m != 0).
+[[nodiscard]] inline std::uint32_t ctz(std::uint64_t m) noexcept {
+  return static_cast<std::uint32_t>(std::countr_zero(m));
+}
+
+/// First zero bit among the low `limit` bits of the word array `words`
+/// (ceil(limit/64) words), or `limit` when all are set.
+[[nodiscard]] inline std::uint32_t first_free(const std::uint64_t* words,
+                                              std::uint32_t limit) noexcept {
+  for (std::uint32_t wi = 0; wi * 64 < limit; ++wi) {
+    const std::uint64_t free_bits = ~words[wi];
+    if (free_bits != 0) {
+      const std::uint32_t i = wi * 64 + ctz(free_bits);
+      return i < limit ? i : limit;
+    }
+  }
+  return limit;
+}
+
+}  // namespace samie

@@ -1,0 +1,146 @@
+// CalendarWheel<Payload>: an O(1) timing wheel for cycle-granular event
+// scheduling (Brown's calendar queue, the structure behind gem5-style
+// event schedulers).
+//
+// The simulator schedules every completion a bounded number of cycles
+// ahead (a functional-unit or memory latency), so a wheel whose span
+// exceeds that bound serves schedule and pop in O(1): bucket index is
+// `at & (span - 1)`, and the per-cycle pop drains exactly the bucket of
+// the current cycle. Events beyond the horizon — possible only under
+// configurations with latencies larger than the constructor's sizing
+// bound — fall into an overflow list that is sorted lazily when its
+// earliest event comes within the horizon.
+//
+// Ordering contract (the reason this can replace a (cycle, order)
+// min-heap bit-identically): events due the same cycle pop in schedule
+// order. In-horizon events get this for free — bucket appends are
+// monotonic in the order counter — and overflow events carry the counter
+// so the lazy drain can merge them in front of (or between) direct
+// appends.
+//
+// Invalidation is the caller's job: popped payloads may be stale (the
+// instruction completed another way, was squashed, or its ROB slot was
+// re-dispatched). Callers attach a generation token to the payload and
+// drop events whose token no longer matches — O(1), so squashes never
+// need to walk the wheel.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie {
+
+template <typename Payload>
+class CalendarWheel {
+ public:
+  /// `min_span` must exceed the largest (at - now) the caller will ever
+  /// schedule for events that should stay on the O(1) path; it is rounded
+  /// up to a power of two. Larger deltas are still correct (overflow).
+  explicit CalendarWheel(std::size_t min_span = 256)
+      : span_(std::bit_ceil(std::max<std::size_t>(min_span, 2))),
+        mask_(span_ - 1),
+        buckets_(span_) {}
+
+  [[nodiscard]] std::size_t span() const noexcept { return span_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t overflow_size() const noexcept {
+    return overflow_.size();
+  }
+
+  void clear() noexcept {
+    for (auto& b : buckets_) b.clear();
+    overflow_.clear();
+    overflow_min_ = kNeverCycle;
+    size_ = 0;
+  }
+
+  /// Schedules `payload` for cycle `at`. `now` is the current cycle; the
+  /// caller must pop every cycle (pop_due(now), pop_due(now + 1), ...).
+  /// An `at` in the past or present is clamped to `now + 1` — the same
+  /// cycle the heap this replaced would have delivered it, since events
+  /// scheduled after the current pop were only ever seen by the next one.
+  void schedule(Cycle now, Cycle at, Payload payload) {
+    if (at <= now) at = now + 1;
+    const Event ev{at, order_++, payload};
+    if (at - now >= span_) {
+      overflow_.push_back(ev);
+      overflow_min_ = std::min(overflow_min_, at);
+    } else {
+      buckets_[at & mask_].push_back(ev);
+    }
+    ++size_;
+  }
+
+  /// Delivers every event due at `now` (in schedule order) to
+  /// `fn(payload)`. `fn` may schedule new events; they land in other
+  /// buckets (or the overflow) because schedule() never targets `now`.
+  template <typename Fn>
+  void pop_due(Cycle now, Fn&& fn) {
+    if (overflow_min_ < now + span_) drain_overflow(now);
+    std::vector<Event>& b = buckets_[now & mask_];
+    for (const Event& ev : b) {
+      assert(ev.at == now && "wheel invariant: bucket holds one cycle");
+      fn(ev.payload);
+    }
+    size_ -= b.size();
+    b.clear();
+  }
+
+ private:
+  struct Event {
+    Cycle at = 0;
+    std::uint64_t order = 0;
+    Payload payload{};
+  };
+
+  /// Moves overflow events whose cycle entered the horizon into their
+  /// buckets. Rare by construction (span > max latency), so the sort and
+  /// the per-bucket order merge are off the steady-state path.
+  void drain_overflow(Cycle now) {
+    std::sort(overflow_.begin(), overflow_.end(),
+              [](const Event& a, const Event& b) {
+                return a.at < b.at || (a.at == b.at && a.order < b.order);
+              });
+    std::size_t moved = 0;
+    while (moved < overflow_.size() && overflow_[moved].at < now + span_) {
+      const Event& ev = overflow_[moved];
+      assert(ev.at > now && "overflow drains before its cycle is due");
+      buckets_[ev.at & mask_].push_back(ev);
+      ++moved;
+    }
+    overflow_.erase(overflow_.begin(),
+                    overflow_.begin() + static_cast<std::ptrdiff_t>(moved));
+    overflow_min_ = kNeverCycle;
+    for (const Event& ev : overflow_) overflow_min_ = std::min(overflow_min_, ev.at);
+    // A drained event may interleave with direct appends already in its
+    // bucket; restore schedule order (the order counter is global).
+    if (moved != 0) {
+      for (auto& b : buckets_) {
+        if (!std::is_sorted(b.begin(), b.end(), by_order)) {
+          std::sort(b.begin(), b.end(), by_order);
+        }
+      }
+    }
+  }
+
+  static bool by_order(const Event& a, const Event& b) noexcept {
+    return a.order < b.order;
+  }
+
+  std::size_t span_;
+  std::size_t mask_;
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> overflow_;
+  Cycle overflow_min_ = kNeverCycle;
+  std::uint64_t order_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace samie

@@ -1,0 +1,100 @@
+// SeqRingTable<Loc>: a flat ring-indexed map from live InstSeq to a
+// small location payload.
+//
+// LSQs need seq -> location lookups on every plan/complete/commit call;
+// an unordered_map pays hashing and pointer chasing on each one. Because
+// live sequence numbers span at most the ROB window, indexing a
+// power-of-two table by `seq & mask` is collision-free in practice:
+// two live seqs share a cell only when the table is smaller than the
+// spread of live seqs, a cold configuration case handled by doubling the
+// table until every live entry relocates cleanly.
+//
+// Extracted from SamieLsq's in-flight table (PR 1) so ArbLsq can share
+// the exact layout; the growth strategy is unchanged.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie {
+
+template <typename Loc>
+class SeqRingTable {
+ public:
+  explicit SeqRingTable(std::uint64_t size_hint = 1024) {
+    const std::uint64_t size =
+        std::bit_ceil(std::max<std::uint64_t>(64, size_hint));
+    cells_.resize(size);
+    mask_ = size - 1;
+  }
+
+  /// Pointer to the payload for `seq`, or nullptr when absent.
+  [[nodiscard]] const Loc* find(InstSeq seq) const noexcept {
+    const Cell& c = cells_[seq & mask_];
+    return c.seq == seq ? &c.loc : nullptr;
+  }
+  [[nodiscard]] Loc* find(InstSeq seq) noexcept {
+    Cell& c = cells_[seq & mask_];
+    return c.seq == seq ? &c.loc : nullptr;
+  }
+
+  void insert(InstSeq seq, const Loc& loc) {
+    for (;;) {
+      Cell& c = cells_[seq & mask_];
+      if (c.seq == kNoInst || c.seq == seq) {
+        c.seq = seq;
+        c.loc = loc;
+        return;
+      }
+      grow();  // live-residue collision: cold path
+    }
+  }
+
+  void erase(InstSeq seq) noexcept {
+    Cell& c = cells_[seq & mask_];
+    if (c.seq == seq) c.seq = kNoInst;
+  }
+
+  void clear() noexcept {
+    for (Cell& c : cells_) c.seq = kNoInst;
+  }
+
+ private:
+  struct Cell {
+    InstSeq seq = kNoInst;
+    Loc loc{};
+  };
+
+  /// Doubles until every live entry lands in a distinct cell.
+  void grow() {
+    std::size_t size = cells_.size();
+    for (;;) {
+      size *= 2;
+      std::vector<Cell> bigger(size);
+      const std::uint64_t mask = size - 1;
+      bool ok = true;
+      for (const Cell& c : cells_) {
+        if (c.seq == kNoInst) continue;
+        Cell& cell = bigger[c.seq & mask];
+        if (cell.seq != kNoInst) {
+          ok = false;
+          break;
+        }
+        cell = c;
+      }
+      if (ok) {
+        cells_ = std::move(bigger);
+        mask_ = mask;
+        return;
+      }
+    }
+  }
+
+  std::vector<Cell> cells_;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace samie

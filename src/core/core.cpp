@@ -1,11 +1,11 @@
-// Explicit instantiation of the type-erased core. Concrete-LSQ
-// instantiations (Core<SamieLsq> etc.) are produced where they are used —
-// the simulator façade — so this TU stays independent of the individual
-// queue implementations.
+// Explicit instantiation of the type-erased core. Concrete
+// instantiations (Core<SamieLsq, StatsCollector> etc.) are produced
+// where they are used — the simulator façade — so this TU stays
+// independent of the individual queue implementations.
 #include "src/core/core.h"
 
 namespace samie::core {
 
-template class Core<lsq::LoadStoreQueue>;
+template class Core<lsq::LoadStoreQueue, CycleObserver>;
 
 }  // namespace samie::core

@@ -8,19 +8,25 @@
 // penalty, which models the recovery cost without wrong-path execution
 // (DESIGN.md §4.2).
 //
-// `Core` is a template over the concrete LSQ type: instantiating it with
-// a final class (Core<lsq::SamieLsq>) devirtualizes every LSQ call on the
-// per-memory-op hot path. The default argument Core<lsq::LoadStoreQueue>
-// is the type-erased variant kept for tools, examples and tests that pick
-// the queue at runtime — CTAD from a LoadStoreQueue& selects it
-// automatically, so `Core c(cfg, trace, *queue, ...)` keeps working.
+// `Core` is a template over the concrete LSQ type *and* the per-cycle
+// observer type: instantiating it with final classes
+// (Core<lsq::SamieLsq, StatsCollector>) devirtualizes every LSQ call on
+// the per-memory-op hot path and inlines the once-per-cycle occupancy
+// hook, leaving the steady-state cycle loop with zero virtual dispatch.
+// The default arguments Core<lsq::LoadStoreQueue, CycleObserver> are the
+// type-erased variant kept for tools, examples and tests that pick the
+// queue at runtime — CTAD from a LoadStoreQueue& (and a nullptr or
+// CycleObserver* observer) selects it automatically, so
+// `Core c(cfg, trace, *queue, ...)` keeps working.
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "src/branch/predictor.h"
+#include "src/common/calendar_wheel.h"
 #include "src/common/ring_deque.h"
 #include "src/common/seq_set.h"
 #include "src/core/fu_pool.h"
@@ -69,6 +75,10 @@ struct CoreConfig {
 };
 
 /// Per-cycle hook for occupancy sampling (area integration, Figures 3/4).
+/// This is the *type-erased* observer: Core is templated over the
+/// observer type, so a concrete non-virtual class (the simulator's
+/// StatsCollector) gets its on_cycle inlined into the cycle loop; this
+/// interface exists for call sites that need a runtime-chosen observer.
 class CycleObserver {
  public:
   virtual ~CycleObserver() = default;
@@ -96,7 +106,8 @@ struct CoreResult {
   std::uint64_t dtlb_cached = 0;
 };
 
-template <typename LsqT = lsq::LoadStoreQueue>
+template <typename LsqT = lsq::LoadStoreQueue,
+          typename ObserverT = CycleObserver>
 class Core final : private lsq::PresentBitClearer {
  public:
   /// `trace` is a borrowed view: the backing storage (an owned Trace, a
@@ -104,7 +115,7 @@ class Core final : private lsq::PresentBitClearer {
   Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
        mem::MemoryHierarchy& memory, branch::HybridPredictor& predictor,
        branch::Btb& btb, energy::DcacheLedger* dcache_ledger,
-       energy::DtlbLedger* dtlb_ledger, CycleObserver* observer);
+       energy::DtlbLedger* dtlb_ledger, ObserverT* observer);
   /// The queue outlives the core (see run_with_queue): unregister the
   /// present-bit clearer so it never holds a dangling receiver.
   ~Core() override { lsq_.set_present_bit_clearer(nullptr); }
@@ -117,6 +128,11 @@ class Core final : private lsq::PresentBitClearer {
 
   struct InFlight {
     InstSeq seq = kNoInst;
+    /// Incarnation counter of this ROB slot, bumped at every dispatch
+    /// into it. Completion events carry (seq, gen); a popped event whose
+    /// token no longer matches is stale (squash, flush or slot reuse) and
+    /// is dropped — which is what lets squashes skip walking the wheel.
+    std::uint32_t gen = 0;
     const trace::MicroOp* op = nullptr;
     std::uint8_t wait_agen = 0;  ///< outstanding source operands (all, or
                                  ///< the address sources for stores)
@@ -145,19 +161,13 @@ class Core final : private lsq::PresentBitClearer {
     bool mispredicted = false;
   };
 
-  /// A scheduled completion event. The heap pops by (cycle, order) so
-  /// same-cycle events complete in insertion order — identical to the
-  /// multimap this replaced, without its per-event node allocation.
-  struct Completion {
-    Cycle at = 0;
-    std::uint64_t order = 0;
+  /// A scheduled completion event: the instruction plus its ROB-slot
+  /// incarnation at schedule time (see InFlight::gen). Delivery order is
+  /// the calendar wheel's contract: same-cycle events pop in schedule
+  /// order, identical to the (cycle, order) min-heap this replaced.
+  struct CompletionRef {
     InstSeq seq = kNoInst;
-  };
-  struct CompletionLater {
-    [[nodiscard]] bool operator()(const Completion& a,
-                                  const Completion& b) const noexcept {
-      return a.at > b.at || (a.at == b.at && a.order > b.order);
-    }
+    std::uint32_t gen = 0;
   };
 
   // -- stages (called commit-first each cycle) -------------------------------
@@ -205,7 +215,7 @@ class Core final : private lsq::PresentBitClearer {
   branch::Btb& btb_;
   energy::DcacheLedger* dcache_ledger_;
   energy::DtlbLedger* dtlb_ledger_;
-  CycleObserver* observer_;
+  ObserverT* observer_;
   MainMemory memory_state_;
 
   // Pipeline state.
@@ -233,9 +243,11 @@ class Core final : private lsq::PresentBitClearer {
   SortedSeqSet unplaced_stores_;
   SortedSeqSet ordering_waiting_loads_;
 
-  // Completion events: min-heap over (cycle, order) in a reused vector.
-  std::vector<Completion> completions_;
-  std::uint64_t completion_order_ = 0;
+  // Completion events: O(1) calendar wheel indexed by cycle & (span-1),
+  // span sized above the worst-case completion latency (overflow bucket
+  // for anything beyond the horizon). Squashed/flushed events are not
+  // removed; they die by (seq, gen) token mismatch at pop time.
+  CalendarWheel<CompletionRef> completions_;
 
   // Reused per-cycle scratch — cleared, never reallocated in steady state.
   std::vector<InstSeq> drain_scratch_;     ///< memory_stage: drained seqs
@@ -260,6 +272,13 @@ class Core final : private lsq::PresentBitClearer {
   Cycle last_commit_cycle_ = 0;
 };
 
+/// A literal nullptr observer cannot deduce ObserverT; it means "no
+/// observer", which the type-erased default expresses.
+template <typename LsqT>
+Core(const CoreConfig&, trace::TraceView, LsqT&, mem::MemoryHierarchy&,
+     branch::HybridPredictor&, branch::Btb&, energy::DcacheLedger*,
+     energy::DtlbLedger*, std::nullptr_t) -> Core<LsqT, CycleObserver>;
+
 }  // namespace samie::core
 
 #include "src/core/core_impl.h"  // template member definitions
@@ -267,5 +286,5 @@ class Core final : private lsq::PresentBitClearer {
 namespace samie::core {
 /// The type-erased instantiation is compiled once in core.cpp; every
 /// other TU links against it instead of re-instantiating.
-extern template class Core<lsq::LoadStoreQueue>;
+extern template class Core<lsq::LoadStoreQueue, CycleObserver>;
 }  // namespace samie::core

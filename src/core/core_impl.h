@@ -22,14 +22,28 @@ namespace detail {
   return bytes >= 8 ? ~0ULL : ((1ULL << (8 * bytes)) - 1);
 }
 
+/// Calendar-wheel span sizing rule: one power of two above the largest
+/// latency any completion can be scheduled with — the worst-case data
+/// access (TLB walk + L1D + L2 + memory fill) or the slowest functional
+/// unit — so steady-state scheduling never touches the overflow list.
+[[nodiscard]] inline std::size_t completion_wheel_span(
+    const CoreConfig& cfg, const mem::MemoryHierarchy& memory) {
+  Cycle worst = memory.worst_case_data_latency();
+  for (const Cycle lat : {cfg.lat_int_alu, cfg.lat_int_mul, cfg.lat_int_div,
+                          cfg.lat_fp_alu, cfg.lat_fp_mul, cfg.lat_fp_div}) {
+    worst = std::max(worst, lat);
+  }
+  return static_cast<std::size_t>(std::bit_ceil(worst + 2));
+}
+
 }  // namespace detail
 
-template <typename LsqT>
-Core<LsqT>::Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
+template <typename LsqT, typename ObserverT>
+Core<LsqT, ObserverT>::Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
                  mem::MemoryHierarchy& memory,
                  branch::HybridPredictor& predictor, branch::Btb& btb,
                  energy::DcacheLedger* dcache_ledger,
-                 energy::DtlbLedger* dtlb_ledger, CycleObserver* observer)
+                 energy::DtlbLedger* dtlb_ledger, ObserverT* observer)
     : cfg_(cfg),
       trace_(trace),
       lsq_(lsq),
@@ -41,6 +55,7 @@ Core<LsqT>::Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
       observer_(observer),
       rob_(cfg.rob_size),
       rename_(kNumArchRegs, kNoInst),
+      completions_(detail::completion_wheel_span(cfg, memory)),
       int_alu_(cfg.n_int_alu),
       fp_alu_(cfg.n_fp_alu),
       int_muldiv_(cfg.n_int_muldiv),
@@ -55,7 +70,6 @@ Core<LsqT>::Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
   ready_mem_.reserve(cfg.rob_size);
   unplaced_stores_.reserve(cfg.rob_size);
   ordering_waiting_loads_.reserve(cfg.rob_size);
-  completions_.reserve(static_cast<std::size_t>(cfg.rob_size) * 2);
   drain_scratch_.reserve(64);
   eligible_scratch_.reserve(64);
   waiter_scratch_.reserve(64);
@@ -64,26 +78,25 @@ Core<LsqT>::Core(const CoreConfig& cfg, trace::TraceView trace, LsqT& lsq,
   skipped_fp_.reserve(64);
 }
 
-template <typename LsqT>
-void Core<LsqT>::clear_present_bit(std::uint32_t set, std::uint32_t way) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::clear_present_bit(std::uint32_t set, std::uint32_t way) {
   mem_.l1d().set_present_bit(set, way, false);
 }
 
-template <typename LsqT>
-std::uint64_t Core<LsqT>::forwarded_value(const trace::MicroOp& load,
+template <typename LsqT, typename ObserverT>
+std::uint64_t Core<LsqT, ObserverT>::forwarded_value(const trace::MicroOp& load,
                                           const trace::MicroOp& store) const {
   const std::uint64_t shift = (load.mem_addr - store.mem_addr) * 8;
   return (store.value >> shift) & detail::value_mask(load.mem_size);
 }
 
-template <typename LsqT>
-void Core<LsqT>::schedule_completion(InstSeq seq, Cycle at) {
-  completions_.push_back(Completion{at, completion_order_++, seq});
-  std::push_heap(completions_.begin(), completions_.end(), CompletionLater{});
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::schedule_completion(InstSeq seq, Cycle at) {
+  completions_.schedule(cycle_, at, CompletionRef{seq, slot(seq).gen});
 }
 
-template <typename LsqT>
-void Core<LsqT>::wake_dependents(InFlight& inst) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::wake_dependents(InFlight& inst) {
   for (std::uint64_t enc : inst.dependents) {
     const InstSeq d = enc >> 1U;
     const auto role = static_cast<SrcRole>(enc & 1U);
@@ -118,13 +131,13 @@ void Core<LsqT>::wake_dependents(InFlight& inst) {
   inst.dependents.clear();
 }
 
-template <typename LsqT>
-bool Core<LsqT>::load_ordering_clear(InstSeq seq) const {
+template <typename LsqT, typename ObserverT>
+bool Core<LsqT, ObserverT>::load_ordering_clear(InstSeq seq) const {
   return unplaced_stores_.empty() || unplaced_stores_.min() > seq;
 }
 
-template <typename LsqT>
-void Core<LsqT>::try_schedule_load(InstSeq seq) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::try_schedule_load(InstSeq seq) {
   if (!live(seq)) return;
   InFlight& f = slot(seq);
   if (!f.placed || !f.agen_done || f.completed || f.executing) return;
@@ -157,8 +170,8 @@ void Core<LsqT>::try_schedule_load(InstSeq seq) {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::on_store_placed(InstSeq seq) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::on_store_placed(InstSeq seq) {
   InFlight& f = slot(seq);
   f.placed = true;
   unplaced_stores_.erase(seq);
@@ -187,8 +200,8 @@ void Core<LsqT>::on_store_placed(InstSeq seq) {
   for (InstSeq l : eligible_scratch_) try_schedule_load(l);
 }
 
-template <typename LsqT>
-void Core<LsqT>::on_agen_complete(InstSeq seq) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::on_agen_complete(InstSeq seq) {
   InFlight& f = slot(seq);
   f.agen_done = true;
   assert(agens_outstanding_ > 0);
@@ -221,14 +234,14 @@ void Core<LsqT>::on_agen_complete(InstSeq seq) {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::handle_eviction(bool evicted, std::uint32_t set,
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::handle_eviction(bool evicted, std::uint32_t set,
                                  bool had_present_bit) {
   if (evicted && had_present_bit) lsq_.on_cache_line_replaced(set);
 }
 
-template <typename LsqT>
-void Core<LsqT>::execute_load_access(InstSeq seq) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::execute_load_access(InstSeq seq) {
   InFlight& f = slot(seq);
   // Re-plan: a store may have been placed between scheduling and issue.
   const lsq::LoadPlan plan = lsq_.plan_load(seq);
@@ -275,8 +288,8 @@ void Core<LsqT>::execute_load_access(InstSeq seq) {
   schedule_completion(seq, cycle_ + lat);
 }
 
-template <typename LsqT>
-void Core<LsqT>::complete(InstSeq seq) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::complete(InstSeq seq) {
   InFlight& f = slot(seq);
   assert(!f.completed);
   f.completed = true;
@@ -292,24 +305,24 @@ void Core<LsqT>::complete(InstSeq seq) {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::writeback_stage() {
-  while (!completions_.empty() && completions_.front().at <= cycle_) {
-    const InstSeq seq = completions_.front().seq;
-    std::pop_heap(completions_.begin(), completions_.end(), CompletionLater{});
-    completions_.pop_back();
-    if (!live(seq)) continue;
-    InFlight& f = slot(seq);
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::writeback_stage() {
+  completions_.pop_due(cycle_, [this](const CompletionRef& c) {
+    InFlight& f = slot(c.seq);
+    // Stale events (squashed instruction, flushed pipeline, re-dispatched
+    // slot) fail the (seq, gen) token match and are dropped here — the
+    // squash paths never walk the wheel.
+    if (f.seq != c.seq || f.gen != c.gen) return;
     if (trace::is_mem(f.op->op) && !f.agen_done) {
-      on_agen_complete(seq);
+      on_agen_complete(c.seq);
     } else if (!f.completed) {
-      complete(seq);
+      complete(c.seq);
     }
-  }
+  });
 }
 
-template <typename LsqT>
-void Core<LsqT>::memory_stage() {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::memory_stage() {
   drain_scratch_.clear();
   lsq_.drain(drain_scratch_);
   for (InstSeq seq : drain_scratch_) {
@@ -324,8 +337,8 @@ void Core<LsqT>::memory_stage() {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::issue_stage() {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::issue_stage() {
   // Loads cleared for memory access contend for the remaining cache ports.
   while (!ready_mem_.empty()) {
     if (dcache_ports_used_ >= cfg_.dcache_ports) break;
@@ -419,8 +432,8 @@ void Core<LsqT>::issue_stage() {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::dispatch_stage() {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::dispatch_stage() {
   for (std::uint32_t n = 0; n < cfg_.dispatch_width && !fetch_queue_.empty(); ++n) {
     const Fetched fr = fetch_queue_.front();
     const trace::MicroOp& op = trace_[fr.seq];
@@ -442,6 +455,7 @@ void Core<LsqT>::dispatch_stage() {
     assert(seq == tail_);
     InFlight& f = slot(seq);
     f.seq = seq;
+    ++f.gen;  // new incarnation: completion events of prior occupants die
     f.op = &op;
     f.wait_agen = 0;
     f.wait_data = 0;
@@ -501,8 +515,8 @@ void Core<LsqT>::dispatch_stage() {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::fetch_stage() {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::fetch_stage() {
   if (cycle_ < fetch_stall_until_) return;
   for (std::uint32_t n = 0; n < cfg_.fetch_width; ++n) {
     if (fetch_queue_.size() >= cfg_.fetch_queue) break;
@@ -536,8 +550,8 @@ void Core<LsqT>::fetch_stage() {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::rebuild_rename() {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::rebuild_rename() {
   for (auto& r : rename_) r = kNoInst;
   for (InstSeq s = head_; s < tail_; ++s) {
     const InFlight& f = slot(s);
@@ -545,8 +559,8 @@ void Core<LsqT>::rebuild_rename() {
   }
 }
 
-template <typename LsqT>
-void Core<LsqT>::squash_after(InstSeq last_kept) {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::squash_after(InstSeq last_kept) {
   const InstSeq first_bad = last_kept + 1;
   if (first_bad >= tail_) {
     // Nothing younger in flight; still redirect fetch.
@@ -600,11 +614,9 @@ void Core<LsqT>::squash_after(InstSeq last_kept) {
     std::erase_if(f.fwd_waiters, [&](InstSeq l) { return l >= first_bad; });
     std::erase_if(f.commit_waiters, [&](InstSeq l) { return l >= first_bad; });
   }
-  const std::size_t erased = std::erase_if(
-      completions_, [&](const Completion& c) { return c.seq >= first_bad; });
-  if (erased != 0) {
-    std::make_heap(completions_.begin(), completions_.end(), CompletionLater{});
-  }
+  // Completion events of squashed instructions stay in the wheel; their
+  // (seq, gen) tokens are stale the moment the slots above were cleared
+  // (and re-dispatching bumps gen), so writeback drops them in O(1).
 
   rebuild_rename();
   fetch_queue_.clear();
@@ -613,8 +625,8 @@ void Core<LsqT>::squash_after(InstSeq last_kept) {
   last_fetch_line_ = ~0ULL;
 }
 
-template <typename LsqT>
-void Core<LsqT>::full_flush() {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::full_flush() {
   ++res_.deadlock_flushes;
   lsq_.squash_from(head_);
   for (InstSeq s = head_; s < tail_; ++s) {
@@ -634,7 +646,7 @@ void Core<LsqT>::full_flush() {
   ready_int_.clear();
   ready_fp_.clear();
   ready_mem_.clear();
-  completions_.clear();
+  // completions_ keeps its (now token-stale) events; see squash_after.
   int_muldiv_.reset();
   fp_muldiv_.reset();
   agens_outstanding_ = 0;
@@ -645,8 +657,8 @@ void Core<LsqT>::full_flush() {
   last_fetch_line_ = ~0ULL;
 }
 
-template <typename LsqT>
-void Core<LsqT>::commit_stage() {
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::commit_stage() {
   for (std::uint32_t n = 0; n < cfg_.commit_width && head_ < tail_; ++n) {
     InFlight& h = slot(head_);
     assert(h.seq == head_);
@@ -722,8 +734,8 @@ void Core<LsqT>::commit_stage() {
   }
 }
 
-template <typename LsqT>
-CoreResult Core<LsqT>::run(std::uint64_t max_insts) {
+template <typename LsqT, typename ObserverT>
+CoreResult Core<LsqT, ObserverT>::run(std::uint64_t max_insts) {
   const std::uint64_t target = std::min<std::uint64_t>(max_insts, trace_.size());
   last_commit_cycle_ = 0;
   while (res_.committed < target) {

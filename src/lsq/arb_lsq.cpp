@@ -1,26 +1,45 @@
 #include "src/lsq/arb_lsq.h"
 
-#include <algorithm>
 #include <cassert>
+#include <stdexcept>
+
+#include "src/common/bit_scan.h"
 
 namespace samie::lsq {
 
 ArbLsq::ArbLsq(const ArbConfig& cfg)
-    : cfg_(cfg), line_shift_(log2_floor(cfg.line_bytes)) {
+    : cfg_(cfg),
+      line_shift_(log2_floor(cfg.line_bytes)),
+      slot_words_((cfg.max_inflight + 63) / 64),
+      row_words_((cfg.rows_per_bank + 63) / 64),
+      where_(1024) {
+  if (cfg_.banks == 0 || cfg_.rows_per_bank == 0 || cfg_.max_inflight == 0) {
+    throw std::invalid_argument(
+        "ArbConfig: banks, rows_per_bank and max_inflight must be >= 1");
+  }
   rows_.resize(static_cast<std::size_t>(cfg_.banks) * cfg_.rows_per_bank);
-  for (auto& r : rows_) r.slots.reserve(8);
+  for (auto& r : rows_) {
+    r.slots.resize(cfg_.max_inflight);
+    r.slot_mask.assign(slot_words_, 0);
+  }
+  row_masks_.assign(static_cast<std::size_t>(cfg_.banks) * row_words_, 0);
+  waiting_.reserve(cfg_.max_inflight);
+  dispatched_.reserve(cfg_.max_inflight);
 }
 
 std::uint32_t ArbLsq::bank_of(Addr line) const {
   return static_cast<std::uint32_t>(line % cfg_.banks);
 }
 
-ArbLsq::Row* ArbLsq::find_row(std::uint32_t bank, Addr line) {
-  Row* base = &rows_[static_cast<std::size_t>(bank) * cfg_.rows_per_bank];
-  for (std::uint32_t r = 0; r < cfg_.rows_per_bank; ++r) {
-    if (base[r].valid && base[r].line == line) return &base[r];
+std::uint32_t ArbLsq::find_row(std::uint32_t bank, Addr line) const {
+  const std::uint64_t* words = &row_masks_[bank * row_words_];
+  for (std::uint32_t wi = 0; wi < row_words_; ++wi) {
+    for (std::uint64_t m = words[wi]; m != 0; m &= m - 1) {
+      const std::uint32_t r = wi * 64 + ctz(m);
+      if (row_at(bank, r).line == line) return r;
+    }
   }
-  return nullptr;
+  return cfg_.rows_per_bank;
 }
 
 bool ArbLsq::can_dispatch(bool /*is_load*/) const {
@@ -32,27 +51,34 @@ void ArbLsq::on_dispatch(InstSeq seq, bool /*is_load*/) {
   dispatched_.push_back(seq);
 }
 
-void ArbLsq::disambiguate(const MemOpDesc& op, Row& row, std::uint32_t slot_idx) {
+void ArbLsq::disambiguate(const MemOpDesc& op, Row& row,
+                          std::uint32_t slot_idx) {
   Slot& self = row.slots[slot_idx];
   if (op.is_load) {
-    for (const Slot& s : row.slots) {
-      if (s.seq == kNoInst || s.is_load || s.seq >= op.seq) continue;
-      if (ranges_overlap(op.addr & 0xFF, op.size, s.offset, s.size)) {
-        if (self.fwd_store == kNoInst || s.seq > self.fwd_store) {
-          self.fwd_store = s.seq;
-          self.fwd_full = range_covers(static_cast<Addr>(self.offset), op.size,
-                                       s.offset, s.size);
+    for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
+      for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
+        const Slot& s = row.slots[wi * 64 + ctz(m)];
+        if (s.is_load || s.seq >= op.seq) continue;
+        if (ranges_overlap(op.addr & 0xFF, op.size, s.offset, s.size)) {
+          if (self.fwd_store == kNoInst || s.seq > self.fwd_store) {
+            self.fwd_store = s.seq;
+            self.fwd_full = range_covers(static_cast<Addr>(self.offset),
+                                         op.size, s.offset, s.size);
+          }
         }
       }
     }
   } else {
-    for (Slot& s : row.slots) {
-      if (s.seq == kNoInst || !s.is_load || s.seq <= op.seq) continue;
-      if (ranges_overlap(s.offset, s.size, self.offset, self.size) &&
-          (s.fwd_store == kNoInst || s.fwd_store < op.seq)) {
-        s.fwd_store = op.seq;
-        s.fwd_full = range_covers(static_cast<Addr>(s.offset), s.size,
-                                  self.offset, self.size);
+    for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
+      for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
+        Slot& s = row.slots[wi * 64 + ctz(m)];
+        if (!s.is_load || s.seq <= op.seq) continue;
+        if (ranges_overlap(s.offset, s.size, self.offset, self.size) &&
+            (s.fwd_store == kNoInst || s.fwd_store < op.seq)) {
+          s.fwd_store = op.seq;
+          s.fwd_full = range_covers(static_cast<Addr>(s.offset), s.size,
+                                    self.offset, self.size);
+        }
       }
     }
   }
@@ -61,38 +87,44 @@ void ArbLsq::disambiguate(const MemOpDesc& op, Row& row, std::uint32_t slot_idx)
 bool ArbLsq::try_place(const MemOpDesc& op) {
   const Addr line = op.addr >> line_shift_;
   const std::uint32_t bank = bank_of(line);
-  Row* row = find_row(bank, line);
-  if (row == nullptr) {
+  std::uint32_t row_idx = find_row(bank, line);
+  if (row_idx >= cfg_.rows_per_bank) {
     // Allocate a free row in the bank.
-    Row* base = &rows_[static_cast<std::size_t>(bank) * cfg_.rows_per_bank];
-    for (std::uint32_t r = 0; r < cfg_.rows_per_bank; ++r) {
-      if (!base[r].valid) {
-        row = &base[r];
-        row->valid = true;
-        row->line = line;
-        row->slots.clear();
-        break;
-      }
-    }
+    row_idx =
+        first_free(&row_masks_[bank * row_words_], cfg_.rows_per_bank);
+    if (row_idx >= cfg_.rows_per_bank) return false;
+    Row& row = row_at(bank, row_idx);
+    row.valid = true;
+    row.line = line;
+    assert(row.used == 0);
+    row_masks_[bank * row_words_ + row_idx / 64] |= 1ULL << (row_idx % 64);
+    ++rows_used_;
   }
-  if (row == nullptr) return false;
+  Row& row = row_at(bank, row_idx);
 
-  Slot s;
+  const std::uint32_t slot_idx =
+      first_free(row.slot_mask.data(), cfg_.max_inflight);
+  // The global in-flight cap bounds slots per row, so a valid row always
+  // has a free slot.
+  assert(slot_idx < cfg_.max_inflight);
+  Slot& s = row.slots[slot_idx];
   s.seq = op.seq;
   s.offset = static_cast<std::uint8_t>(op.addr & (cfg_.line_bytes - 1));
   s.size = op.size;
   s.is_load = op.is_load;
   s.data_ready = op.data_ready;
-  row->slots.push_back(s);
-  const auto slot_idx = static_cast<std::uint32_t>(row->slots.size() - 1);
-  const auto row_idx = static_cast<std::uint32_t>(
-      (row - rows_.data()) % cfg_.rows_per_bank);
-  where_[op.seq] = Loc{bank, row_idx, slot_idx};
+  s.valid = true;
+  s.fwd_store = kNoInst;
+  s.fwd_full = false;
+  row.slot_mask[slot_idx / 64] |= 1ULL << (slot_idx % 64);
+  ++row.used;
+  ++slots_placed_;
+  where_.insert(op.seq, Loc{bank, row_idx, slot_idx});
 
   // Recompute the self offset into a line-relative op for disambiguation.
   MemOpDesc rel = op;
   rel.addr = s.offset;
-  disambiguate(rel, *row, slot_idx);
+  disambiguate(rel, row, slot_idx);
   return true;
 }
 
@@ -105,24 +137,25 @@ Placement ArbLsq::on_address_ready(const MemOpDesc& op) {
 
 void ArbLsq::drain(std::vector<InstSeq>& newly_placed) {
   while (!waiting_.empty()) {
-    if (!try_place(waiting_.front())) break;
-    newly_placed.push_back(waiting_.front().seq);
+    const MemOpDesc op = waiting_.front();
+    if (!try_place(op)) break;
+    newly_placed.push_back(op.seq);
     waiting_.pop_front();
   }
 }
 
-bool ArbLsq::is_placed(InstSeq seq) const { return where_.count(seq) != 0; }
+bool ArbLsq::is_placed(InstSeq seq) const {
+  return where_.find(seq) != nullptr;
+}
 
 const ArbLsq::Slot* ArbLsq::slot_of(InstSeq seq) const {
   return const_cast<ArbLsq*>(this)->slot_of(seq);
 }
 
 ArbLsq::Slot* ArbLsq::slot_of(InstSeq seq) {
-  auto it = where_.find(seq);
-  if (it == where_.end()) return nullptr;
-  Row& row = rows_[static_cast<std::size_t>(it->second.bank) * cfg_.rows_per_bank +
-                   it->second.row];
-  return &row.slots[it->second.slot];
+  const Loc* loc = where_.find(seq);
+  if (loc == nullptr) return nullptr;
+  return &row_at(loc->bank, loc->row).slots[loc->slot];
 }
 
 LoadPlan ArbLsq::plan_load(InstSeq seq) const {
@@ -149,60 +182,120 @@ void ArbLsq::on_store_data_ready(InstSeq seq) {
   s->data_ready = true;
 }
 
+void ArbLsq::free_slot(const Loc& loc) {
+  Row& row = row_at(loc.bank, loc.row);
+  Slot& s = row.slots[loc.slot];
+  assert(s.valid);
+  s.valid = false;
+  s.seq = kNoInst;
+  s.fwd_store = kNoInst;
+  s.fwd_full = false;
+  row.slot_mask[loc.slot / 64] &= ~(1ULL << (loc.slot % 64));
+  assert(row.used > 0);
+  --row.used;
+  --slots_placed_;
+  if (row.used == 0) {
+    row.valid = false;
+    row_masks_[loc.bank * row_words_ + loc.row / 64] &=
+        ~(1ULL << (loc.row % 64));
+    --rows_used_;
+  }
+}
+
 void ArbLsq::on_commit(InstSeq seq) {
-  auto it = where_.find(seq);
-  assert(it != where_.end());
-  Row& row = rows_[static_cast<std::size_t>(it->second.bank) * cfg_.rows_per_bank +
-                   it->second.row];
-  // Clear forwarding references to this store, then remove the slot.
-  for (Slot& s : row.slots) {
-    if (s.fwd_store == seq) {
-      s.fwd_store = kNoInst;
-      s.fwd_full = false;
+  const Loc* at = where_.find(seq);
+  assert(at != nullptr);
+  const Loc loc = *at;
+  Row& row = row_at(loc.bank, loc.row);
+  // Clear forwarding references to this store, then release the slot.
+  for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
+    for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
+      Slot& s = row.slots[wi * 64 + ctz(m)];
+      if (s.fwd_store == seq) {
+        s.fwd_store = kNoInst;
+        s.fwd_full = false;
+      }
     }
   }
-  const std::uint32_t idx = it->second.slot;
-  row.slots.erase(row.slots.begin() + idx);
-  // Fix up the locations of the slots that shifted down.
-  for (std::uint32_t i = idx; i < row.slots.size(); ++i) {
-    where_[row.slots[i].seq].slot = i;
-  }
-  if (row.slots.empty()) row.valid = false;
-  where_.erase(it);
+  free_slot(loc);
+  where_.erase(seq);
   assert(!dispatched_.empty() && dispatched_.front() == seq);
   dispatched_.pop_front();
 }
 
 void ArbLsq::squash_from(InstSeq seq) {
-  for (Row& row : rows_) {
-    if (!row.valid) continue;
-    for (std::size_t i = row.slots.size(); i-- > 0;) {
-      if (row.slots[i].seq >= seq) {
-        where_.erase(row.slots[i].seq);
-        row.slots.erase(row.slots.begin() + static_cast<std::ptrdiff_t>(i));
+  // The age FIFO names every dispatched instruction >= seq; placed ones
+  // release their slot, the rest were only occupying the in-flight cap.
+  while (!dispatched_.empty() && dispatched_.back() >= seq) {
+    const InstSeq s = dispatched_.back();
+    if (const Loc* loc = where_.find(s)) {
+      free_slot(*loc);
+      where_.erase(s);
+    }
+    dispatched_.pop_back();
+  }
+  // Surviving slots must forget forwarding references to squashed stores.
+  for (std::uint32_t b = 0; b < cfg_.banks; ++b) {
+    for (std::uint32_t rw = 0; rw < row_words_; ++rw) {
+      for (std::uint64_t rm = row_masks_[b * row_words_ + rw]; rm != 0;
+           rm &= rm - 1) {
+        Row& row = row_at(b, rw * 64 + ctz(rm));
+        for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
+          for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
+            Slot& s = row.slots[wi * 64 + ctz(m)];
+            if (s.fwd_store != kNoInst && s.fwd_store >= seq) {
+              s.fwd_store = kNoInst;
+              s.fwd_full = false;
+            }
+          }
+        }
       }
     }
-    for (std::uint32_t i = 0; i < row.slots.size(); ++i) {
-      where_[row.slots[i].seq].slot = i;
-    }
-    for (Slot& s : row.slots) {
-      if (s.fwd_store != kNoInst && s.fwd_store >= seq) {
-        s.fwd_store = kNoInst;
-        s.fwd_full = false;
-      }
-    }
-    if (row.slots.empty()) row.valid = false;
   }
   // The wait queue is ordered by agen completion, not by age: filter it.
-  std::erase_if(waiting_, [seq](const MemOpDesc& op) { return op.seq >= seq; });
-  while (!dispatched_.empty() && dispatched_.back() >= seq) dispatched_.pop_back();
+  waiting_.erase_if([seq](const MemOpDesc& op) { return op.seq >= seq; });
 }
 
 OccupancySample ArbLsq::occupancy() const {
   OccupancySample s;
   s.entries_used = static_cast<std::uint32_t>(dispatched_.size());
   s.buffer_used = static_cast<std::uint32_t>(waiting_.size());
+  s.distrib_entries_used = rows_used_;
+  s.distrib_slots_used = slots_placed_;
   return s;
+}
+
+OccupancySample ArbLsq::recount_occupancy() const {
+  // From-scratch recount off the per-slot valid flags — deliberately NOT
+  // off the bitmasks, so it cross-checks mask maintenance too.
+  OccupancySample sample;
+  sample.entries_used = static_cast<std::uint32_t>(dispatched_.size());
+  sample.buffer_used = static_cast<std::uint32_t>(waiting_.size());
+  for (std::uint32_t b = 0; b < cfg_.banks; ++b) {
+    for (std::uint32_t r = 0; r < cfg_.rows_per_bank; ++r) {
+      const Row& row = row_at(b, r);
+      std::uint32_t used = 0;
+      for (std::uint32_t i = 0; i < cfg_.max_inflight; ++i) {
+        const bool valid = row.slots[i].valid;
+        assert(valid == ((row.slot_mask[i / 64] >> (i % 64) & 1ULL) != 0));
+        if (!valid) continue;
+        ++used;
+        const Loc* loc = where_.find(row.slots[i].seq);
+        assert(loc != nullptr && loc->bank == b && loc->row == r &&
+               loc->slot == i);
+        (void)loc;
+      }
+      assert(used == row.used);
+      assert(row.valid == (used > 0));
+      assert(row.valid ==
+             ((row_masks_[b * row_words_ + r / 64] >> (r % 64) & 1ULL) != 0));
+      if (used > 0) {
+        ++sample.distrib_entries_used;
+        sample.distrib_slots_used += used;
+      }
+    }
+  }
+  return sample;
 }
 
 }  // namespace samie::lsq

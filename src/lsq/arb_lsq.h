@@ -10,13 +10,26 @@
 // Instructions that find their bank's rows exhausted wait and retry
 // (there is no AddrBuffer in the ARB); forward progress is guaranteed by
 // the same deadlock-avoidance flush the core applies to SAMIE-LSQ.
+//
+// Hot-path representation (mirrors SamieLsq so the Figure-1 baseline is
+// measured on equal footing):
+//   * the seq -> location index is a flat ring-indexed SeqRingTable, not
+//     an unordered_map — O(1), no hashing, no allocation;
+//   * each bank keeps a multi-word valid bitmask over its rows and each
+//     row one over its P slots, so row lookup, slot allocation,
+//     disambiguation and frees are countr_zero scans over set bits only;
+//   * the retry queue and the dispatched-age FIFO are reserved RingDeques
+//     (the deques they replace allocated chunk nodes as ops streamed
+//     through);
+//   * occupancy is tracked by O(1) counters (rows_used / slots_placed),
+//     cross-checked by recount_occupancy() in tests.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/ring_deque.h"
+#include "src/common/seq_ring_table.h"
 #include "src/lsq/lsq_interface.h"
 
 namespace samie::lsq {
@@ -31,6 +44,8 @@ struct ArbConfig {
 
 class ArbLsq final : public LoadStoreQueue {
  public:
+  /// Throws std::invalid_argument when banks, rows_per_bank or
+  /// max_inflight is zero.
   explicit ArbLsq(const ArbConfig& cfg);
 
   [[nodiscard]] LsqKind kind() const override { return LsqKind::kArb; }
@@ -59,6 +74,12 @@ class ArbLsq final : public LoadStoreQueue {
   [[nodiscard]] OccupancySample occupancy() const override;
 
   [[nodiscard]] std::uint64_t placement_conflicts() const { return conflicts_; }
+  [[nodiscard]] std::uint32_t rows_used() const { return rows_used_; }
+  [[nodiscard]] std::uint32_t slots_placed() const { return slots_placed_; }
+  /// Test hook: recomputes occupancy from the per-slot valid flags —
+  /// deliberately not from the bitmasks, so it cross-checks mask and
+  /// counter maintenance too (mirrors SamieLsq::recount_occupancy).
+  [[nodiscard]] OccupancySample recount_occupancy() const;
 
  private:
   struct Slot {
@@ -67,13 +88,17 @@ class ArbLsq final : public LoadStoreQueue {
     std::uint8_t size = 0;
     bool is_load = false;
     bool data_ready = false;
+    bool valid = false;
     InstSeq fwd_store = kNoInst;
     bool fwd_full = false;
   };
   struct Row {
     Addr line = 0;
     bool valid = false;
-    std::vector<Slot> slots;
+    std::uint32_t used = 0;
+    /// Word w, bit i <=> slots[64w + i].valid (P can exceed one word).
+    std::vector<std::uint64_t> slot_mask;
+    std::vector<Slot> slots;  ///< max_inflight slots, allocated once
   };
   struct Loc {
     std::uint32_t bank = 0;
@@ -82,22 +107,38 @@ class ArbLsq final : public LoadStoreQueue {
   };
 
   [[nodiscard]] std::uint32_t bank_of(Addr line) const;
-  [[nodiscard]] Row* find_row(std::uint32_t bank, Addr line);
+  [[nodiscard]] Row& row_at(std::uint32_t bank, std::uint32_t row) {
+    return rows_[static_cast<std::size_t>(bank) * cfg_.rows_per_bank + row];
+  }
+  [[nodiscard]] const Row& row_at(std::uint32_t bank, std::uint32_t row) const {
+    return rows_[static_cast<std::size_t>(bank) * cfg_.rows_per_bank + row];
+  }
+  /// Index of the first valid row in `bank` holding `line`, or a value
+  /// >= rows_per_bank when absent.
+  [[nodiscard]] std::uint32_t find_row(std::uint32_t bank, Addr line) const;
   bool try_place(const MemOpDesc& op);
   void disambiguate(const MemOpDesc& op, Row& row, std::uint32_t slot_idx);
+  void free_slot(const Loc& loc);
   [[nodiscard]] const Slot* slot_of(InstSeq seq) const;
   [[nodiscard]] Slot* slot_of(InstSeq seq);
 
   ArbConfig cfg_;
   std::uint32_t line_shift_;
-  std::vector<Row> rows_;  // banks * rows_per_bank, row-major by bank
-  std::deque<MemOpDesc> waiting_;
-  std::unordered_map<InstSeq, Loc> where_;
+  std::uint32_t slot_words_;  ///< ceil(max_inflight / 64)
+  std::uint32_t row_words_;   ///< ceil(rows_per_bank / 64)
+  std::vector<Row> rows_;     ///< banks * rows_per_bank, row-major
+  /// Per bank, `row_words_` words: word w bit i <=> row 64w+i valid.
+  std::vector<std::uint64_t> row_masks_;
+  RingDeque<MemOpDesc> waiting_;    ///< bank-conflict retry FIFO
+  SeqRingTable<Loc> where_;         ///< placed seq -> location
   /// Every dispatched, uncommitted memory instruction (age-ordered). The
   /// in-flight cap and squash handling key off this, so instructions
   /// squashed before their address was computed are accounted correctly.
-  std::deque<InstSeq> dispatched_;
+  RingDeque<InstSeq> dispatched_;
   std::uint64_t conflicts_ = 0;
+  // O(1) occupancy counters, cross-checked by recount_occupancy().
+  std::uint32_t rows_used_ = 0;
+  std::uint32_t slots_placed_ = 0;
 };
 
 }  // namespace samie::lsq

@@ -94,6 +94,11 @@ struct OccupancySample {
   std::uint32_t shared_entries_full = 0;
   // SAMIE AddrBuffer (or ARB wait queue).
   std::uint32_t buffer_used = 0;
+
+  /// Equality lets per-cycle consumers run-length-batch identical
+  /// consecutive samples (occupancy changes much slower than cycles).
+  [[nodiscard]] friend bool operator==(const OccupancySample&,
+                                       const OccupancySample&) = default;
 };
 
 /// Byte-range helpers for disambiguation.

@@ -4,18 +4,15 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/common/bit_scan.h"
+
 namespace samie::lsq {
 
-namespace {
-
-[[nodiscard]] inline std::uint32_t ctz(std::uint64_t m) noexcept {
-  return static_cast<std::uint32_t>(std::countr_zero(m));
-}
-
-}  // namespace
-
 SamieLsq::SamieLsq(const SamieConfig& cfg, energy::SamieLsqLedger* ledger)
-    : cfg_(cfg), ledger_(ledger), line_shift_(log2_floor(cfg.line_bytes)) {
+    : cfg_(cfg),
+      ledger_(ledger),
+      line_shift_(log2_floor(cfg.line_bytes)),
+      where_(cfg.seq_window_hint) {
   if (cfg_.banks == 0) {
     throw std::invalid_argument("SamieConfig: banks must be >= 1");
   }
@@ -42,47 +39,6 @@ SamieLsq::SamieLsq(const SamieConfig& cfg, energy::SamieLsqLedger* ledger)
   shared_valid_.assign(std::max<std::size_t>(1, (shared_.size() + 63) / 64), 0);
 
   buffer_.reserve(std::max<std::uint32_t>(1, cfg_.addr_buffer_slots));
-
-  const std::uint64_t window =
-      std::bit_ceil(std::max<std::uint64_t>(64, cfg_.seq_window_hint));
-  where_.resize(window);
-  where_mask_ = window - 1;
-}
-
-void SamieLsq::where_insert(InstSeq seq, const Loc& loc) {
-  for (;;) {
-    WhereEntry& w = where_[seq & where_mask_];
-    if (w.seq == kNoInst || w.seq == seq) {
-      w.seq = seq;
-      w.loc = loc;
-      return;
-    }
-    where_grow();  // live-residue collision: cold path
-  }
-}
-
-void SamieLsq::where_grow() {
-  std::size_t size = where_.size();
-  for (;;) {
-    size *= 2;
-    std::vector<WhereEntry> bigger(size);
-    const std::uint64_t mask = size - 1;
-    bool ok = true;
-    for (const WhereEntry& w : where_) {
-      if (w.seq == kNoInst) continue;
-      WhereEntry& cell = bigger[w.seq & mask];
-      if (cell.seq != kNoInst) {
-        ok = false;
-        break;
-      }
-      cell = w;
-    }
-    if (ok) {
-      where_ = std::move(bigger);
-      where_mask_ = mask;
-      return;
-    }
-  }
 }
 
 template <typename Self, typename Fn>
@@ -147,7 +103,7 @@ void SamieLsq::fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry) {
     distrib ? ++d_entries_full_ : ++s_entries_full_;
   }
   if (distrib) ++d_slots_used_; else ++s_slots_used_;
-  where_insert(op.seq, loc);
+  where_.insert(op.seq, loc);
 
   if (ledger_ != nullptr) {
     distrib ? ledger_->on_distrib_age_write() : ledger_->on_shared_age_write();
@@ -448,7 +404,7 @@ void SamieLsq::free_slot(const Loc& loc, InstSeq seq) {
       --s_entries_used_;
     }
   }
-  where_erase(seq);
+  where_.erase(seq);
 }
 
 void SamieLsq::on_commit(InstSeq seq) {

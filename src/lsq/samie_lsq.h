@@ -21,10 +21,11 @@
 //     entries and each entry a 64-bit valid mask over its slots, so
 //     placement, same-line visits and frees scan via countr_zero/popcount
 //     instead of iterating every Entry/Slot;
-//   * a flat ring-indexed in-flight table keyed by `InstSeq % window`
-//     replaces the former `unordered_map<InstSeq, Loc>` — O(1) with no
-//     hashing or allocation (the table doubles in the cold, pathological
-//     case of a residue collision between live instructions);
+//   * a flat ring-indexed in-flight table (SeqRingTable, shared with
+//     ArbLsq) keyed by `InstSeq % window` replaces the former
+//     `unordered_map<InstSeq, Loc>` — O(1) with no hashing or allocation
+//     (the table doubles in the cold, pathological case of a residue
+//     collision between live instructions);
 //   * the AddrBuffer is a fixed ring of `addr_buffer_slots` descriptors,
 //     not a deque — placement never allocates.
 #pragma once
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "src/common/ring_deque.h"
+#include "src/common/seq_ring_table.h"
 #include "src/energy/ledger.h"
 #include "src/lsq/lsq_interface.h"
 
@@ -156,11 +158,6 @@ class SamieLsq final : public LoadStoreQueue {
     std::uint32_t entry = 0;  // index within bank / shared vector
     std::uint32_t slot = 0;
   };
-  /// Ring-indexed in-flight table cell.
-  struct WhereEntry {
-    InstSeq seq = kNoInst;
-    Loc loc;
-  };
 
   [[nodiscard]] std::uint32_t bank_of(Addr line) const {
     return bank_mask_plus1_ != 0
@@ -176,17 +173,10 @@ class SamieLsq final : public LoadStoreQueue {
                                         : shared_[loc.entry];
   }
 
-  // -- in-flight table -------------------------------------------------------
+  // -- in-flight table (SeqRingTable; see src/common/seq_ring_table.h) --------
   [[nodiscard]] const Loc* where_find(InstSeq seq) const {
-    const WhereEntry& w = where_[seq & where_mask_];
-    return w.seq == seq ? &w.loc : nullptr;
+    return where_.find(seq);
   }
-  void where_insert(InstSeq seq, const Loc& loc);
-  void where_erase(InstSeq seq) {
-    WhereEntry& w = where_[seq & where_mask_];
-    if (w.seq == seq) w.seq = kNoInst;
-  }
-  void where_grow();
 
   /// Performs the parallel bank+shared search, charges comparison energy,
   /// and either fills a slot (returns true) or reports no space.
@@ -231,8 +221,7 @@ class SamieLsq final : public LoadStoreQueue {
   RingDeque<MemOpDesc> buffer_;
 
   // In-flight location table (power-of-two ring, see class comment).
-  std::vector<WhereEntry> where_;
-  std::uint64_t where_mask_ = 0;
+  SeqRingTable<Loc> where_;
 
   // Reused scratch (squash paths) — no per-call allocation.
   std::vector<std::pair<Loc, InstSeq>> squash_scratch_;

@@ -70,6 +70,14 @@ class MemoryHierarchy {
   [[nodiscard]] Tlb& dtlb() { return dtlb_; }
   [[nodiscard]] Tlb& itlb() { return itlb_; }
 
+  /// Upper bound on any data_access() latency: DTLB walk + L1D access +
+  /// L2 hit + memory fill. The core sizes its completion calendar wheel
+  /// one power of two above this so scheduling stays on the O(1) path.
+  [[nodiscard]] Cycle worst_case_data_latency() const {
+    return dtlb_.miss_penalty() + l1d_.hit_latency() + l2_.hit_latency() +
+           cfg_.memory_latency;
+  }
+
   void reset();
 
  private:

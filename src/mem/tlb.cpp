@@ -1,8 +1,24 @@
 #include "src/mem/tlb.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
+#include <vector>
 
 namespace samie::mem {
+
+namespace {
+
+/// Renormalization threshold for the monotonic recency counter. One tick
+/// is consumed per access, so reaching this takes ~9.2e18 accesses —
+/// unreachable at suite scale (a full 26-program sweep consumes ~1e7) —
+/// but the miss path still guards the wraparound instead of relying on
+/// 64-bit luck: ticks are compressed order-preservingly before they can
+/// wrap to 0 and corrupt the LRU order.
+constexpr std::uint64_t kTickRenormalize =
+    std::numeric_limits<std::uint64_t>::max() - (1ULL << 32);
+
+}  // namespace
 
 Tlb::Tlb(const TlbConfig& cfg)
     : cfg_(cfg), page_shift_(log2_floor(cfg.page_bytes)) {
@@ -12,28 +28,78 @@ Tlb::Tlb(const TlbConfig& cfg)
 
 void Tlb::reset() {
   map_.clear();
+  front_.fill(FrontEntry{});
   tick_ = 0;
   hits_ = 0;
   misses_ = 0;
 }
 
+void Tlb::install_front(Addr vpn, std::uint64_t tick) {
+  FrontEntry& fe = front_[vpn & (kFrontSize - 1)];
+  if (fe.valid && fe.vpn != vpn) {
+    // The displaced page stays resident; its front-accumulated recency
+    // must reach the map or the LRU scan would see a stale tick.
+    if (auto it = map_.find(fe.vpn); it != map_.end()) it->second = fe.tick;
+  }
+  fe.valid = true;
+  fe.vpn = vpn;
+  fe.tick = tick;
+}
+
+void Tlb::evict_lru() {
+  // True-LRU eviction; the scan is miss-path only. Pages held by the
+  // front array carry their freshest tick there (see effective_tick).
+  auto victim = map_.begin();
+  std::uint64_t victim_tick = effective_tick(victim->first, victim->second);
+  for (auto it = std::next(map_.begin()); it != map_.end(); ++it) {
+    const std::uint64_t t = effective_tick(it->first, it->second);
+    if (t < victim_tick) {
+      victim = it;
+      victim_tick = t;
+    }
+  }
+  FrontEntry& fe = front_[victim->first & (kFrontSize - 1)];
+  if (fe.valid && fe.vpn == victim->first) fe.valid = false;
+  map_.erase(victim);
+}
+
+void Tlb::renormalize_ticks() {
+  // Compress all live ticks into [1, n] preserving order. Cold by many
+  // orders of magnitude (see kTickRenormalize); correctness only.
+  std::vector<std::pair<std::uint64_t, Addr>> order;
+  order.reserve(map_.size());
+  for (const auto& [vpn, tick] : map_) {
+    order.emplace_back(effective_tick(vpn, tick), vpn);
+  }
+  std::sort(order.begin(), order.end());
+  tick_ = 0;
+  for (const auto& [tick, vpn] : order) {
+    map_[vpn] = ++tick_;
+    FrontEntry& fe = front_[vpn & (kFrontSize - 1)];
+    if (fe.valid && fe.vpn == vpn) fe.tick = tick_;
+  }
+}
+
 bool Tlb::access(Addr vaddr) {
   const Addr vpn = vaddr >> page_shift_;
-  if (auto it = map_.find(vpn); it != map_.end()) {
-    it->second = ++tick_;
+  FrontEntry& fe = front_[vpn & (kFrontSize - 1)];
+  if (fe.valid && fe.vpn == vpn) {
+    // Front hit: no hash lookup; recency lands in the front cell.
+    fe.tick = ++tick_;
     ++hits_;
     return true;
   }
-  ++misses_;
-  if (map_.size() >= cfg_.entries) {
-    // True-LRU eviction; the scan is miss-path only.
-    auto victim = map_.begin();
-    for (auto it = map_.begin(); it != map_.end(); ++it) {
-      if (it->second < victim->second) victim = it;
-    }
-    map_.erase(victim);
+  if (auto it = map_.find(vpn); it != map_.end()) {
+    it->second = ++tick_;
+    ++hits_;
+    install_front(vpn, it->second);
+    return true;
   }
+  ++misses_;
+  if (tick_ >= kTickRenormalize) renormalize_ticks();
+  if (map_.size() >= cfg_.entries) evict_lru();
   map_.emplace(vpn, ++tick_);
+  install_front(vpn, tick_);
   return false;
 }
 

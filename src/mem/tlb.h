@@ -1,7 +1,23 @@
 // Fully-associative TLB with true-LRU replacement (paper: 128-entry
 // fully-associative ITLB and DTLB, 1-cycle hits).
+//
+// Hot-path representation: a small direct-mapped *front array* caches
+// the most recent vpn per low-index, so the common hit re-references a
+// hot page with zero hash work; the hash map and the true-LRU scan are
+// touched only on front misses and evictions. The front array is a pure
+// cache of the lookup, not an extra TLB level — hit/miss outcomes and
+// LRU victims are bit-identical to the plain fully-associative model
+// (asserted by a differential test):
+//   * the front only ever holds pages currently resident in the TLB
+//     (eviction invalidates the victim's front cell, reset clears all);
+//   * recency ticks assigned on front hits are written into the front
+//     cell only; the LRU victim scan reads the front cell's tick for
+//     pages the front still holds, and a displaced front occupant's
+//     tick is written back to the map — so every page's last-use tick
+//     is exact, just stored lazily ("true LRU maintained only on miss").
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -31,11 +47,31 @@ class Tlb {
   void reset();
 
  private:
+  struct FrontEntry {
+    Addr vpn = 0;
+    std::uint64_t tick = 0;
+    bool valid = false;
+  };
+  static constexpr std::uint32_t kFrontSize = 64;  // power of two
+
+  /// The freshest last-use tick of a resident page: the front cell's if
+  /// the front holds it, the map's otherwise.
+  [[nodiscard]] std::uint64_t effective_tick(Addr vpn,
+                                             std::uint64_t map_tick) const {
+    const FrontEntry& fe = front_[vpn & (kFrontSize - 1)];
+    return fe.valid && fe.vpn == vpn ? fe.tick : map_tick;
+  }
+  void install_front(Addr vpn, std::uint64_t tick);
+  void evict_lru();
+  void renormalize_ticks();
+
   TlbConfig cfg_;
   std::uint32_t page_shift_;
-  /// vpn -> last-use tick. Hit path is O(1); the LRU victim scan runs on
+  /// vpn -> last-use tick (possibly stale while the front holds the page;
+  /// see effective_tick). Hit path is O(1); the LRU victim scan runs on
   /// the (rare) miss path only.
   std::unordered_map<Addr, std::uint64_t> map_;
+  std::array<FrontEntry, kFrontSize> front_{};
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

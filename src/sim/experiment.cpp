@@ -23,17 +23,21 @@ namespace {
 /// single file mapping, not a per-worker heap copy.
 class TraceCache {
  public:
+  /// Registers the full job list up front so the cache knows how many
+  /// consumers each trace has; finished() uses the counts to release
+  /// page residency the moment a trace's last job completes.
+  explicit TraceCache(const std::vector<Job>& jobs) {
+    for (const Job& job : jobs) ++pending_[key_of(job)];
+  }
+
   std::shared_ptr<const trace::TraceSource> get(const Job& job) {
-    const std::string& path = job.config.trace_path;
-    const Key key = path.empty()
-                        ? Key{job.program, job.config.instructions,
-                              job.config.seed}
-                        : Key{"file:" + path, 0, 0};
+    const Key key = key_of(job);
     {
       std::scoped_lock lock(mu_);
       if (auto it = cache_.find(key); it != cache_.end()) return it->second;
     }
     // Build outside the lock: different keys materialize concurrently.
+    const std::string& path = job.config.trace_path;
     auto t = std::make_shared<const trace::TraceSource>(
         path.empty()
             ? trace::TraceSource::generate(
@@ -45,10 +49,36 @@ class TraceCache {
     return it->second;
   }
 
+  /// A job is done with its trace. When it was the last one, mapped
+  /// traces drop their resident pages (MADV_DONTNEED) so a long
+  /// multi-trace sweep's RSS tracks the traces still in use instead of
+  /// every file touched since the sweep began. The source object stays
+  /// cached — a late duplicate key would just fault pages back in.
+  void finished(const Job& job) {
+    const Key key = key_of(job);
+    std::shared_ptr<const trace::TraceSource> done;
+    {
+      std::scoped_lock lock(mu_);
+      auto p = pending_.find(key);
+      if (p == pending_.end() || --p->second != 0) return;
+      if (auto it = cache_.find(key); it != cache_.end()) done = it->second;
+    }
+    if (done != nullptr) done->advise_dontneed();
+  }
+
  private:
   using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+
+  [[nodiscard]] static Key key_of(const Job& job) {
+    const std::string& path = job.config.trace_path;
+    return path.empty() ? Key{job.program, job.config.instructions,
+                              job.config.seed}
+                        : Key{"file:" + path, 0, 0};
+  }
+
   std::mutex mu_;
   std::map<Key, std::shared_ptr<const trace::TraceSource>> cache_;
+  std::map<Key, std::size_t> pending_;
 };
 
 }  // namespace
@@ -57,7 +87,7 @@ std::vector<JobResult> run_jobs(const std::vector<Job>& jobs, unsigned threads) 
   if (threads == 0) threads = bench_threads();
   threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()) + 1);
 
-  TraceCache traces;
+  TraceCache traces(jobs);
   std::vector<JobResult> results(jobs.size());
   std::atomic<std::size_t> next{0};
 
@@ -71,12 +101,16 @@ std::vector<JobResult> run_jobs(const std::vector<Job>& jobs, unsigned threads) 
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
+      const Job& job = jobs[i];
       try {
-        const Job& job = jobs[i];
         const auto t = traces.get(job);
         results[i].job = job;
         results[i].result = run_simulation(job.config, t->view());
+        traces.finished(job);
       } catch (...) {
+        // Still release the trace: the pool keeps draining in-flight
+        // workers, and a failing job must not pin its mapping's pages.
+        traces.finished(job);
         std::scoped_lock lock(error_mu);
         if (!error) error = std::current_exception();
         next.store(jobs.size());  // stop handing out work

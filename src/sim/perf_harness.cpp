@@ -199,6 +199,50 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
   os << "}\n";
 }
 
+std::vector<TrajectoryEntry> parse_hotpath_trajectory(
+    const std::string& json_text) {
+  std::vector<TrajectoryEntry> out;
+  const std::size_t entries = json_text.find("\"entries\"");
+  if (entries == std::string::npos) return out;
+  std::size_t at = json_text.find('[', entries);
+  if (at == std::string::npos) return out;
+  // Entry objects are flat, so the first ']' closes the array; bound the
+  // object scan to it — a sibling key after "entries" must not be read
+  // as a phantom entry (same bounding rule as the lsq-tag search below).
+  const std::size_t array_end = json_text.find(']', at);
+  if (array_end == std::string::npos) return out;
+  // Each entry is one flat {...} object; scan them in order.
+  for (;;) {
+    const std::size_t open = json_text.find('{', at);
+    if (open == std::string::npos || open > array_end) break;
+    const std::size_t close = json_text.find('}', open);
+    if (close == std::string::npos || close > array_end) break;
+    const std::string obj = json_text.substr(open, close - open + 1);
+    TrajectoryEntry e;
+    const std::size_t lk = obj.find("\"label\"");
+    if (lk != std::string::npos) {
+      const std::size_t q1 = obj.find('"', obj.find(':', lk));
+      const std::size_t q2 = q1 == std::string::npos
+                                 ? std::string::npos
+                                 : obj.find('"', q1 + 1);
+      if (q2 != std::string::npos) e.label = obj.substr(q1 + 1, q2 - q1 - 1);
+    }
+    auto number = [&obj](const char* key) {
+      const std::size_t k = obj.find(key);
+      if (k == std::string::npos) return 0.0;
+      return std::strtod(obj.c_str() + obj.find(':', k) + 1, nullptr);
+    };
+    e.conventional = number("\"conventional\"");
+    e.arb = number("\"arb\"");
+    e.samie = number("\"samie\"");
+    out.push_back(std::move(e));
+    at = close + 1;
+    const std::size_t next = json_text.find_first_not_of(", \n\t", at);
+    if (next == std::string::npos || json_text[next] == ']') break;
+  }
+  return out;
+}
+
 double hotpath_cycles_per_second_from_json(const std::string& json_text,
                                            const std::string& lsq_tag) {
   const std::string section = "\"" + lsq_tag + "\"";

@@ -78,6 +78,21 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report);
 [[nodiscard]] double hotpath_cycles_per_second_from_json(
     const std::string& json_text, const std::string& lsq_tag);
 
+/// One point of the PR-indexed perf trajectory
+/// (bench/trajectory_hotpath.json, schema samie-bench-trajectory-v1):
+/// sim_cycles_per_second per LSQ as measured back-to-back on one host.
+struct TrajectoryEntry {
+  std::string label;  ///< e.g. "PR1"
+  double conventional = 0.0;
+  double arb = 0.0;
+  double samie = 0.0;
+};
+
+/// Parses the checked-in trajectory file's text. Entries missing a field
+/// carry 0.0 there; malformed documents yield an empty vector.
+[[nodiscard]] std::vector<TrajectoryEntry> parse_hotpath_trajectory(
+    const std::string& json_text);
+
 /// Current process peak RSS (VmHWM) in kB; 0 when /proc is unavailable.
 [[nodiscard]] std::uint64_t peak_rss_kb();
 

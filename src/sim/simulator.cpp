@@ -19,7 +19,16 @@ namespace {
 
 /// Integrates occupancy-dependent statistics once per cycle: the paper's
 /// active-area policy (Section 4.2) and the Figure 3/4 occupancy series.
-class StatsCollector final : public core::CycleObserver {
+///
+/// Core is templated over this concrete type, so on_cycle is a direct,
+/// inlinable call — no virtual dispatch in the cycle loop. The per-cycle
+/// work itself is batched: occupancy changes much slower than cycles, so
+/// identical consecutive samples are run-length collected and the area /
+/// occupancy math runs once per distinct sample at flush time. The
+/// flush replays the accumulator updates once per covered cycle in the
+/// original order, so every statistic stays bit-identical to the
+/// unbatched per-cycle version.
+class StatsCollector final {
  public:
   StatsCollector(const SimConfig& cfg, const energy::LsqEnergyConstants& k)
       : cfg_(cfg),
@@ -28,38 +37,18 @@ class StatsCollector final : public core::CycleObserver {
         samie_slot_area_(energy::samie_slot_area_um2(k)),
         addrbuf_slot_area_(energy::addrbuf_slot_area_um2(k)) {}
 
-  void on_cycle(Cycle /*cycle*/, const lsq::OccupancySample& occ) override {
-    ++cycles_;
-    if (cfg_.lsq == LsqChoice::kSamie) {
-      // DistribLSQ: in-use entries plus one spare entry per non-full bank;
-      // in-use slots plus one spare slot per active entry.
-      const double spare_entries =
-          static_cast<double>(cfg_.samie.banks - occ.distrib_banks_full);
-      const double entries_active =
-          static_cast<double>(occ.distrib_entries_used) + spare_entries;
-      const double slots_active =
-          static_cast<double>(occ.distrib_slots_used) +
-          static_cast<double>(occ.distrib_entries_used - occ.distrib_entries_full) +
-          spare_entries;
-      area_.add_cycle(
-          entries_active * samie_fixed_area_ + slots_active * samie_slot_area_,
-          shared_area(occ),
-          addrbuf_slot_area_ *
-              static_cast<double>(std::min(occ.buffer_used + 4,
-                                           cfg_.samie.addr_buffer_slots)));
-      shared_occ_.add(static_cast<double>(occ.shared_entries_used));
-      shared_max_ = std::max<std::uint64_t>(shared_max_, occ.shared_entries_used);
-      buffer_occ_.add(static_cast<double>(occ.buffer_used));
-      if (occ.buffer_used > 0) ++buffer_nonempty_;
-    } else {
-      // Conventional policy: in-use entries plus four spare entries.
-      const double active = static_cast<double>(
-          std::min(occ.entries_used + 4, cfg_.conventional.entries));
-      area_.add_cycle_conventional(active * conv_entry_area_);
+  void on_cycle(Cycle /*cycle*/, const lsq::OccupancySample& occ) {
+    if (run_len_ != 0 && occ == run_sample_) {
+      ++run_len_;
+      return;
     }
+    flush_run();
+    run_sample_ = occ;
+    run_len_ = 1;
   }
 
-  void fold_into(SimResult& r) const {
+  void fold_into(SimResult& r) {
+    flush_run();
     r.area_total = cfg_.lsq == LsqChoice::kSamie ? area_.samie_total()
                                                  : area_.conventional();
     r.area_distrib = area_.distrib();
@@ -75,6 +64,57 @@ class StatsCollector final : public core::CycleObserver {
   }
 
  private:
+  /// Applies the pending run: the occ-derived terms are computed once,
+  /// then the accumulators advance one step per covered cycle (the exact
+  /// FP operation sequence of the per-cycle version — Welford means and
+  /// the area integrals round per cycle, so a single fused multiply
+  /// would drift the low bits).
+  void flush_run() {
+    if (run_len_ == 0) return;
+    const lsq::OccupancySample& occ = run_sample_;
+    cycles_ += run_len_;
+    if (cfg_.lsq == LsqChoice::kSamie) {
+      // DistribLSQ: in-use entries plus one spare entry per non-full bank;
+      // in-use slots plus one spare slot per active entry.
+      const double spare_entries =
+          static_cast<double>(cfg_.samie.banks - occ.distrib_banks_full);
+      const double entries_active =
+          static_cast<double>(occ.distrib_entries_used) + spare_entries;
+      const double slots_active =
+          static_cast<double>(occ.distrib_slots_used) +
+          static_cast<double>(occ.distrib_entries_used -
+                              occ.distrib_entries_full) +
+          spare_entries;
+      const double distrib =
+          entries_active * samie_fixed_area_ + slots_active * samie_slot_area_;
+      const double shared = shared_area(occ);
+      const double addrbuf =
+          addrbuf_slot_area_ *
+          static_cast<double>(
+              std::min(occ.buffer_used + 4, cfg_.samie.addr_buffer_slots));
+      const double shared_used = static_cast<double>(occ.shared_entries_used);
+      const double buffer_used = static_cast<double>(occ.buffer_used);
+      for (std::uint64_t i = 0; i < run_len_; ++i) {
+        area_.add_cycle(distrib, shared, addrbuf);
+        shared_occ_.add(shared_used);
+        buffer_occ_.add(buffer_used);
+      }
+      shared_max_ =
+          std::max<std::uint64_t>(shared_max_, occ.shared_entries_used);
+      if (occ.buffer_used > 0) buffer_nonempty_ += run_len_;
+    } else {
+      // Conventional policy: in-use entries plus four spare entries.
+      const double active =
+          static_cast<double>(
+              std::min(occ.entries_used + 4, cfg_.conventional.entries)) *
+          conv_entry_area_;
+      for (std::uint64_t i = 0; i < run_len_; ++i) {
+        area_.add_cycle_conventional(active);
+      }
+    }
+    run_len_ = 0;
+  }
+
   [[nodiscard]] double shared_area(const lsq::OccupancySample& occ) const {
     const std::uint32_t capacity = cfg_.samie.unbounded_shared
                                        ? occ.shared_entries_used + 1
@@ -100,12 +140,15 @@ class StatsCollector final : public core::CycleObserver {
   std::uint64_t shared_max_ = 0;
   std::uint64_t buffer_nonempty_ = 0;
   std::uint64_t cycles_ = 0;
+  lsq::OccupancySample run_sample_;
+  std::uint64_t run_len_ = 0;
 };
 
 /// Builds the machine around a *concrete* queue type and runs it. The
-/// LSQ types are all `final`, so Core<LsqT> statically dispatches every
-/// LSQ call on the per-memory-op hot path (no virtual calls in the
-/// simulation loop).
+/// LSQ types are all `final` and the observer is the concrete
+/// StatsCollector, so Core<LsqT, StatsCollector> statically dispatches
+/// every LSQ call and the per-cycle observer hook — zero virtual calls
+/// in the simulation loop.
 template <typename LsqT>
 SimResult run_with_queue(const SimConfig& cfg, trace::TraceView trace,
                          LsqT& queue,
@@ -117,8 +160,9 @@ SimResult run_with_queue(const SimConfig& cfg, trace::TraceView trace,
   branch::Btb btb;
   StatsCollector collector(cfg, constants);
 
-  core::Core<LsqT> machine(cfg.core, trace, queue, memory, predictor, btb,
-                           &dcache_ledger, &dtlb_ledger, &collector);
+  core::Core<LsqT, StatsCollector> machine(cfg.core, trace, queue, memory,
+                                           predictor, btb, &dcache_ledger,
+                                           &dtlb_ledger, &collector);
 
   SimResult r;
   r.core = machine.run(cfg.instructions);

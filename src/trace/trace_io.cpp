@@ -280,6 +280,10 @@ MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
 
 MappedTrace::~MappedTrace() { unmap(); }
 
+void MappedTrace::advise_dontneed() const noexcept {
+  if (map_ != nullptr) ::madvise(map_, map_len_, MADV_DONTNEED);
+}
+
 void MappedTrace::unmap() noexcept {
   if (map_ != nullptr) {
     ::munmap(map_, map_len_);

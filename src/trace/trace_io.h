@@ -150,6 +150,13 @@ class MappedTrace {
     return TraceView{records_, static_cast<std::size_t>(header_.count)};
   }
 
+  /// Tells the kernel this mapping's pages are no longer needed
+  /// (MADV_DONTNEED): resident pages are dropped immediately instead of
+  /// lingering until munmap, so long multi-trace sweeps shed page-cache
+  /// residency as soon as each trace finishes. Re-reading afterwards is
+  /// still valid (pages fault back in from the page cache / file).
+  void advise_dontneed() const noexcept;
+
  private:
   void unmap() noexcept;
 

@@ -42,6 +42,15 @@ class TraceSource {
   [[nodiscard]] bool is_mapped() const noexcept {
     return std::holds_alternative<MappedTrace>(storage_);
   }
+  /// For mapped sources: drop resident pages now (MADV_DONTNEED; see
+  /// MappedTrace::advise_dontneed). No-op for in-RAM traces. Call when
+  /// the last consumer of this source is done but the object itself
+  /// lives on (e.g. in a sweep's trace cache).
+  void advise_dontneed() const noexcept {
+    if (const auto* m = std::get_if<MappedTrace>(&storage_)) {
+      m->advise_dontneed();
+    }
+  }
 
  private:
   TraceSource(std::variant<Trace, MappedTrace> storage, std::string name,

@@ -1,0 +1,164 @@
+// Tests for the completion calendar wheel: O(1) schedule/pop with
+// wrap-around, overflow-horizon events, and — the property the core's
+// bit-identity depends on — same-cycle FIFO delivery identical to the
+// (cycle, order) min-heap it replaced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "src/common/calendar_wheel.h"
+
+namespace samie {
+namespace {
+
+using Popped = std::vector<int>;
+
+Popped pop_cycle(CalendarWheel<int>& w, Cycle now) {
+  Popped out;
+  w.pop_due(now, [&](int v) { out.push_back(v); });
+  return out;
+}
+
+TEST(CalendarWheel, DeliversAtTheScheduledCycle) {
+  CalendarWheel<int> w(16);
+  w.schedule(0, 3, 42);
+  EXPECT_TRUE(pop_cycle(w, 1).empty());
+  EXPECT_TRUE(pop_cycle(w, 2).empty());
+  EXPECT_EQ(pop_cycle(w, 3), (Popped{42}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(CalendarWheel, SameCycleEventsPopInScheduleOrder) {
+  CalendarWheel<int> w(16);
+  for (int i = 0; i < 10; ++i) w.schedule(0, 5, i);
+  EXPECT_EQ(pop_cycle(w, 5), (Popped{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(CalendarWheel, PastAndPresentClampToNextCycle) {
+  // The heap this replaced delivered such events at the *next* pop, since
+  // the current cycle's pop had already run when they were scheduled.
+  CalendarWheel<int> w(16);
+  w.schedule(7, 7, 1);  // "now"
+  w.schedule(7, 3, 2);  // the past
+  EXPECT_EQ(pop_cycle(w, 8), (Popped{1, 2}));
+}
+
+TEST(CalendarWheel, WrapsAroundItsSpanRepeatedly) {
+  CalendarWheel<int> w(8);
+  ASSERT_EQ(w.span(), 8U);
+  // Schedule and drain across many times the span; each event lands on
+  // its own cycle even though bucket indices repeat every 8 cycles.
+  Cycle now = 0;
+  for (int round = 0; round < 100; ++round) {
+    w.schedule(now, now + 5, round);
+    for (Cycle c = now + 1; c <= now + 5; ++c) {
+      const Popped got = pop_cycle(w, c);
+      if (c == now + 5) {
+        EXPECT_EQ(got, (Popped{round}));
+      } else {
+        EXPECT_TRUE(got.empty());
+      }
+    }
+    now += 5;
+  }
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(CalendarWheel, OverflowEventsBeyondTheHorizonArriveOnTime) {
+  CalendarWheel<int> w(8);
+  w.schedule(0, 100, 7);  // far beyond the 8-cycle horizon
+  w.schedule(0, 9, 1);    // also beyond (delta 9 > span 8)
+  EXPECT_EQ(w.overflow_size(), 2U);
+  for (Cycle c = 1; c < 9; ++c) EXPECT_TRUE(pop_cycle(w, c).empty());
+  EXPECT_EQ(pop_cycle(w, 9), (Popped{1}));
+  for (Cycle c = 10; c < 100; ++c) EXPECT_TRUE(pop_cycle(w, c).empty());
+  EXPECT_EQ(pop_cycle(w, 100), (Popped{7}));
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.overflow_size(), 0U);
+}
+
+TEST(CalendarWheel, OverflowMergesInScheduleOrderWithDirectEvents) {
+  CalendarWheel<int> w(8);
+  // Event 0 goes through the overflow (delta 20 >= span), events 1 and 2
+  // are scheduled later, directly into the bucket for cycle 20. The heap
+  // contract: same-cycle pops follow schedule order, so 0 comes first.
+  w.schedule(0, 20, 0);
+  for (Cycle c = 1; c <= 15; ++c) (void)pop_cycle(w, c);
+  w.schedule(15, 20, 1);
+  w.schedule(15, 20, 2);
+  for (Cycle c = 16; c < 20; ++c) EXPECT_TRUE(pop_cycle(w, c).empty());
+  EXPECT_EQ(pop_cycle(w, 20), (Popped{0, 1, 2}));
+}
+
+TEST(CalendarWheel, PopCallbackMaySchedule) {
+  CalendarWheel<int> w(8);
+  w.schedule(0, 2, 1);
+  Popped all;
+  for (Cycle c = 1; c <= 4; ++c) {
+    w.pop_due(c, [&](int v) {
+      all.push_back(v);
+      if (v == 1) w.schedule(c, c + 2, 2);  // chain from inside the pop
+    });
+  }
+  EXPECT_EQ(all, (Popped{1, 2}));
+}
+
+TEST(CalendarWheel, ClearDropsEverything) {
+  CalendarWheel<int> w(8);
+  w.schedule(0, 3, 1);
+  w.schedule(0, 50, 2);
+  EXPECT_EQ(w.size(), 2U);
+  w.clear();
+  EXPECT_TRUE(w.empty());
+  for (Cycle c = 1; c <= 50; ++c) EXPECT_TRUE(pop_cycle(w, c).empty());
+}
+
+// The decisive property: against a reference (cycle, order) min-heap —
+// the structure the core used before — a random schedule/pop interleaving
+// must deliver the identical event sequence, including same-cycle order.
+TEST(CalendarWheel, MatchesReferenceHeapOnRandomSchedules) {
+  struct Ref {
+    Cycle at;
+    std::uint64_t order;
+    int payload;
+  };
+  auto later = [](const Ref& a, const Ref& b) {
+    return a.at > b.at || (a.at == b.at && a.order > b.order);
+  };
+
+  std::mt19937_64 rng(1234);
+  CalendarWheel<int> wheel(16);  // small span: exercises wrap + overflow
+  std::vector<Ref> heap;
+  std::uint64_t order = 0;
+  int payload = 0;
+
+  for (Cycle now = 0; now < 3000; ++now) {
+    // Pop both structures for this cycle.
+    Popped from_wheel = pop_cycle(wheel, now);
+    Popped from_heap;
+    while (!heap.empty() && heap.front().at <= now) {
+      from_heap.push_back(heap.front().payload);
+      std::pop_heap(heap.begin(), heap.end(), later);
+      heap.pop_back();
+    }
+    ASSERT_EQ(from_wheel, from_heap) << "divergence at cycle " << now;
+
+    // Schedule a random burst: mostly short latencies, occasionally far
+    // beyond the 16-cycle span (overflow path).
+    const int n = static_cast<int>(rng() % 4);
+    for (int i = 0; i < n; ++i) {
+      const Cycle delta =
+          (rng() % 16 == 0) ? 20 + rng() % 200 : 1 + rng() % 12;
+      wheel.schedule(now, now + delta, payload);
+      heap.push_back(Ref{now + delta, order++, payload});
+      std::push_heap(heap.begin(), heap.end(), later);
+      ++payload;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace samie

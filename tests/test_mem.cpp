@@ -3,6 +3,10 @@
 // hierarchy's latency chain.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "src/mem/cache.h"
 #include "src/mem/hierarchy.h"
 #include "src/mem/tlb.h"
@@ -129,6 +133,83 @@ TEST(Tlb, CapacityRespected) {
   for (Addr p = 0; p < 128; ++p) EXPECT_FALSE(t.access(p * 4096));
   for (Addr p = 0; p < 128; ++p) EXPECT_TRUE(t.access(p * 4096));
   EXPECT_FALSE(t.access(128 * 4096));
+}
+
+/// Plain fully-associative true-LRU model: the behavior the front-array
+/// Tlb must reproduce access for access (differential reference).
+class ReferenceTlb {
+ public:
+  explicit ReferenceTlb(std::uint32_t entries) : entries_(entries) {}
+
+  bool access(Addr vaddr) {
+    const Addr vpn = vaddr >> 12U;
+    for (auto& [page, tick] : pages_) {
+      if (page == vpn) {
+        tick = ++tick_;
+        return true;
+      }
+    }
+    if (pages_.size() >= entries_) {
+      auto victim = pages_.begin();
+      for (auto it = pages_.begin(); it != pages_.end(); ++it) {
+        if (it->second < victim->second) victim = it;
+      }
+      pages_.erase(victim);
+    }
+    pages_.emplace_back(vpn, ++tick_);
+    return false;
+  }
+
+ private:
+  std::uint32_t entries_;
+  std::vector<std::pair<Addr, std::uint64_t>> pages_;
+  std::uint64_t tick_ = 0;
+};
+
+TEST(Tlb, FrontArrayIsBitIdenticalToFullyAssociativeTrueLru) {
+  // A pseudo-random stream with page locality, working set larger than
+  // the TLB, and frequent aliasing across the 64-entry direct-mapped
+  // front array (strides of 64 and 65 pages collide there). Every access
+  // must hit/miss exactly as the reference does.
+  for (const std::uint32_t entries : {8U, 32U, 128U}) {
+    Tlb tlb(TlbConfig{.entries = entries, .page_bytes = 4096,
+                      .hit_latency = 1, .miss_penalty = 30});
+    ReferenceTlb ref(entries);
+    std::uint64_t state = 0x243F6A8885A308D3ULL;
+    Addr base = 0;
+    for (int i = 0; i < 20000; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const std::uint64_t r = state >> 33U;
+      switch (r % 5) {
+        case 0: base = (r >> 8U) % (4 * entries); break;  // jump
+        case 1: base += 64; break;   // front-index alias, same slot
+        case 2: base += 65; break;   // neighbouring slot
+        default: break;              // re-touch the current page
+      }
+      const Addr vaddr = base * 4096 + (r & 0xFFF);
+      ASSERT_EQ(tlb.access(vaddr), ref.access(vaddr))
+          << "entries=" << entries << " access#" << i << " vaddr=" << vaddr;
+    }
+  }
+}
+
+TEST(Tlb, ResetClearsCountersAndFrontArray) {
+  Tlb t(TlbConfig{.entries = 4, .page_bytes = 4096, .hit_latency = 1,
+                  .miss_penalty = 30});
+  EXPECT_FALSE(t.access(0x1000));
+  EXPECT_TRUE(t.access(0x1000));
+  t.reset();
+  EXPECT_EQ(t.hits(), 0U);
+  EXPECT_EQ(t.misses(), 0U);
+  // A page that hit via the front array before the reset must miss again:
+  // a stale front entry would otherwise report a phantom hit.
+  EXPECT_FALSE(t.access(0x1000));
+  // And the refilled TLB behaves like a fresh one (LRU order rebuilt).
+  ReferenceTlb ref(4);
+  ref.access(0x1000);
+  for (Addr p = 2; p < 12; ++p) {
+    EXPECT_EQ(t.access(p * 4096), ref.access(p * 4096));
+  }
 }
 
 // -------------------------------------------------------------- hierarchy --
