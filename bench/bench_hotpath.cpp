@@ -76,18 +76,22 @@ int main() {
   const std::string baseline = load_baseline();
 
   // RSS is the process high-water mark, i.e. "peak so far" in run order
-  // (conventional -> arb -> samie), not a per-LSQ footprint.
-  Table t({"lsq", "sim cycles", "wall s", "Mcycles/s", "RSS-so-far MB",
-           "vs baseline"});
+  // (conventional -> arb -> samie), not a per-LSQ footprint. "skip %" is
+  // the share of simulated cycles the event-driven engine fast-forwarded
+  // over instead of walking the six stages.
+  Table t({"lsq", "sim cycles", "wall s", "Mcycles/s", "skip %",
+           "RSS-so-far MB", "vs baseline"});
   for (const auto& lr : report.lsqs) {
     const std::string tag = sim::lsq_choice_name(lr.lsq);
     const double base =
         baseline.empty()
             ? 0.0
             : sim::hotpath_cycles_per_second_from_json(baseline, tag);
+    const double skip =
+        100.0 * sim::skip_fraction(lr.total_skipped_cycles, lr.total_sim_cycles);
     t.add_row({tag, std::to_string(lr.total_sim_cycles),
                Table::num(lr.total_wall_seconds),
-               Table::num(lr.sim_cycles_per_second / 1e6),
+               Table::num(lr.sim_cycles_per_second / 1e6), Table::num(skip, 1),
                Table::num(static_cast<double>(lr.peak_rss_kb) / 1024.0),
                base > 0.0 ? Table::num(lr.sim_cycles_per_second / base, 2) + "x"
                           : std::string("(no baseline)")});

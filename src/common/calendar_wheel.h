@@ -23,6 +23,16 @@
 // re-dispatched). Callers attach a generation token to the payload and
 // drop events whose token no longer matches — O(1), so squashes never
 // need to walk the wheel.
+//
+// Fast-forward support: the wheel keeps a bitmask with one bit per
+// bucket (bit set <=> bucket non-empty), so `next_event_cycle(now)`
+// finds the earliest scheduled event in O(span/64) words. An
+// event-driven caller may then jump its clock straight to that cycle and
+// call pop_due there — skipping the pops of provably-empty cycles. The
+// only requirement is that the caller never jumps *past* a non-empty
+// bucket (next_event_cycle by construction never asks it to): buckets
+// between `now` and the target are empty, so the per-cycle pop they
+// would have received is a no-op.
 #pragma once
 
 #include <algorithm>
@@ -45,7 +55,8 @@ class CalendarWheel {
   explicit CalendarWheel(std::size_t min_span = 256)
       : span_(std::bit_ceil(std::max<std::size_t>(min_span, 2))),
         mask_(span_ - 1),
-        buckets_(span_) {}
+        buckets_(span_),
+        occupancy_((span_ + 63) / 64, 0) {}
 
   [[nodiscard]] std::size_t span() const noexcept { return span_; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -56,9 +67,46 @@ class CalendarWheel {
 
   void clear() noexcept {
     for (auto& b : buckets_) b.clear();
+    for (auto& w : occupancy_) w = 0;
     overflow_.clear();
     overflow_min_ = kNeverCycle;
     size_ = 0;
+  }
+
+  /// Cycle of the earliest scheduled event at or after `now` (including
+  /// events due exactly at `now`), or kNeverCycle when the wheel is
+  /// empty. O(span/64): a wrapped scan over the occupancy bitmask, plus
+  /// the tracked overflow minimum. Precondition (the pop_due contract):
+  /// every non-empty bucket holds a cycle in [now, now + span), which
+  /// holds as long as the caller popped — or fast-forwarded over
+  /// provably-empty cycles to — every cycle before `now`.
+  [[nodiscard]] Cycle next_event_cycle(Cycle now) const noexcept {
+    const std::size_t delta = next_nonempty_bucket(now);
+    const Cycle in_wheel = delta == span_ ? kNeverCycle : now + delta;
+    return std::min(in_wheel, overflow_min_);
+  }
+
+  /// Distance (in cycles) from `now` to the first non-empty bucket,
+  /// scanning buckets in the cyclic order now, now+1, ..., now+span-1;
+  /// returns span() when every bucket is empty.
+  [[nodiscard]] std::size_t next_nonempty_bucket(Cycle now) const noexcept {
+    const std::size_t start = static_cast<std::size_t>(now & mask_);
+    // First (possibly partial) word: only bits at or above `start`.
+    std::size_t wi = start / 64;
+    std::uint64_t w = occupancy_[wi] & (~0ULL << (start % 64));
+    if (w != 0) return bit_index(wi, w) - start;
+    // Forward words, then wrap; the start word's low bits come last.
+    const std::size_t words = occupancy_.size();
+    for (std::size_t step = 1; step <= words; ++step) {
+      wi = (start / 64 + step) % words;
+      w = occupancy_[wi];
+      if (step == words) w &= ~(~0ULL << (start % 64));  // low remainder
+      if (w != 0) {
+        const std::size_t bucket = bit_index(wi, w);
+        return (bucket + span_ - start) & mask_;
+      }
+    }
+    return span_;
   }
 
   /// Schedules `payload` for cycle `at`. `now` is the current cycle; the
@@ -74,6 +122,7 @@ class CalendarWheel {
       overflow_min_ = std::min(overflow_min_, at);
     } else {
       buckets_[at & mask_].push_back(ev);
+      mark_bucket(at & mask_);
     }
     ++size_;
   }
@@ -91,6 +140,7 @@ class CalendarWheel {
     }
     size_ -= b.size();
     b.clear();
+    clear_bucket(now & mask_);
   }
 
  private:
@@ -111,8 +161,12 @@ class CalendarWheel {
     std::size_t moved = 0;
     while (moved < overflow_.size() && overflow_[moved].at < now + span_) {
       const Event& ev = overflow_[moved];
-      assert(ev.at > now && "overflow drains before its cycle is due");
+      // A fast-forwarding caller may jump straight to an overflow event's
+      // cycle, so `at == now` is legal here (the pop delivers it below);
+      // only a cycle already behind `now` would be a contract violation.
+      assert(ev.at >= now && "overflow drains no later than its cycle");
       buckets_[ev.at & mask_].push_back(ev);
+      mark_bucket(ev.at & mask_);
       ++moved;
     }
     overflow_.erase(overflow_.begin(),
@@ -134,9 +188,22 @@ class CalendarWheel {
     return a.order < b.order;
   }
 
+  void mark_bucket(std::size_t b) noexcept {
+    occupancy_[b / 64] |= 1ULL << (b % 64);
+  }
+  void clear_bucket(std::size_t b) noexcept {
+    occupancy_[b / 64] &= ~(1ULL << (b % 64));
+  }
+  [[nodiscard]] static std::size_t bit_index(std::size_t word,
+                                             std::uint64_t bits) noexcept {
+    return word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+  }
+
   std::size_t span_;
   std::size_t mask_;
   std::vector<std::vector<Event>> buckets_;
+  /// Bit b <=> buckets_[b] non-empty (the next_event_cycle scan).
+  std::vector<std::uint64_t> occupancy_;
   std::vector<Event> overflow_;
   Cycle overflow_min_ = kNeverCycle;
   std::uint64_t order_ = 0;

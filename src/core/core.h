@@ -72,6 +72,12 @@ struct CoreConfig {
 
   /// Watchdog: abort if no instruction commits for this many cycles.
   Cycle commit_timeout = 200000;
+
+  /// Escape hatch (`samie_sim --no-skip`): run every cycle through the
+  /// six-stage walk even when the work ledgers prove it a no-op. The
+  /// event-driven fast-forward is bit-identical to this by construction;
+  /// the differential suite runs both and asserts it.
+  bool always_step = false;
 };
 
 /// Per-cycle hook for occupancy sampling (area integration, Figures 3/4).
@@ -83,6 +89,15 @@ class CycleObserver {
  public:
   virtual ~CycleObserver() = default;
   virtual void on_cycle(Cycle cycle, const lsq::OccupancySample& occ) = 0;
+  /// Batched form used by the fast-forward: `count` consecutive cycles
+  /// starting at `first`, all with the same occupancy (nothing ran, so
+  /// nothing could change it). The default replays the per-cycle hook so
+  /// any observer stays bit-identical; run-length collectors (the
+  /// simulator's StatsCollector) override with a counter bump.
+  virtual void on_cycles(Cycle first, std::uint64_t count,
+                         const lsq::OccupancySample& occ) {
+    for (std::uint64_t i = 0; i < count; ++i) on_cycle(first + i, occ);
+  }
 };
 
 /// Aggregate outcome of a simulation run.
@@ -104,6 +119,12 @@ struct CoreResult {
   std::uint64_t dcache_full = 0;
   std::uint64_t dtlb_accesses = 0;
   std::uint64_t dtlb_cached = 0;
+  /// Engine metrics, not simulation statistics: cycles the event-driven
+  /// loop fast-forwarded over (0 under `always_step`) and the number of
+  /// fast-forward jumps. Every *simulation* statistic above is
+  /// bit-identical whether these are zero or not.
+  std::uint64_t quiescent_cycles_skipped = 0;
+  std::uint64_t fast_forwards = 0;
 };
 
 template <typename LsqT = lsq::LoadStoreQueue,
@@ -126,6 +147,24 @@ class Core final : private lsq::PresentBitClearer {
  private:
   enum class SrcRole : std::uint8_t { kAgen = 0, kData = 1 };
 
+  /// A (seq, ROB-slot incarnation) token. Everything that *refers* to an
+  /// in-flight instruction across cycles — completion events, dependent
+  /// lists, waiter lists, ready-queue entries — carries one; a consumer
+  /// whose token no longer matches the slot is stale (squash, flush or
+  /// slot reuse after refetch of the same trace index) and drops it in
+  /// O(1). This is what makes squash recovery O(squashed): no survivor
+  /// scrubbing, no ready-queue filtering.
+  struct SeqRef {
+    InstSeq seq = kNoInst;
+    std::uint32_t gen = 0;
+  };
+  /// SeqRef plus the operand role the dependent is waiting in.
+  struct DepRef {
+    InstSeq seq = kNoInst;
+    std::uint32_t gen = 0;
+    std::uint8_t role = 0;  ///< SrcRole
+  };
+
   struct InFlight {
     InstSeq seq = kNoInst;
     /// Incarnation counter of this ROB slot, bumped at every dispatch
@@ -147,13 +186,20 @@ class Core final : private lsq::PresentBitClearer {
     bool mispredicted = false;
     std::uint64_t load_value = 0;  ///< value the load observed (checked
                                    ///< against the trace oracle)
-    std::vector<std::uint64_t> dependents;  ///< (seq << 1) | role
+    /// Rename checkpoint: the producer this instruction's dst displaced
+    /// at dispatch (kNoInst included). Squash/flush restore the rename
+    /// table by replaying these in reverse over the squashed range only —
+    /// O(squashed), no survivor walk. A restored value may name an
+    /// already-committed producer; that is benign because every rename
+    /// consumer filters through live().
+    InstSeq prev_rename = kNoInst;
+    std::vector<DepRef> dependents;  ///< instructions waiting on this result
     /// Stores only — loads waiting on this slot's instruction, indexed
     /// flat by ROB slot (replaces the former unordered_map waiter tables;
     /// capacity is retained across slot reuse, so steady state never
-    /// allocates).
-    std::vector<InstSeq> fwd_waiters;     ///< ForwardWait: need the datum
-    std::vector<InstSeq> commit_waiters;  ///< WaitCommit: need retirement
+    /// allocates). Stale tokens are dropped at wake time.
+    std::vector<SeqRef> fwd_waiters;     ///< ForwardWait: need the datum
+    std::vector<SeqRef> commit_waiters;  ///< WaitCommit: need retirement
   };
 
   struct Fetched {
@@ -200,9 +246,48 @@ class Core final : private lsq::PresentBitClearer {
   void handle_eviction(bool evicted, std::uint32_t set, bool had_present_bit);
   void squash_after(InstSeq last_kept);
   void full_flush();
-  void rebuild_rename();
   [[nodiscard]] std::uint64_t forwarded_value(const trace::MicroOp& load,
                                               const trace::MicroOp& store) const;
+
+  // -- event-driven engine ---------------------------------------------------
+  /// True when `ref` still names the incarnation it was created for.
+  [[nodiscard]] bool ref_live(InstSeq seq, std::uint32_t gen) const {
+    return live(seq) && rob_[rob_index(seq)].gen == gen;
+  }
+  [[nodiscard]] SeqRef ref_of(InstSeq seq) {
+    return SeqRef{seq, slot(seq).gen};
+  }
+  /// Work ledger: true iff some stage could change architectural state at
+  /// the *current* cycle_ (see core_impl.h for the stage-by-stage proof
+  /// obligations). All O(1).
+  [[nodiscard]] bool quiescent() const;
+  /// §3.3 deadlock-avoidance predicate on the ROB head: the oldest
+  /// instruction can never be placed without a flush. One definition
+  /// shared by commit_stage (which flushes on it) and quiescent() (which
+  /// reports work on it), so the two can never drift apart.
+  [[nodiscard]] bool deadlock_flush_pending(const InFlight& h) const {
+    return trace::is_mem(h.op->op) && !h.placed &&
+           (h.agen_done || (!h.agen_issued && h.wait_agen == 0 &&
+                            lsq_.placement_headroom() == 0));
+  }
+  /// The dispatch stage's head-of-queue resource checks, O(1). The stage
+  /// itself breaks on this same predicate, so the quiescence ledger and
+  /// the stage agree by construction.
+  [[nodiscard]] bool dispatch_blocked() const;
+  /// Drain-work hook, statically bound for concrete queues; the
+  /// type-erased LoadStoreQueue has no hook and conservatively reports
+  /// pending work (the type-erased core simply never fast-forwards).
+  [[nodiscard]] bool lsq_has_pending_work() const {
+    if constexpr (requires(const LsqT& q) { q.has_pending_work(); }) {
+      return lsq_.has_pending_work();
+    } else {
+      return true;
+    }
+  }
+  /// When quiescent, jumps cycle_ to the next wake source (wheel event,
+  /// fetch re-enable, hierarchy completion, watchdog), replaying the
+  /// skipped span through the observer in one batched call.
+  void try_fast_forward();
   /// lsq::PresentBitClearer — the queue tells us a cached L1D location
   /// was released; clear the cache-side presentBit.
   void clear_present_bit(std::uint32_t set, std::uint32_t way) override;
@@ -234,12 +319,15 @@ class Core final : private lsq::PresentBitClearer {
   std::uint32_t fp_regs_used_ = 0;
   std::vector<InstSeq> rename_;  ///< arch reg -> youngest in-flight producer
 
-  // Scheduling queues. Entries are validated against the ROB at pop time,
-  // so squashes do not need to filter them. Rings + flat sorted sets:
-  // reserved once, allocation-free in steady state.
-  RingDeque<InstSeq> ready_int_;
-  RingDeque<InstSeq> ready_fp_;
-  RingDeque<InstSeq> ready_mem_;  ///< loads cleared to access the cache
+  // Scheduling queues. Entries carry (seq, gen) tokens validated at pop
+  // time, so squashes do not filter them at all (stale tokens — including
+  // a re-dispatched *same* seq after refetch — die on pop). Rings + flat
+  // sorted sets: reserved once, allocation-free in steady state. The
+  // sorted sets are exact (their min() gates load ordering) and truncate
+  // in O(log n) on squash.
+  RingDeque<SeqRef> ready_int_;
+  RingDeque<SeqRef> ready_fp_;
+  RingDeque<SeqRef> ready_mem_;  ///< loads cleared to access the cache
   SortedSeqSet unplaced_stores_;
   SortedSeqSet ordering_waiting_loads_;
 
@@ -252,10 +340,10 @@ class Core final : private lsq::PresentBitClearer {
   // Reused per-cycle scratch — cleared, never reallocated in steady state.
   std::vector<InstSeq> drain_scratch_;     ///< memory_stage: drained seqs
   std::vector<InstSeq> eligible_scratch_;  ///< on_store_placed: readyBit sweep
-  std::vector<InstSeq> waiter_scratch_;    ///< waking forward-waiting loads
-  std::vector<InstSeq> commit_waiter_scratch_;  ///< commit_stage wakeups
-  std::vector<InstSeq> skipped_int_;       ///< issue_stage re-queues
-  std::vector<InstSeq> skipped_fp_;
+  std::vector<SeqRef> waiter_scratch_;     ///< waking forward-waiting loads
+  std::vector<SeqRef> commit_waiter_scratch_;  ///< commit_stage wakeups
+  std::vector<SeqRef> skipped_int_;        ///< issue_stage re-queues
+  std::vector<SeqRef> skipped_fp_;
 
   // Functional units.
   PipelinedPool int_alu_;

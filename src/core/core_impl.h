@@ -13,11 +13,6 @@ namespace samie::core {
 
 namespace detail {
 
-[[nodiscard]] constexpr std::uint64_t encode_dep(InstSeq seq,
-                                                 std::uint8_t role) noexcept {
-  return (seq << 1U) | role;
-}
-
 [[nodiscard]] constexpr std::uint64_t value_mask(std::uint32_t bytes) noexcept {
   return bytes >= 8 ? ~0ULL : ((1ULL << (8 * bytes)) - 1);
 }
@@ -97,15 +92,16 @@ void Core<LsqT, ObserverT>::schedule_completion(InstSeq seq, Cycle at) {
 
 template <typename LsqT, typename ObserverT>
 void Core<LsqT, ObserverT>::wake_dependents(InFlight& inst) {
-  for (std::uint64_t enc : inst.dependents) {
-    const InstSeq d = enc >> 1U;
-    const auto role = static_cast<SrcRole>(enc & 1U);
-    if (!live(d)) continue;
+  for (const DepRef& ref : inst.dependents) {
+    const InstSeq d = ref.seq;
+    // Stale tokens (squashed dependents — possibly re-dispatched under a
+    // new gen after refetch) die here; squash never scrubs these lists.
+    if (!ref_live(d, ref.gen)) continue;
     InFlight& dep = slot(d);
-    if (role == SrcRole::kAgen) {
+    if (static_cast<SrcRole>(ref.role) == SrcRole::kAgen) {
       assert(dep.wait_agen > 0);
       if (--dep.wait_agen == 0 && dep.in_iq) {
-        (trace::is_fp(dep.op->op) ? ready_fp_ : ready_int_).push_back(d);
+        (trace::is_fp(dep.op->op) ? ready_fp_ : ready_int_).push_back(ref_of(d));
       }
     } else {
       assert(dep.wait_data > 0);
@@ -118,7 +114,9 @@ void Core<LsqT, ObserverT>::wake_dependents(InFlight& inst) {
             waiter_scratch_.assign(dep.fwd_waiters.begin(),
                                    dep.fwd_waiters.end());
             dep.fwd_waiters.clear();
-            for (InstSeq l : waiter_scratch_) try_schedule_load(l);
+            for (const SeqRef& l : waiter_scratch_) {
+              if (ref_live(l.seq, l.gen)) try_schedule_load(l.seq);
+            }
           }
           if (!dep.executing && !dep.completed) {
             dep.executing = true;
@@ -151,7 +149,7 @@ void Core<LsqT, ObserverT>::try_schedule_load(InstSeq seq) {
   switch (plan.kind) {
     case lsq::LoadPlan::Kind::kCacheAccess:
       f.executing = true;
-      ready_mem_.push_back(seq);
+      ready_mem_.push_back(ref_of(seq));
       break;
     case lsq::LoadPlan::Kind::kForwardReady: {
       f.executing = true;
@@ -161,11 +159,11 @@ void Core<LsqT, ObserverT>::try_schedule_load(InstSeq seq) {
       break;
     }
     case lsq::LoadPlan::Kind::kForwardWait:
-      slot(plan.store).fwd_waiters.push_back(seq);
+      slot(plan.store).fwd_waiters.push_back(ref_of(seq));
       break;
     case lsq::LoadPlan::Kind::kWaitCommit:
       ++res_.partial_forward_waits;
-      slot(plan.store).commit_waiters.push_back(seq);
+      slot(plan.store).commit_waiters.push_back(ref_of(seq));
       break;
   }
 }
@@ -342,21 +340,22 @@ void Core<LsqT, ObserverT>::issue_stage() {
   // Loads cleared for memory access contend for the remaining cache ports.
   while (!ready_mem_.empty()) {
     if (dcache_ports_used_ >= cfg_.dcache_ports) break;
-    const InstSeq seq = ready_mem_.front();
+    const SeqRef ref = ready_mem_.front();
     ready_mem_.pop_front();
-    if (!live(seq)) continue;
-    InFlight& f = slot(seq);
+    if (!ref_live(ref.seq, ref.gen)) continue;  // squash-stale token
+    InFlight& f = slot(ref.seq);
     if (f.completed || !f.executing) continue;
-    execute_load_access(seq);
+    execute_load_access(ref.seq);
   }
 
   // INT side: agen, integer compute, branches.
   std::uint32_t issued = 0;
   skipped_int_.clear();
   while (!ready_int_.empty() && issued < cfg_.issue_width_int) {
-    const InstSeq seq = ready_int_.front();
+    const SeqRef ref = ready_int_.front();
+    const InstSeq seq = ref.seq;
     ready_int_.pop_front();
-    if (!live(seq)) continue;
+    if (!ref_live(seq, ref.gen)) continue;  // squash-stale token
     InFlight& f = slot(seq);
     if (!f.in_iq || f.wait_agen > 0) continue;
     const trace::OpClass op = f.op->op;
@@ -365,7 +364,7 @@ void Core<LsqT, ObserverT>::issue_stage() {
     if (trace::is_mem(op)) {
       if (agens_outstanding_ >= lsq_.placement_headroom()) {
         ++res_.agen_gated;
-        skipped_int_.push_back(seq);
+        skipped_int_.push_back(ref);
         continue;
       }
       ok = int_alu_.try_issue();
@@ -383,7 +382,7 @@ void Core<LsqT, ObserverT>::issue_stage() {
       ok = int_alu_.try_issue();
     }
     if (!ok) {
-      skipped_int_.push_back(seq);
+      skipped_int_.push_back(ref);
       continue;
     }
     f.in_iq = false;
@@ -400,9 +399,10 @@ void Core<LsqT, ObserverT>::issue_stage() {
   issued = 0;
   skipped_fp_.clear();
   while (!ready_fp_.empty() && issued < cfg_.issue_width_fp) {
-    const InstSeq seq = ready_fp_.front();
+    const SeqRef ref = ready_fp_.front();
+    const InstSeq seq = ref.seq;
     ready_fp_.pop_front();
-    if (!live(seq)) continue;
+    if (!ref_live(seq, ref.gen)) continue;  // squash-stale token
     InFlight& f = slot(seq);
     if (!f.in_iq || f.wait_agen > 0) continue;
     const trace::OpClass op = f.op->op;
@@ -418,7 +418,7 @@ void Core<LsqT, ObserverT>::issue_stage() {
       ok = fp_alu_.try_issue();
     }
     if (!ok) {
-      skipped_fp_.push_back(seq);
+      skipped_fp_.push_back(ref);
       continue;
     }
     f.in_iq = false;
@@ -435,20 +435,13 @@ void Core<LsqT, ObserverT>::issue_stage() {
 template <typename LsqT, typename ObserverT>
 void Core<LsqT, ObserverT>::dispatch_stage() {
   for (std::uint32_t n = 0; n < cfg_.dispatch_width && !fetch_queue_.empty(); ++n) {
+    // Head-of-queue resource checks: the same predicate the quiescence
+    // ledger consults (in-order dispatch: a blocked head blocks all).
+    if (dispatch_blocked()) break;
     const Fetched fr = fetch_queue_.front();
     const trace::MicroOp& op = trace_[fr.seq];
     const bool fp = trace::is_fp(op.op);
     const bool mem_op = trace::is_mem(op.op);
-
-    if (tail_ - head_ >= cfg_.rob_size) break;
-    if (fp ? iq_fp_used_ >= cfg_.iq_fp : iq_int_used_ >= cfg_.iq_int) break;
-    if (op.dst != kNoReg) {
-      if (is_fp_reg(op.dst) ? fp_regs_used_ >= cfg_.fp_regs
-                            : int_regs_used_ >= cfg_.int_regs) {
-        break;
-      }
-    }
-    if (mem_op && !lsq_.can_dispatch(op.op == trace::OpClass::kLoad)) break;
 
     fetch_queue_.pop_front();
     const InstSeq seq = fr.seq;
@@ -468,6 +461,7 @@ void Core<LsqT, ObserverT>::dispatch_stage() {
     f.completed = false;
     f.mispredicted = fr.mispredicted;
     f.load_value = 0;
+    f.prev_rename = kNoInst;
     f.dependents.clear();
     f.fwd_waiters.clear();
     f.commit_waiters.clear();
@@ -478,7 +472,7 @@ void Core<LsqT, ObserverT>::dispatch_stage() {
       const InstSeq p = rename_[src];
       if (p != kNoInst && live(p) && !slot(p).completed) {
         slot(p).dependents.push_back(
-            detail::encode_dep(seq, static_cast<std::uint8_t>(role)));
+            DepRef{seq, f.gen, static_cast<std::uint8_t>(role)});
         if (role == SrcRole::kAgen) {
           ++f.wait_agen;
         } else {
@@ -497,6 +491,7 @@ void Core<LsqT, ObserverT>::dispatch_stage() {
 
     if (op.dst != kNoReg) {
       (is_fp_reg(op.dst) ? fp_regs_used_ : int_regs_used_)++;
+      f.prev_rename = rename_[op.dst];  // checkpoint for O(squashed) undo
       rename_[op.dst] = seq;
     }
 
@@ -510,7 +505,7 @@ void Core<LsqT, ObserverT>::dispatch_stage() {
 
     (fp ? iq_fp_used_ : iq_int_used_)++;
     if (f.wait_agen == 0) {
-      (fp ? ready_fp_ : ready_int_).push_back(seq);
+      (fp ? ready_fp_ : ready_int_).push_back(SeqRef{seq, f.gen});
     }
   }
 }
@@ -551,15 +546,6 @@ void Core<LsqT, ObserverT>::fetch_stage() {
 }
 
 template <typename LsqT, typename ObserverT>
-void Core<LsqT, ObserverT>::rebuild_rename() {
-  for (auto& r : rename_) r = kNoInst;
-  for (InstSeq s = head_; s < tail_; ++s) {
-    const InFlight& f = slot(s);
-    if (f.op->dst != kNoReg) rename_[f.op->dst] = s;
-  }
-}
-
-template <typename LsqT, typename ObserverT>
 void Core<LsqT, ObserverT>::squash_after(InstSeq last_kept) {
   const InstSeq first_bad = last_kept + 1;
   if (first_bad >= tail_) {
@@ -571,7 +557,14 @@ void Core<LsqT, ObserverT>::squash_after(InstSeq last_kept) {
     return;
   }
   lsq_.squash_from(first_bad);
-  for (InstSeq s = first_bad; s < tail_; ++s) {
+  // One reverse walk over the *squashed range only*. Walking youngest to
+  // oldest replays the rename checkpoints in undo order, so the table
+  // lands exactly on its state at first_bad's dispatch. (A restored
+  // value may name a committed producer — benign, every consumer filters
+  // through live().) Nothing else is walked: ready queues, surviving
+  // dependent/waiter lists and the wheel all hold (seq, gen) tokens that
+  // go stale right here, when the slots clear, and are dropped at pop.
+  for (InstSeq s = tail_; s-- > first_bad;) {
     InFlight& f = slot(s);
     assert(f.seq == s);
     if (f.agen_issued && !f.agen_done) {
@@ -582,6 +575,7 @@ void Core<LsqT, ObserverT>::squash_after(InstSeq last_kept) {
       auto& used = is_fp_reg(f.op->dst) ? fp_regs_used_ : int_regs_used_;
       assert(used > 0);
       --used;
+      rename_[f.op->dst] = f.prev_rename;
     }
     if (f.in_iq) {
       auto& used = trace::is_fp(f.op->op) ? iq_fp_used_ : iq_int_used_;
@@ -595,30 +589,11 @@ void Core<LsqT, ObserverT>::squash_after(InstSeq last_kept) {
   }
   tail_ = first_bad;
 
+  // The ordering sets are consulted by value (min()), so they must be
+  // exact — but they are sorted, so the squash is an O(log n) truncation.
   unplaced_stores_.erase_from(first_bad);
   ordering_waiting_loads_.erase_from(first_bad);
-  auto filter_queue = [&](RingDeque<InstSeq>& q) {
-    q.erase_if([&](InstSeq s) { return s >= first_bad; });
-  };
-  filter_queue(ready_int_);
-  filter_queue(ready_fp_);
-  filter_queue(ready_mem_);
-  // Surviving producers must forget squashed dependents and waiters: the
-  // same seq can be re-dispatched after the refetch and would otherwise
-  // be woken twice.
-  for (InstSeq s = head_; s < tail_; ++s) {
-    InFlight& f = slot(s);
-    std::erase_if(f.dependents, [&](std::uint64_t enc) {
-      return (enc >> 1U) >= first_bad;
-    });
-    std::erase_if(f.fwd_waiters, [&](InstSeq l) { return l >= first_bad; });
-    std::erase_if(f.commit_waiters, [&](InstSeq l) { return l >= first_bad; });
-  }
-  // Completion events of squashed instructions stay in the wheel; their
-  // (seq, gen) tokens are stale the moment the slots above were cleared
-  // (and re-dispatching bumps gen), so writeback drops them in O(1).
 
-  rebuild_rename();
   fetch_queue_.clear();
   fetch_seq_ = first_bad;
   fetch_stall_until_ = cycle_ + cfg_.redirect_penalty;
@@ -629,8 +604,16 @@ template <typename LsqT, typename ObserverT>
 void Core<LsqT, ObserverT>::full_flush() {
   ++res_.deadlock_flushes;
   lsq_.squash_from(head_);
-  for (InstSeq s = head_; s < tail_; ++s) {
+  // The flush squashes *everything* in flight, so the same reverse
+  // checkpoint replay used by squash_after restores the rename table in
+  // O(squashed) — the former O(arch-regs + ROB) "clear and refetch from
+  // head_" rebuild is gone. After undoing every in-flight dispatch the
+  // table holds only pre-head_ producers, all committed, all filtered by
+  // live(): semantically the empty table.
+  for (InstSeq s = tail_; s-- > head_;) {
     InFlight& f = slot(s);
+    assert(f.seq == s);
+    if (f.op->dst != kNoReg) rename_[f.op->dst] = f.prev_rename;
     f.seq = kNoInst;
     f.dependents.clear();
     f.fwd_waiters.clear();
@@ -650,7 +633,6 @@ void Core<LsqT, ObserverT>::full_flush() {
   int_muldiv_.reset();
   fp_muldiv_.reset();
   agens_outstanding_ = 0;
-  for (auto& r : rename_) r = kNoInst;
   fetch_queue_.clear();
   fetch_seq_ = head_;
   fetch_stall_until_ = cycle_ + cfg_.redirect_penalty;
@@ -668,11 +650,7 @@ void Core<LsqT, ObserverT>::commit_stage() {
       // is held by younger instructions, or its address computation is
       // gated by a full AddrBuffer. Flush the pipeline; the oldest
       // instruction re-enters first and is guaranteed a slot.
-      if (trace::is_mem(h.op->op) && !h.placed &&
-          (h.agen_done || (!h.agen_issued && h.wait_agen == 0 &&
-                           lsq_.placement_headroom() == 0))) {
-        full_flush();
-      }
+      if (deadlock_flush_pending(h)) full_flush();
       break;
     }
 
@@ -713,7 +691,9 @@ void Core<LsqT, ObserverT>::commit_stage() {
                                       h.commit_waiters.end());
         h.commit_waiters.clear();
         lsq_.on_commit(head_);
-        for (InstSeq l : commit_waiter_scratch_) try_schedule_load(l);
+        for (const SeqRef& l : commit_waiter_scratch_) {
+          if (ref_live(l.seq, l.gen)) try_schedule_load(l.seq);
+        }
       } else {
         lsq_.on_commit(head_);
       }
@@ -732,6 +712,87 @@ void Core<LsqT, ObserverT>::commit_stage() {
     ++head_;
     last_commit_cycle_ = cycle_;
   }
+}
+
+// Quiescence ledger: proves no stage can change architectural state at
+// cycle_ — and, because every clause below depends only on state that
+// stages themselves mutate, at any later cycle until a wake source
+// (calendar-wheel event, fetch re-enable, hierarchy completion,
+// watchdog) fires. Stage by stage:
+//   commit    — the head is not completed and the §3.3 deadlock-flush
+//               predicate is false; both change only via writeback.
+//   writeback — no event is due before the wheel's next_event_cycle
+//               (the jump target), and stale events popping is a no-op.
+//   memory    — drain() is provably a no-op (lsq has_pending_work hook;
+//               SAMIE reports work whenever the AddrBuffer is non-empty
+//               because failed retries still charge energy).
+//   issue     — the ready ledgers are empty. A non-empty ledger is never
+//               skippable: gated agens count agen_gated per cycle, and
+//               FU-blocked entries re-arbitrate. (A *busy* FU alone
+//               never blocks skipping — its operation's completion is
+//               already on the wheel; see OccupyingPool's hooks.)
+//   dispatch  — the fetch queue is empty or its head fails the same
+//               resource checks dispatch_stage would apply.
+//   fetch     — stalled (wake at fetch_stall_until_), the queue is full,
+//               or the trace is exhausted.
+template <typename LsqT, typename ObserverT>
+bool Core<LsqT, ObserverT>::quiescent() const {
+  if (head_ != tail_) {
+    const InFlight& h = rob_[rob_index(head_)];
+    if (h.completed) return false;  // commit would retire it
+    if (deadlock_flush_pending(h)) return false;  // full_flush would fire
+  }
+  if (!ready_int_.empty() || !ready_fp_.empty() || !ready_mem_.empty()) {
+    return false;
+  }
+  if (lsq_has_pending_work()) return false;
+  if (!fetch_queue_.empty() && !dispatch_blocked()) return false;
+  const bool fetch_able = fetch_queue_.size() < cfg_.fetch_queue &&
+                          fetch_seq_ < trace_.size();
+  if (fetch_able && cycle_ >= fetch_stall_until_) return false;
+  return true;
+}
+
+template <typename LsqT, typename ObserverT>
+bool Core<LsqT, ObserverT>::dispatch_blocked() const {
+  const Fetched& fr = fetch_queue_.front();
+  const trace::MicroOp& op = trace_[fr.seq];
+  const bool fp = trace::is_fp(op.op);
+  if (tail_ - head_ >= cfg_.rob_size) return true;
+  if (fp ? iq_fp_used_ >= cfg_.iq_fp : iq_int_used_ >= cfg_.iq_int) return true;
+  if (op.dst != kNoReg && (is_fp_reg(op.dst) ? fp_regs_used_ >= cfg_.fp_regs
+                                             : int_regs_used_ >= cfg_.int_regs)) {
+    return true;
+  }
+  return trace::is_mem(op.op) &&
+         !lsq_.can_dispatch(op.op == trace::OpClass::kLoad);
+}
+
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::try_fast_forward() {
+  if (!quiescent()) return;
+  // Wake sources. The fetch stall participates only when fetch could act
+  // once it lifts; the hierarchy hook is constant kNeverCycle for the
+  // synchronous model but keeps async models honest (see hierarchy.h).
+  Cycle wake = completions_.next_event_cycle(cycle_);
+  wake = std::min(wake, mem_.pending_completion_cycle());
+  if (fetch_queue_.size() < cfg_.fetch_queue && fetch_seq_ < trace_.size()) {
+    wake = std::min(wake, fetch_stall_until_);
+  }
+  // Clamp to the cycle the watchdog would fire at: if no wake source
+  // exists before it, the always-step loop would have spun there and
+  // thrown — jump to the same cycle and let run() throw identically.
+  wake = std::min(wake, last_commit_cycle_ + cfg_.commit_timeout + 1);
+  if (wake <= cycle_) return;
+
+  const std::uint64_t span = wake - cycle_;
+  // The skipped cycles are observable only through the per-cycle
+  // occupancy hook; nothing ran, so the sample is constant over the span
+  // and the run-length observer folds it in one call, bit-identically.
+  if (observer_ != nullptr) observer_->on_cycles(cycle_, span, lsq_.occupancy());
+  res_.quiescent_cycles_skipped += span;
+  ++res_.fast_forwards;
+  cycle_ = wake;
 }
 
 template <typename LsqT, typename ObserverT>
@@ -754,12 +815,20 @@ CoreResult Core<LsqT, ObserverT>::run(std::uint64_t max_insts) {
     if (observer_ != nullptr) observer_->on_cycle(cycle_, lsq_.occupancy());
 
     ++cycle_;
+    // Trace exhausted. Checked before the fast-forward so a quiescent,
+    // finished machine breaks instead of jumping at stale wheel events —
+    // and it cannot mask a wedge: this holds within commit_width cycles
+    // of the final commit, 200k cycles before the watchdog could.
+    if (head_ == tail_ && fetch_queue_.empty() && fetch_seq_ >= trace_.size()) {
+      break;
+    }
+    if (!cfg_.always_step) try_fast_forward();
+    // Watchdog, both engine modes: a fast-forward is clamped at this
+    // horizon, so a wedged pipeline throws at the same cycle with the
+    // same message whether the loop stepped or jumped there.
     if (cycle_ - last_commit_cycle_ > cfg_.commit_timeout) {
       throw std::runtime_error("commit watchdog fired: pipeline wedged at cycle " +
                                std::to_string(cycle_));
-    }
-    if (head_ == tail_ && fetch_queue_.empty() && fetch_seq_ >= trace_.size()) {
-      break;  // trace exhausted
     }
   }
   res_.cycles = cycle_;

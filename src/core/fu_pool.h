@@ -3,6 +3,7 @@
 // for the whole operation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -23,6 +24,15 @@ class PipelinedPool {
     return true;
   }
   [[nodiscard]] std::uint32_t units() const noexcept { return units_; }
+
+  // -- work-ledger hooks (event-driven engine) -------------------------------
+  /// A pipelined pool holds no cross-cycle state: saturation lasts one
+  /// cycle (new_cycle resets it), so it can never be the thing a
+  /// quiescent core is waiting on.
+  [[nodiscard]] bool has_pending_work() const noexcept { return false; }
+  [[nodiscard]] Cycle next_ready_cycle(Cycle now) const noexcept {
+    return can_issue() ? now : now + 1;
+  }
 
  private:
   std::uint32_t units_;
@@ -52,6 +62,26 @@ class OccupyingPool {
   }
   void reset() noexcept {
     for (Cycle& b : busy_until_) b = 0;
+  }
+
+  // -- work-ledger hooks (event-driven engine) -------------------------------
+  /// Units still occupied at `now`. A busy unit by itself never blocks
+  /// the fast-forward: the operation occupying it already has its
+  /// completion on the calendar wheel, and any instruction *waiting* for
+  /// the unit sits in a ready queue (a non-empty ready ledger).
+  [[nodiscard]] std::uint32_t busy_units(Cycle now) const noexcept {
+    std::uint32_t n = 0;
+    for (Cycle b : busy_until_) n += b > now ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] bool has_pending_work(Cycle now) const noexcept {
+    return busy_units(now) != 0;
+  }
+  /// Earliest cycle a unit frees up (`now` when one is already free).
+  [[nodiscard]] Cycle next_ready_cycle(Cycle now) const noexcept {
+    Cycle first = kNeverCycle;
+    for (Cycle b : busy_until_) first = std::min(first, b);
+    return std::max(first, now);
   }
 
  private:

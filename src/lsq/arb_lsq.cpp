@@ -142,6 +142,10 @@ void ArbLsq::drain(std::vector<InstSeq>& newly_placed) {
     newly_placed.push_back(op.seq);
     waiting_.pop_front();
   }
+  // A head left in the FIFO just failed against current state; until a
+  // slot frees (commit/squash), further retries are provably no-ops and
+  // the engine may fast-forward past them.
+  drain_blocked_ = !waiting_.empty();
 }
 
 bool ArbLsq::is_placed(InstSeq seq) const {
@@ -221,6 +225,7 @@ void ArbLsq::on_commit(InstSeq seq) {
   where_.erase(seq);
   assert(!dispatched_.empty() && dispatched_.front() == seq);
   dispatched_.pop_front();
+  drain_blocked_ = false;  // a freed slot can unblock the retry FIFO
 }
 
 void ArbLsq::squash_from(InstSeq seq) {
@@ -254,6 +259,7 @@ void ArbLsq::squash_from(InstSeq seq) {
   }
   // The wait queue is ordered by agen completion, not by age: filter it.
   waiting_.erase_if([seq](const MemOpDesc& op) { return op.seq >= seq; });
+  drain_blocked_ = false;  // freed slots (and a new head) invalidate the proof
 }
 
 OccupancySample ArbLsq::occupancy() const {

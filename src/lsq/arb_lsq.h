@@ -73,6 +73,22 @@ class ArbLsq final : public LoadStoreQueue {
 
   [[nodiscard]] OccupancySample occupancy() const override;
 
+  // -- work-ledger hooks (event-driven engine; non-virtual by design:
+  //    Core<ArbLsq> binds them statically) ------------------------------------
+  /// True when next cycle's drain() could differ from a no-op. A failed
+  /// retry mutates nothing (try_place is read-only on failure and the ARB
+  /// charges no retry energy), so once the FIFO head has been retried
+  /// against unchanged state the queue is provably stuck until a commit
+  /// or squash frees a slot — those clear `drain_blocked_`.
+  [[nodiscard]] bool has_pending_work() const noexcept {
+    return !waiting_.empty() && !drain_blocked_;
+  }
+  /// The ARB holds no time-triggered state: work appears only through
+  /// core calls, which themselves wake the engine.
+  [[nodiscard]] Cycle next_ready_cycle(Cycle /*now*/) const noexcept {
+    return kNeverCycle;
+  }
+
   [[nodiscard]] std::uint64_t placement_conflicts() const { return conflicts_; }
   [[nodiscard]] std::uint32_t rows_used() const { return rows_used_; }
   [[nodiscard]] std::uint32_t slots_placed() const { return slots_placed_; }
@@ -130,6 +146,9 @@ class ArbLsq final : public LoadStoreQueue {
   /// Per bank, `row_words_` words: word w bit i <=> row 64w+i valid.
   std::vector<std::uint64_t> row_masks_;
   RingDeque<MemOpDesc> waiting_;    ///< bank-conflict retry FIFO
+  /// The waiting_ head failed a retry and nothing has freed a slot since
+  /// (see has_pending_work).
+  bool drain_blocked_ = false;
   SeqRingTable<Loc> where_;         ///< placed seq -> location
   /// Every dispatched, uncommitted memory instruction (age-ordered). The
   /// in-flight cap and squash handling key off this, so instructions

@@ -11,18 +11,13 @@ ConventionalLsq::ConventionalLsq(const ConventionalLsqConfig& cfg,
 }
 
 ConventionalLsq::Entry* ConventionalLsq::find(InstSeq seq) {
-  // Entries are age-ordered; binary search by seq over the ring indices.
-  std::size_t lo = 0, hi = entries_.size();
-  while (lo < hi) {
-    const std::size_t mid = lo + (hi - lo) / 2;
-    if (entries_[mid].seq < seq) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return (lo < entries_.size() && entries_[lo].seq == seq) ? &entries_[lo]
-                                                           : nullptr;
+  // O(1): the seq ring table names the entry's absolute allocation index;
+  // subtracting the committed-front index yields its ring position.
+  const std::uint64_t* abs = where_.find(seq);
+  if (abs == nullptr) return nullptr;
+  Entry& e = entries_[static_cast<std::size_t>(*abs - front_abs_)];
+  assert(e.seq == seq);
+  return &e;
 }
 
 const ConventionalLsq::Entry* ConventionalLsq::find(InstSeq seq) const {
@@ -39,6 +34,7 @@ void ConventionalLsq::on_dispatch(InstSeq seq, bool is_load) {
   Entry e;
   e.seq = seq;
   e.is_load = is_load;
+  where_.insert(seq, next_abs_++);
   entries_.push_back(e);
 }
 
@@ -152,12 +148,17 @@ void ConventionalLsq::on_commit(InstSeq seq) {
   // Loads that planned to forward from this store fall back to the cache;
   // their references go stale and store_live() filters them at read time,
   // so commit is O(1) instead of an O(n) ref sweep + front erase.
+  where_.erase(seq);
   entries_.pop_front();
-  (void)seq;
+  ++front_abs_;
 }
 
 void ConventionalLsq::squash_from(InstSeq seq) {
-  while (!entries_.empty() && entries_.back().seq >= seq) entries_.pop_back();
+  while (!entries_.empty() && entries_.back().seq >= seq) {
+    where_.erase(entries_.back().seq);
+    entries_.pop_back();
+    --next_abs_;
+  }
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     Entry& e = entries_[i];
     if (e.fwd_store != kNoInst && e.fwd_store >= seq) {
@@ -171,6 +172,25 @@ OccupancySample ConventionalLsq::occupancy() const {
   OccupancySample s;
   s.entries_used = static_cast<std::uint32_t>(entries_.size());
   return s;
+}
+
+OccupancySample ConventionalLsq::recount_occupancy() const {
+  // From-scratch recount off the age ring, cross-checking the O(1) seq
+  // table: every queued entry must resolve through find() to itself, and
+  // the absolute-index arithmetic must agree with the ring position.
+  OccupancySample sample;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    assert(i == 0 || entries_[i - 1].seq < e.seq);
+    const std::uint64_t* abs = where_.find(e.seq);
+    assert(abs != nullptr && *abs - front_abs_ == i);
+    assert(find(e.seq) == &e);
+    (void)abs;
+    ++sample.entries_used;
+  }
+  assert(front_abs_ + entries_.size() == next_abs_);
+  assert(sample.entries_used == occupancy().entries_used);
+  return sample;
 }
 
 std::unique_ptr<ConventionalLsq> make_unbounded_lsq(std::uint32_t window) {

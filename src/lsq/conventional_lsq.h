@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/ring_deque.h"
+#include "src/common/seq_ring_table.h"
 #include "src/energy/ledger.h"
 #include "src/lsq/lsq_interface.h"
 
@@ -53,6 +54,21 @@ class ConventionalLsq final : public LoadStoreQueue {
 
   [[nodiscard]] OccupancySample occupancy() const override;
 
+  // -- work-ledger hooks (event-driven engine; non-virtual by design:
+  //    Core<ConventionalLsq> binds them statically) --------------------------
+  /// Placement is immediate (drain() is a no-op), so the conventional
+  /// queue never holds deferred work.
+  [[nodiscard]] bool has_pending_work() const noexcept { return false; }
+  [[nodiscard]] Cycle next_ready_cycle(Cycle /*now*/) const noexcept {
+    return kNeverCycle;
+  }
+
+  /// Test hook: recomputes the occupancy sample by walking the age ring
+  /// and cross-checks the seq ring table against it — every queued entry
+  /// must be found by the O(1) lookup at its ring position (mirrors
+  /// ArbLsq::recount_occupancy).
+  [[nodiscard]] OccupancySample recount_occupancy() const;
+
  private:
   struct Entry {
     InstSeq seq = kNoInst;
@@ -81,6 +97,14 @@ class ConventionalLsq final : public LoadStoreQueue {
   /// commit pops the front in O(1) (no vector front-erase shift), squash
   /// pops from the back.
   RingDeque<Entry> entries_;
+  /// O(1) seq lookup (the last binary search in the LSQ tree): maps a
+  /// queued seq to its *absolute allocation index*; the ring position is
+  /// that index minus `front_abs_`, which advances as commits pop the
+  /// front. Squash pops rewind `next_abs_` (the indices are never reused
+  /// while their owners are queued).
+  SeqRingTable<std::uint64_t> where_;
+  std::uint64_t front_abs_ = 0;  ///< absolute index of entries_.front()
+  std::uint64_t next_abs_ = 0;   ///< absolute index of the next allocation
 };
 
 /// The unbounded LSQ of Figure 1: never stalls dispatch or placement.

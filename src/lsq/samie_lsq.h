@@ -115,6 +115,21 @@ class SamieLsq final : public LoadStoreQueue {
 
   [[nodiscard]] OccupancySample occupancy() const override;
 
+  // -- work-ledger hooks (event-driven engine; non-virtual by design:
+  //    Core<SamieLsq> binds them statically) ---------------------------------
+  /// A non-empty AddrBuffer is always pending work: every drain() retry
+  /// charges an AddrBuffer read (paper Table 5) even when the head fails
+  /// to place, so cycles with buffered instructions can never be
+  /// fast-forwarded without drifting the energy statistics.
+  [[nodiscard]] bool has_pending_work() const noexcept {
+    return !buffer_.empty();
+  }
+  /// SAMIE holds no time-triggered state: work appears only through core
+  /// calls, which themselves wake the engine.
+  [[nodiscard]] Cycle next_ready_cycle(Cycle /*now*/) const noexcept {
+    return kNeverCycle;
+  }
+
   // -- SAMIE-specific observability ------------------------------------------
   [[nodiscard]] std::uint64_t buffered_placements() const { return buffered_; }
   [[nodiscard]] std::uint64_t present_bit_resets() const { return present_resets_; }

@@ -78,6 +78,19 @@ class MemoryHierarchy {
            cfg_.memory_latency;
   }
 
+  /// Next-completion hook for the event-driven cycle engine: the cycle of
+  /// the earliest completion the hierarchy still owes the core, or
+  /// kNeverCycle when it owes none. This model is fully synchronous —
+  /// every access returns its total latency at call time and the core
+  /// schedules the completion on its calendar wheel — so the hierarchy
+  /// never holds deferred work and this is constant. An asynchronous
+  /// model (MSHRs, banked buses) must report its earliest in-flight fill
+  /// here; the core folds it into the fast-forward wake computation, so
+  /// forgetting to would make the engine skip over completions.
+  [[nodiscard]] Cycle pending_completion_cycle() const noexcept {
+    return kNeverCycle;
+  }
+
   void reset();
 
  private:

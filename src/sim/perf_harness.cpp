@@ -112,6 +112,7 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
     SimConfig cfg = paper_config(lsq);
     cfg.instructions = opt.instructions;
     cfg.seed = opt.seed;
+    cfg.core.always_step = opt.always_step;
 
     for (std::size_t i = 0; i < programs.size(); ++i) {
       std::optional<trace::TraceSource> mapped;
@@ -135,6 +136,7 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
         if (r == 0) pr.result = std::move(res);
       }
       lr.total_sim_cycles += pr.result.core.cycles;
+      lr.total_skipped_cycles += pr.result.core.quiescent_cycles_skipped;
       lr.total_wall_seconds += pr.best_wall_seconds;
       lr.programs.push_back(std::move(pr));
     }
@@ -159,6 +161,8 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
     const HotpathLsqResult& lr = report.lsqs[li];
     os << "    \"" << lsq_choice_name(lr.lsq) << "\": {\n";
     os << "      \"total_sim_cycles\": " << lr.total_sim_cycles << ",\n";
+    os << "      \"total_skipped_cycles\": " << lr.total_skipped_cycles
+       << ",\n";
     os << "      \"total_wall_seconds\": ";
     json_number(os, lr.total_wall_seconds);
     os << ",\n      \"sim_cycles_per_second\": ";
@@ -174,6 +178,12 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
       json_number(os, s.core.ipc);
       os << ", \"wall_seconds\": ";
       json_number(os, pr.best_wall_seconds);
+      // Engine metrics (like wall_seconds, excluded from bit-identity
+      // diffs): quiescent cycles fast-forwarded and their share.
+      os << ", \"skipped_cycles\": " << s.core.quiescent_cycles_skipped
+         << ", \"skip_ratio\": ";
+      json_number(os,
+                  skip_fraction(s.core.quiescent_cycles_skipped, s.core.cycles));
       os << ", \"mispredict_squashes\": " << s.core.mispredict_squashes
          << ", \"deadlock_flushes\": " << s.core.deadlock_flushes
          << ", \"forwarded_loads\": " << s.core.forwarded_loads

@@ -32,6 +32,10 @@ struct HotpathLsqResult {
   LsqChoice lsq = LsqChoice::kSamie;
   std::vector<HotpathProgramResult> programs;
   std::uint64_t total_sim_cycles = 0;
+  /// Engine metric: cycles the event-driven loop fast-forwarded over,
+  /// summed over programs (0 under --no-skip). The per-program skip
+  /// ratio is skipped / cycles.
+  std::uint64_t total_skipped_cycles = 0;
   double total_wall_seconds = 0.0;  ///< sum of per-program best walls
   double sim_cycles_per_second = 0.0;
   /// Process peak RSS (VmHWM) after this LSQ's runs, in kB. Monotonic
@@ -59,16 +63,30 @@ struct HotpathOptions {
   /// labels come from the SAMT headers; `instructions` and `seed` are
   /// ignored (each trace replays in full).
   std::string trace_dir;
+  /// Run the always-step cycle loop (no quiescent-cycle fast-forward);
+  /// the measured statistics are identical, only throughput and the
+  /// skipped_cycles fields change.
+  bool always_step = false;
 };
+
+/// Share of `total` cycles that were fast-forwarded: skipped / total,
+/// 0 when total is 0. One definition serves the JSON's skip_ratio, the
+/// perf_report stdout line and bench_hotpath's table column.
+[[nodiscard]] inline double skip_fraction(std::uint64_t skipped,
+                                          std::uint64_t total) noexcept {
+  return total == 0 ? 0.0
+                    : static_cast<double>(skipped) / static_cast<double>(total);
+}
 
 /// Runs the measurement (single-threaded, deterministic job order).
 [[nodiscard]] HotpathReport run_hotpath_measurement(const HotpathOptions& opt);
 
 /// Serializes the report as BENCH_hotpath.json (schema v1). Simulation
 /// statistics are printed with max_digits10, so comparing two reports
-/// with the timing fields (wall_seconds, total_wall_seconds,
-/// sim_cycles_per_second, peak_rss_kb) filtered out checks bit-identical
-/// simulation results; a raw byte diff will always differ on timing.
+/// with the timing/engine fields (wall_seconds, total_wall_seconds,
+/// sim_cycles_per_second, peak_rss_kb, skipped_cycles, skip_ratio,
+/// total_skipped_cycles) filtered out checks bit-identical simulation
+/// results; a raw byte diff will always differ on timing.
 void write_hotpath_json(std::ostream& os, const HotpathReport& report);
 
 /// Extracts `"sim_cycles_per_second": <x>` for the given LSQ tag from a

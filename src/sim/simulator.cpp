@@ -47,6 +47,22 @@ class StatsCollector final {
     run_len_ = 1;
   }
 
+  /// Batched hook for the engine's quiescent-cycle fast-forward: `count`
+  /// cycles sharing one occupancy sample extend the run-length directly.
+  /// Identical by construction to `count` on_cycle calls — the flush
+  /// still replays the accumulator updates once per covered cycle.
+  void on_cycles(Cycle /*first*/, std::uint64_t count,
+                 const lsq::OccupancySample& occ) {
+    if (count == 0) return;
+    if (run_len_ != 0 && occ == run_sample_) {
+      run_len_ += count;
+      return;
+    }
+    flush_run();
+    run_sample_ = occ;
+    run_len_ = count;
+  }
+
   void fold_into(SimResult& r) {
     flush_run();
     r.area_total = cfg_.lsq == LsqChoice::kSamie ? area_.samie_total()

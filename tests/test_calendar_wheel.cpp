@@ -160,5 +160,99 @@ TEST(CalendarWheel, MatchesReferenceHeapOnRandomSchedules) {
   }
 }
 
+TEST(CalendarWheel, NextEventCycleEmptyAndSingleton) {
+  CalendarWheel<int> w(16);
+  EXPECT_EQ(w.next_event_cycle(0), kNeverCycle);
+  EXPECT_EQ(w.next_event_cycle(1234), kNeverCycle);
+  w.schedule(10, 17, 1);
+  EXPECT_EQ(w.next_event_cycle(10), 17U);
+  EXPECT_EQ(w.next_event_cycle(17), 17U) << "events due *now* count";
+  (void)pop_cycle(w, 17);
+  EXPECT_EQ(w.next_event_cycle(18), kNeverCycle);
+}
+
+TEST(CalendarWheel, NextEventCycleWrapsTheBitmask) {
+  CalendarWheel<int> w(16);
+  // now = 14, event at 14 + 15 = 29: bucket 29 & 15 = 13 < start bucket
+  // 14 — the scan must wrap through the word end and the low remainder.
+  w.schedule(14, 29, 1);
+  EXPECT_EQ(w.next_event_cycle(14), 29U);
+  EXPECT_EQ(w.next_event_cycle(20), 29U);
+  EXPECT_EQ(w.next_event_cycle(29), 29U);
+}
+
+TEST(CalendarWheel, NextEventCycleSeesOverflowEvents) {
+  CalendarWheel<int> w(8);
+  w.schedule(0, 100, 7);  // far beyond the 8-cycle horizon
+  EXPECT_EQ(w.next_event_cycle(0), 100U);
+  // Jump straight to the overflow event's cycle: pop_due must drain the
+  // overflow in the same call and deliver it.
+  EXPECT_EQ(pop_cycle(w, 100), (Popped{7}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(CalendarWheel, NextEventCycleSpansLargerThanOneWord) {
+  CalendarWheel<int> w(256);  // 4 occupancy words
+  w.schedule(0, 200, 1);
+  EXPECT_EQ(w.next_event_cycle(0), 200U);
+  w.schedule(0, 70, 2);
+  EXPECT_EQ(w.next_event_cycle(0), 70U);
+  (void)pop_cycle(w, 70);
+  EXPECT_EQ(w.next_event_cycle(70), 200U) << "start mid-word, hit later word";
+  // Wrapped: now = 250, next event at 250 + 80 = 330, bucket 330 & 255 =
+  // 74, below the start bucket.
+  (void)pop_cycle(w, 200);
+  w.schedule(250, 330, 3);
+  EXPECT_EQ(w.next_event_cycle(250), 330U);
+}
+
+// Event-driven jumping: advance `now` straight to next_event_cycle and
+// pop only there. Delivery (payload order included) must match the
+// cycle-by-cycle reference heap — this is the engine's fast-forward
+// contract.
+TEST(CalendarWheel, JumpPoppingMatchesTheReferenceHeap) {
+  struct Ref {
+    Cycle at;
+    std::uint64_t order;
+    int payload;
+  };
+  auto later = [](const Ref& a, const Ref& b) {
+    return a.at > b.at || (a.at == b.at && a.order > b.order);
+  };
+
+  std::mt19937_64 rng(99);
+  CalendarWheel<int> wheel(16);
+  std::vector<Ref> heap;
+  std::uint64_t order = 0;
+  int payload = 0;
+  Cycle now = 0;
+
+  for (int round = 0; round < 2000; ++round) {
+    // Random burst at `now` (always at least one event early on so the
+    // jump target exists).
+    const int n = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < n; ++i) {
+      const Cycle delta =
+          (rng() % 8 == 0) ? 17 + rng() % 100 : 1 + rng() % 12;
+      wheel.schedule(now, now + delta, payload);
+      heap.push_back(Ref{now + delta, order++, payload});
+      std::push_heap(heap.begin(), heap.end(), later);
+      ++payload;
+    }
+    // Jump. The wheel's target must equal the heap's minimum.
+    const Cycle target = wheel.next_event_cycle(now);
+    ASSERT_FALSE(heap.empty());
+    ASSERT_EQ(target, heap.front().at) << "round " << round;
+    now = target;
+    Popped from_heap;
+    while (!heap.empty() && heap.front().at <= now) {
+      from_heap.push_back(heap.front().payload);
+      std::pop_heap(heap.begin(), heap.end(), later);
+      heap.pop_back();
+    }
+    ASSERT_EQ(pop_cycle(wheel, now), from_heap) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace samie

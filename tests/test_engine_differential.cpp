@@ -1,0 +1,242 @@
+// Differential validation of the event-driven cycle engine: the
+// quiescent-cycle fast-forward must be *bit-identical* to the always-step
+// loop (`CoreConfig::always_step`, samie_sim --no-skip) on every
+// simulation statistic — cycles, IPC, every counter, every energy and
+// area double — across all three LSQ organizations and under squash /
+// full-flush / drain pressure.
+//
+// The engine skips a cycle only when the work ledgers prove every stage
+// a no-op, so any divergence here means a ledger lied (a stage could
+// have acted) or a wake source was missed (the jump overshot an event).
+// The pressure configurations deliberately shrink queue geometries so
+// mispredict squashes, deadlock-avoidance full flushes and AddrBuffer /
+// retry-FIFO drains all fire; each scenario asserts the pressure it is
+// named for actually occurred, so a regression cannot silently pass by
+// never exercising the path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/fu_pool.h"
+#include "src/lsq/arb_lsq.h"
+#include "src/lsq/conventional_lsq.h"
+#include "src/lsq/samie_lsq.h"
+#include "src/sim/sim_config.h"
+#include "src/sim/simulator.h"
+
+namespace samie::sim {
+namespace {
+
+/// Runs `cfg` twice — event-driven and always-step — and asserts every
+/// simulation statistic matches exactly (doubles compared bit-for-bit).
+/// Returns the event-driven result for scenario-specific assertions.
+SimResult expect_engines_identical(SimConfig cfg, const std::string& program,
+                                   std::uint64_t insts) {
+  cfg.instructions = insts;
+  cfg.core.always_step = false;
+  const SimResult fast = run_program(cfg, program);
+  cfg.core.always_step = true;
+  const SimResult step = run_program(cfg, program);
+
+  const std::string what =
+      std::string(lsq_choice_name(cfg.lsq)) + "/" + program;
+  EXPECT_EQ(step.core.quiescent_cycles_skipped, 0U) << what;
+  EXPECT_EQ(step.core.fast_forwards, 0U) << what;
+
+  // Timing.
+  EXPECT_EQ(fast.core.cycles, step.core.cycles) << what;
+  EXPECT_EQ(fast.core.committed, step.core.committed) << what;
+  EXPECT_EQ(fast.core.ipc, step.core.ipc) << what;
+  // Recovery and LSQ counters.
+  EXPECT_EQ(fast.core.mispredict_squashes, step.core.mispredict_squashes) << what;
+  EXPECT_EQ(fast.core.deadlock_flushes, step.core.deadlock_flushes) << what;
+  EXPECT_EQ(fast.core.loads_executed, step.core.loads_executed) << what;
+  EXPECT_EQ(fast.core.stores_committed, step.core.stores_committed) << what;
+  EXPECT_EQ(fast.core.forwarded_loads, step.core.forwarded_loads) << what;
+  EXPECT_EQ(fast.core.partial_forward_waits, step.core.partial_forward_waits)
+      << what;
+  EXPECT_EQ(fast.core.agen_gated, step.core.agen_gated) << what;
+  EXPECT_EQ(fast.core.value_mismatches, step.core.value_mismatches) << what;
+  EXPECT_EQ(fast.core.dcache_way_known, step.core.dcache_way_known) << what;
+  EXPECT_EQ(fast.core.dcache_full, step.core.dcache_full) << what;
+  EXPECT_EQ(fast.core.dtlb_accesses, step.core.dtlb_accesses) << what;
+  EXPECT_EQ(fast.core.dtlb_cached, step.core.dtlb_cached) << what;
+  EXPECT_EQ(fast.core.value_mismatches, 0U) << what << ": ordering bug";
+  // Energies (exact double equality: same FP operation sequence).
+  EXPECT_EQ(fast.lsq_energy_nj, step.lsq_energy_nj) << what;
+  EXPECT_EQ(fast.lsq_distrib_nj, step.lsq_distrib_nj) << what;
+  EXPECT_EQ(fast.lsq_shared_nj, step.lsq_shared_nj) << what;
+  EXPECT_EQ(fast.lsq_addrbuf_nj, step.lsq_addrbuf_nj) << what;
+  EXPECT_EQ(fast.lsq_bus_nj, step.lsq_bus_nj) << what;
+  EXPECT_EQ(fast.dcache_energy_nj, step.dcache_energy_nj) << what;
+  EXPECT_EQ(fast.dtlb_energy_nj, step.dtlb_energy_nj) << what;
+  // Per-cycle occupancy integrals — the part the batched observer replay
+  // must keep bit-identical over skipped spans.
+  EXPECT_EQ(fast.area_total, step.area_total) << what;
+  EXPECT_EQ(fast.area_distrib, step.area_distrib) << what;
+  EXPECT_EQ(fast.area_shared, step.area_shared) << what;
+  EXPECT_EQ(fast.area_addrbuf, step.area_addrbuf) << what;
+  EXPECT_EQ(fast.shared_occupancy_mean, step.shared_occupancy_mean) << what;
+  EXPECT_EQ(fast.shared_occupancy_max, step.shared_occupancy_max) << what;
+  EXPECT_EQ(fast.buffer_occupancy_mean, step.buffer_occupancy_mean) << what;
+  EXPECT_EQ(fast.buffer_nonempty_frac, step.buffer_nonempty_frac) << what;
+  // Memory system and branch state (identical access sequences).
+  EXPECT_EQ(fast.l1d_hits, step.l1d_hits) << what;
+  EXPECT_EQ(fast.l1d_misses, step.l1d_misses) << what;
+  EXPECT_EQ(fast.dtlb_hits, step.dtlb_hits) << what;
+  EXPECT_EQ(fast.dtlb_misses, step.dtlb_misses) << what;
+  EXPECT_EQ(fast.branch_mispredicts, step.branch_mispredicts) << what;
+  EXPECT_EQ(fast.branch_lookups, step.branch_lookups) << what;
+  return fast;
+}
+
+constexpr std::uint64_t kInsts = 30'000;
+
+TEST(EngineDifferential, PaperConfigAllLsqKindsAllProgramsMatch) {
+  // The paper configuration over a branchy, a memory-bound and a
+  // forwarding-heavy program; mispredict squashes fire everywhere.
+  for (const LsqChoice lsq : {LsqChoice::kConventional, LsqChoice::kArb,
+                              LsqChoice::kSamie, LsqChoice::kUnbounded}) {
+    for (const char* program : {"gcc", "mcf", "ammp"}) {
+      const SimResult r =
+          expect_engines_identical(paper_config(lsq), program, kInsts);
+      EXPECT_GT(r.core.mispredict_squashes, 0U)
+          << lsq_choice_name(lsq) << "/" << program
+          << ": squash recovery was not exercised";
+    }
+  }
+}
+
+TEST(EngineDifferential, MemoryBoundProgramsActuallyFastForward) {
+  // On memory-latency-dominated programs the engine must engage — a
+  // conservative-but-never-firing ledger would silently revert the PR.
+  const SimResult r = expect_engines_identical(
+      paper_config(LsqChoice::kConventional), "mcf", kInsts);
+  EXPECT_GT(r.core.quiescent_cycles_skipped, r.core.cycles / 10)
+      << "fast-forward never engaged on a memory-bound program";
+  EXPECT_GT(r.core.fast_forwards, 0U);
+}
+
+TEST(EngineDifferential, SamieUnderAddrBufferPressureWithFullFlushes) {
+  // Tiny SAMIE geometry: constant AddrBuffer drains and §3.3
+  // deadlock-avoidance full flushes (the checkpointed-recovery path).
+  SimConfig cfg = paper_config(LsqChoice::kSamie);
+  cfg.samie.banks = 4;
+  cfg.samie.entries_per_bank = 1;
+  cfg.samie.slots_per_entry = 2;
+  cfg.samie.shared_entries = 1;
+  cfg.samie.addr_buffer_slots = 4;
+  for (const char* program : {"ammp", "mcf", "swim"}) {
+    const SimResult r = expect_engines_identical(cfg, program, kInsts);
+    EXPECT_GT(r.core.deadlock_flushes, 0U)
+        << program << ": full_flush was not exercised";
+    EXPECT_GT(r.buffer_nonempty_frac, 0.0)
+        << program << ": AddrBuffer drain was not exercised";
+  }
+}
+
+TEST(EngineDifferential, ArbUnderBankConflictAndFlushPressure) {
+  SimConfig cfg = paper_config(LsqChoice::kArb);
+  cfg.arb.banks = 2;
+  cfg.arb.rows_per_bank = 2;
+  cfg.arb.max_inflight = 12;
+  for (const char* program : {"ammp", "art"}) {
+    const SimResult r = expect_engines_identical(cfg, program, kInsts);
+    EXPECT_GT(r.core.deadlock_flushes, 0U)
+        << program << ": full_flush was not exercised";
+  }
+}
+
+TEST(EngineDifferential, ConventionalUnderCapacityPressure) {
+  SimConfig cfg = paper_config(LsqChoice::kConventional);
+  cfg.conventional.entries = 12;
+  for (const char* program : {"gcc", "swim"}) {
+    expect_engines_identical(cfg, program, kInsts);
+  }
+}
+
+// Work-ledger hook contracts. The engine's quiescence proof leans on
+// these invariants even where it does not *call* the hook: a busy
+// OccupyingPool must never be a hidden wake source (its operation's
+// completion is already on the wheel, and any waiter sits in a ready
+// queue), and the LSQs must be purely call-driven (next_ready_cycle ==
+// kNeverCycle — a time-triggered LSQ would need wiring into
+// try_fast_forward's wake computation, like
+// MemoryHierarchy::pending_completion_cycle).
+TEST(EngineWorkLedger, FuPoolHooksReportBusynessAndFreeCycles) {
+  core::OccupyingPool pool(2);
+  EXPECT_FALSE(pool.has_pending_work(0));
+  EXPECT_EQ(pool.busy_units(0), 0U);
+  EXPECT_EQ(pool.next_ready_cycle(5), 5U) << "a free unit is ready now";
+  ASSERT_TRUE(pool.try_issue(10, 20));  // busy until 30
+  ASSERT_TRUE(pool.try_issue(10, 3));   // busy until 13
+  EXPECT_FALSE(pool.try_issue(10, 1));
+  EXPECT_EQ(pool.busy_units(10), 2U);
+  EXPECT_TRUE(pool.has_pending_work(10));
+  EXPECT_EQ(pool.next_ready_cycle(10), 13U) << "earliest unit to free";
+  EXPECT_EQ(pool.busy_units(13), 1U) << "busy_until <= now means free";
+  EXPECT_EQ(pool.next_ready_cycle(13), 13U);
+  EXPECT_EQ(pool.busy_units(30), 0U);
+  pool.reset();
+  EXPECT_EQ(pool.busy_units(11), 0U);
+
+  core::PipelinedPool pipe(1);
+  EXPECT_FALSE(pipe.has_pending_work()) << "saturation lasts one cycle";
+  EXPECT_EQ(pipe.next_ready_cycle(7), 7U);
+  ASSERT_TRUE(pipe.try_issue());
+  EXPECT_EQ(pipe.next_ready_cycle(7), 8U) << "full this cycle, free next";
+  pipe.new_cycle();
+  EXPECT_EQ(pipe.next_ready_cycle(8), 8U);
+}
+
+TEST(EngineWorkLedger, LsqsAreCallDrivenNotTimeTriggered) {
+  lsq::ConventionalLsq conv(lsq::ConventionalLsqConfig{}, nullptr);
+  lsq::ArbLsq arb(lsq::ArbConfig{});
+  lsq::SamieLsq samie(lsq::SamieConfig{}, nullptr);
+  EXPECT_EQ(conv.next_ready_cycle(123), kNeverCycle);
+  EXPECT_EQ(arb.next_ready_cycle(123), kNeverCycle);
+  EXPECT_EQ(samie.next_ready_cycle(123), kNeverCycle);
+  EXPECT_FALSE(conv.has_pending_work());
+  EXPECT_FALSE(arb.has_pending_work());
+  EXPECT_FALSE(samie.has_pending_work());
+  // SAMIE: any buffered op is pending work (failed retries charge
+  // energy), and it stays pending until the buffer drains.
+  lsq::SamieConfig tiny;
+  tiny.banks = 1;
+  tiny.entries_per_bank = 1;
+  tiny.slots_per_entry = 1;
+  tiny.shared_entries = 1;
+  tiny.addr_buffer_slots = 4;
+  lsq::SamieLsq pressed(tiny, nullptr);
+  // Distinct lines exhaust the single bank entry + single shared entry;
+  // the third op lands in the AddrBuffer.
+  using lsq::MemOpDesc;
+  pressed.on_address_ready(MemOpDesc{0, 0x000, 8, true, false});
+  pressed.on_address_ready(MemOpDesc{1, 0x100, 8, true, false});
+  pressed.on_address_ready(MemOpDesc{2, 0x200, 8, true, false});
+  EXPECT_TRUE(pressed.has_pending_work());
+}
+
+// Randomized sweep: seeds perturb the generated workloads (different
+// dependence chains, branch patterns, address streams), so the two
+// engines are compared across thousands of distinct squash/stall shapes.
+class EngineDifferentialSeeds : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(EngineDifferentialSeeds, RandomizedWorkloadsMatch) {
+  for (const LsqChoice lsq :
+       {LsqChoice::kConventional, LsqChoice::kArb, LsqChoice::kSamie}) {
+    SimConfig cfg = paper_config(lsq);
+    cfg.seed = GetParam();
+    expect_engines_identical(cfg, "gcc", 15'000);
+    expect_engines_identical(cfg, "mcf", 15'000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineDifferentialSeeds,
+                         ::testing::Values(7U, 1776U, 31337U));
+
+}  // namespace
+}  // namespace samie::sim

@@ -3,6 +3,9 @@
 // Table 4 energy accounting policy.
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "src/energy/ledger.h"
 #include "src/lsq/conventional_lsq.h"
 
@@ -187,6 +190,73 @@ TEST(ConvLsqUnbounded, NeverStalls) {
     u->on_dispatch(s, s % 2 == 0);
   }
   EXPECT_EQ(u->occupancy().entries_used, 256U);
+}
+
+// O(1)-lookup-vs-recount regression for the SeqRingTable port (mirrors
+// the ArbLsq/SamieLsq recount tests): randomized dispatch / address /
+// commit / squash traffic, cross-checking after every step that the seq
+// table resolves every queued entry to its ring position and that the
+// absolute-index arithmetic stayed consistent.
+TEST(ConvLsqRingTable, RandomizedRecountStaysConsistent) {
+  std::mt19937_64 rng(4242);
+  ConventionalLsq lsq(ConventionalLsqConfig{.entries = 32, .unbounded = false},
+                      nullptr);
+  std::vector<InstSeq> queued;  // age order, mirrors the ring
+  InstSeq next_seq = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t dice = rng() % 100;
+    if (dice < 45) {
+      if (lsq.can_dispatch(true)) {
+        const bool is_load = rng() % 2 == 0;
+        lsq.on_dispatch(next_seq, is_load);
+        queued.push_back(next_seq);
+        // Addresses land on a handful of lines so forwarding refs form.
+        const Addr addr = 0x1000 + (rng() % 8) * 8;
+        if (rng() % 4 != 0) {
+          MemOpDesc op{next_seq, addr, 8, is_load, false};
+          lsq.on_address_ready(op);
+        }
+        ++next_seq;
+      }
+    } else if (dice < 80) {
+      if (!queued.empty()) {
+        lsq.on_commit(queued.front());
+        queued.erase(queued.begin());
+      }
+    } else if (dice < 95) {
+      if (!queued.empty()) {
+        const std::size_t keep = rng() % queued.size();
+        lsq.squash_from(queued[keep]);
+        queued.resize(keep);
+        next_seq = queued.empty() ? next_seq : queued.back() + 1;
+      }
+    } else {
+      // Window gap: seqs of non-memory instructions never enter the LSQ.
+      next_seq += 1 + rng() % 5;
+    }
+    // recount_occupancy() itself asserts every table lookup resolves to
+    // the right ring position; the EXPECT pins the external count.
+    const OccupancySample recount = lsq.recount_occupancy();
+    ASSERT_EQ(recount.entries_used, queued.size()) << "step " << step;
+  }
+}
+
+// The table survives the squash-then-refill pattern that rewinds and
+// reuses absolute indices.
+TEST(ConvLsqRingTable, SquashRewindsAllocationIndices) {
+  ConventionalLsq lsq(ConventionalLsqConfig{.entries = 8, .unbounded = false},
+                      nullptr);
+  for (InstSeq s = 0; s < 6; ++s) lsq.on_dispatch(s, true);
+  lsq.squash_from(2);  // pops 2..5, rewinding four indices
+  for (InstSeq s = 2; s < 8; ++s) lsq.on_dispatch(s + 100, true);
+  EXPECT_EQ(lsq.recount_occupancy().entries_used, 8U);
+  EXPECT_EQ(lsq.on_address_ready(load(103, 0x40)).status, Status::kPlaced);
+  EXPECT_TRUE(lsq.is_placed(103));
+  lsq.on_commit(0);
+  lsq.on_commit(1);
+  EXPECT_EQ(lsq.recount_occupancy().entries_used, 6U);
+  EXPECT_TRUE(lsq.is_placed(103));
 }
 
 TEST(ConvLsqOverlapHelpers, RangesAndCoverage) {

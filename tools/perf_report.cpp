@@ -13,6 +13,9 @@
 //   --trace-dir=D   sweep the recorded *.samt traces in D (mmap replay)
 //                   instead of generating synthetic workloads; replays
 //                   each trace in full (--insts/--seed are ignored)
+//   --no-skip       measure the always-step cycle loop (disables the
+//                   quiescent-cycle fast-forward; statistics identical,
+//                   skip_ratio reads 0)
 //
 // Runs the SPEC2000 suite under the requested LSQ organizations on a
 // single thread (deterministic job order, stable timings) and writes
@@ -71,6 +74,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--trace-dir=", 0) == 0) {
       opt.trace_dir = arg.substr(12);
+    } else if (arg == "--no-skip") {
+      opt.always_step = true;
     } else if (arg.rfind("--lsq=", 0) == 0) {
       const std::string k = arg.substr(6);
       if (k == "conventional") opt.lsqs = {sim::LsqChoice::kConventional};
@@ -108,11 +113,14 @@ int main(int argc, char** argv) {
   sim::write_hotpath_json(out, report);
 
   for (const auto& lr : report.lsqs) {
+    const double skip =
+        100.0 * sim::skip_fraction(lr.total_skipped_cycles, lr.total_sim_cycles);
     std::cout << sim::lsq_choice_name(lr.lsq) << ": "
               << lr.total_sim_cycles << " sim cycles in "
               << lr.total_wall_seconds << " s  ->  "
               << static_cast<std::uint64_t>(lr.sim_cycles_per_second)
-              << " cycles/s (peak RSS " << lr.peak_rss_kb << " kB)\n";
+              << " cycles/s (" << skip << "% quiescent-skipped, peak RSS "
+              << lr.peak_rss_kb << " kB)\n";
   }
   std::cout << "wrote " << out_path << "\n";
   return 0;

@@ -14,6 +14,9 @@
 //   --arb-banks=N --arb-rows=N --arb-inflight=N        ARB geometry
 //   --conv-entries=N   conventional LSQ entries        (default 128)
 //   --fast-way-known   exploit the lower way-known L1D latency (§3.6)
+//   --no-skip          disable the event-driven quiescent-cycle
+//                      fast-forward and walk every cycle (differential
+//                      escape hatch; statistics are identical either way)
 //   --derived-energy   account with the analytical surrogate, not the
 //                      paper's published constants
 //   --csv              machine-readable output (one row per program)
@@ -145,6 +148,8 @@ int main(int argc, char** argv) {
       cfg.conventional.entries = static_cast<std::uint32_t>(v);
     } else if (arg == "--fast-way-known") {
       cfg.core.exploit_known_line_latency = true;
+    } else if (arg == "--no-skip") {
+      cfg.core.always_step = true;
     } else if (arg == "--derived-energy") {
       cfg.paper_energy_constants = false;
     } else if (arg == "--csv") {
