@@ -14,6 +14,9 @@
 //
 // Environment:
 //   SAMIE_BENCH_INSTS      instructions/program (default 200000)
+//   SAMIE_BENCH_NO_SKIP    when set (non-empty), measure the always-step
+//                          loop (--no-skip): statistics identical, the
+//                          skip % column is suppressed
 //   SAMIE_BASELINE_JSON    baseline path (default bench/baseline_hotpath.json,
 //                          also tried relative to the source tree)
 //   SAMIE_TRAJECTORY_JSON  trajectory path (default
@@ -22,6 +25,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/table.h"
@@ -71,6 +75,10 @@ int main() {
   sim::HotpathOptions opt;
   opt.instructions = sim::bench_instructions(200'000);
   opt.repeats = 3;
+  // SAMIE_BENCH_NO_SKIP measures the always-step loop; the skip %
+  // column is suppressed rather than printing a column of zeros.
+  const char* no_skip_env = std::getenv("SAMIE_BENCH_NO_SKIP");
+  opt.always_step = no_skip_env != nullptr && *no_skip_env != '\0';
   const sim::HotpathReport report = sim::run_hotpath_measurement(opt);
 
   const std::string baseline = load_baseline();
@@ -79,24 +87,35 @@ int main() {
   // (conventional -> arb -> samie), not a per-LSQ footprint. "skip %" is
   // the share of simulated cycles the event-driven engine fast-forwarded
   // over instead of walking the six stages.
-  Table t({"lsq", "sim cycles", "wall s", "Mcycles/s", "skip %",
-           "RSS-so-far MB", "vs baseline"});
+  std::vector<std::string> headers = {"lsq", "sim cycles", "wall s",
+                                      "Mcycles/s"};
+  if (!report.no_skip) headers.push_back("skip %");
+  headers.insert(headers.end(), {"RSS-so-far MB", "vs baseline"});
+  Table t(headers);
   for (const auto& lr : report.lsqs) {
     const std::string tag = sim::lsq_choice_name(lr.lsq);
     const double base =
         baseline.empty()
             ? 0.0
             : sim::hotpath_cycles_per_second_from_json(baseline, tag);
-    const double skip =
-        100.0 * sim::skip_fraction(lr.total_skipped_cycles, lr.total_sim_cycles);
-    t.add_row({tag, std::to_string(lr.total_sim_cycles),
-               Table::num(lr.total_wall_seconds),
-               Table::num(lr.sim_cycles_per_second / 1e6), Table::num(skip, 1),
-               Table::num(static_cast<double>(lr.peak_rss_kb) / 1024.0),
-               base > 0.0 ? Table::num(lr.sim_cycles_per_second / base, 2) + "x"
-                          : std::string("(no baseline)")});
+    std::vector<std::string> row = {tag, std::to_string(lr.total_sim_cycles),
+                                    Table::num(lr.total_wall_seconds),
+                                    Table::num(lr.sim_cycles_per_second / 1e6)};
+    if (!report.no_skip) {
+      const double skip = 100.0 * sim::skip_fraction(lr.total_skipped_cycles,
+                                                     lr.total_sim_cycles);
+      row.push_back(Table::num(skip, 1));
+    }
+    row.push_back(Table::num(static_cast<double>(lr.peak_rss_kb) / 1024.0));
+    row.push_back(base > 0.0
+                      ? Table::num(lr.sim_cycles_per_second / base, 2) + "x"
+                      : std::string("(no baseline)"));
+    t.add_row(row);
   }
   t.print(std::cout);
+  if (report.no_skip) {
+    std::cout << "(always-step run: quiescent-cycle skip disabled)\n";
+  }
 
   for (const auto& lr : report.lsqs) {
     if (lr.lsq != sim::LsqChoice::kSamie || baseline.empty()) continue;

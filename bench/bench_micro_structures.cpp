@@ -4,10 +4,15 @@
 // end-to-end simulated instructions per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/branch/predictor.h"
 #include "src/common/rng.h"
+#include "src/core/core.h"
+#include "src/mem/hierarchy.h"
 #include "src/lsq/arb_lsq.h"
 #include "src/lsq/conventional_lsq.h"
 #include "src/lsq/samie_lsq.h"
@@ -128,6 +133,112 @@ void BM_TraceGeneration(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
 }
 BENCHMARK(BM_TraceGeneration);
+
+// --- quiescence check: incremental ledger word vs from-scratch predicate ---
+// A mid-flight Core (run() stopped at half the trace, ROB/queues/LSQ
+// populated) answers "can any stage act?" two ways: the legacy
+// `quiescent()` predicate re-reads every stage's state, while the wake
+// ledger — maintained incrementally by the stages — is one word test.
+// The pair isolates the engine's per-stepped-cycle check cost.
+struct QuiescenceRig {
+  trace::Trace trace;
+  lsq::SamieLsq lsq{lsq::SamieConfig{}, nullptr};
+  mem::MemoryHierarchy memory{mem::HierarchyConfig{}};
+  branch::HybridPredictor pred;
+  branch::Btb btb;
+  core::Core<lsq::SamieLsq> core;
+
+  QuiescenceRig()
+      : trace(trace::WorkloadGenerator(trace::spec2000_profile("gcc"), 9)
+                  .generate(40'000)),
+        core(core::CoreConfig{}, trace, lsq, memory, pred, btb, nullptr,
+             nullptr, nullptr) {
+    (void)core.run(20'000);  // stop mid-flight: state stays populated
+  }
+};
+
+void BM_QuiescencePredicateFromScratch(benchmark::State& state) {
+  QuiescenceRig rig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.core.quiescent());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuiescencePredicateFromScratch);
+
+void BM_QuiescenceLedgerWordTest(benchmark::State& state) {
+  QuiescenceRig rig;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.core.wake_ledger() == 0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QuiescenceLedgerWordTest);
+
+// --- ROB status scans: AoS record walk vs packed SoA status words ----------
+// The commit/issue/writeback questions ("is slot completed? placed?
+// waiting?") touch one flag per slot, and the stages reach slots by
+// seq — a scattered pattern (wheel pops, wake lists), not a linear
+// sweep the prefetcher could hide. Both variants visit the same random
+// slot permutation. The AoS record models the former ~104-byte InFlight
+// (the flag sits mid-struct: every probe drags a full cache line of
+// lists and cold state); the SoA variant is the engine's packed 4-byte
+// SlotStatus array. Arg(256) is the paper ROB (AoS: 28 KB touched —
+// most of an L1 — vs 1 KB); Arg(4096) a scaled window (AoS probes miss
+// to L2, the status words still fit in L1).
+struct FatAosSlot {  // mirrors the retired InFlight's footprint
+  std::uint64_t seq;
+  std::uint32_t gen;
+  const void* op;
+  std::uint8_t wait_agen, wait_data;
+  bool in_iq, agen_issued, agen_done, placed, data_ready;
+  bool executing, completed, mispredicted;
+  std::uint64_t load_value;
+  std::uint64_t prev_rename;
+  std::array<std::uint64_t, 6> list_headers;  // 3 former vectors
+};
+
+void BM_RobStatusScanAoS(benchmark::State& state) {
+  const std::size_t slots = static_cast<std::size_t>(state.range(0));
+  std::vector<FatAosSlot> rob(slots);
+  Xoshiro256 rng(17);
+  for (auto& s : rob) s.completed = rng.chance(0.5);
+  std::vector<std::uint32_t> order(slots);
+  for (std::size_t i = 0; i < slots; ++i) order[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = slots; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (auto _ : state) {
+    std::uint32_t n = 0;
+    for (const std::uint32_t i : order) n += rob[i].completed ? 1 : 0;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_RobStatusScanAoS)->Arg(256)->Arg(4096);
+
+void BM_RobStatusScanSoA(benchmark::State& state) {
+  const std::size_t slots = static_cast<std::size_t>(state.range(0));
+  std::vector<core::SlotStatus> rob(slots);
+  Xoshiro256 rng(17);
+  for (auto& s : rob) {
+    if (rng.chance(0.5)) s.set(core::SlotStatus::kCompleted);
+  }
+  std::vector<std::uint32_t> order(slots);
+  for (std::size_t i = 0; i < slots; ++i) order[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = slots; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (auto _ : state) {
+    std::uint32_t n = 0;
+    for (const std::uint32_t i : order) n += rob[i].completed() ? 1 : 0;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(slots));
+}
+BENCHMARK(BM_RobStatusScanSoA)->Arg(256)->Arg(4096);
 
 void BM_EndToEndSimulation(benchmark::State& state) {
   sim::SimConfig cfg = sim::paper_config(

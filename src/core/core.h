@@ -18,6 +18,16 @@
 // queue at runtime — CTAD from a LoadStoreQueue& (and a nullptr or
 // CycleObserver* observer) selects it automatically, so
 // `Core c(cfg, trace, *queue, ...)` keeps working.
+//
+// In-flight state is laid out for the access pattern, not the object
+// model (the same argument SAMIE-LSQ makes for the queue itself): the
+// former ~100-byte per-slot `InFlight` record is split into parallel
+// arrays indexed by ROB slot — a packed `SlotStatus` word (the pipeline
+// booleans and wait counters), a `(seq, gen)` token array, an op-pointer
+// array, the dependence-list handles, and a cold array (`load_value`,
+// `prev_rename`) the stage scans never touch. Dependent/waiter refs live
+// in a shared `DepSlab` arena instead of per-slot vectors. See
+// docs/BENCH_hotpath.md "Engine structures".
 #pragma once
 
 #include <bit>
@@ -29,6 +39,7 @@
 #include "src/common/calendar_wheel.h"
 #include "src/common/ring_deque.h"
 #include "src/common/seq_set.h"
+#include "src/core/dep_slab.h"
 #include "src/core/fu_pool.h"
 #include "src/core/main_memory.h"
 #include "src/energy/ledger.h"
@@ -78,6 +89,18 @@ struct CoreConfig {
   /// event-driven fast-forward is bit-identical to this by construction;
   /// the differential suite runs both and asserts it.
   bool always_step = false;
+
+  /// Cross-check the incremental wake ledger against the from-scratch
+  /// `quiescent()` predicate after every stepped cycle (throws
+  /// std::logic_error on disagreement). Costs one branch per cycle when
+  /// off; the differential tests turn it on, and building with
+  /// -DSAMIE_CHECK_QUIESCENCE (the CI sanitizer job) defaults it on for
+  /// every run in the process.
+#ifdef SAMIE_CHECK_QUIESCENCE
+  bool check_quiescence = true;
+#else
+  bool check_quiescence = false;
+#endif
 };
 
 /// Per-cycle hook for occupancy sampling (area integration, Figures 3/4).
@@ -127,6 +150,95 @@ struct CoreResult {
   std::uint64_t fast_forwards = 0;
 };
 
+/// Packed per-slot pipeline status — the hot word of the ROB's SoA
+/// layout. One 32-bit load answers every per-stage question about a
+/// slot; the former record spread the same eight booleans and two wait
+/// counters over ten bytes of a ~100-byte struct. Bit assignments
+/// (documented in docs/BENCH_hotpath.md):
+///   bit 0  in_iq          bit 4  data_ready (stores)
+///   bit 1  agen_issued    bit 5  executing
+///   bit 2  agen_done      bit 6  completed
+///   bit 3  placed         bit 7  mispredicted
+///   bits 8..15  wait_agen (outstanding sources / address sources)
+///   bits 16..23 wait_data (stores: outstanding data operand)
+///   bit 24 is_mem, bit 25 is_fp (derived once at dispatch)
+///   bits 28..31 the trace::OpClass
+/// Caching the op class here means the per-cycle scans (issue FU
+/// selection, the §3.3 head predicate, writeback routing, wake-target
+/// queue choice) never chase the op pointer — the status word already
+/// answers them.
+class SlotStatus {
+ public:
+  enum : std::uint32_t {
+    kInIq = 1U << 0,
+    kAgenIssued = 1U << 1,
+    kAgenDone = 1U << 2,
+    kPlaced = 1U << 3,
+    kDataReady = 1U << 4,
+    kExecuting = 1U << 5,
+    kCompleted = 1U << 6,
+    kMispredicted = 1U << 7,
+    kIsMem = 1U << 24,
+    kIsFp = 1U << 25,
+  };
+  static constexpr std::uint32_t kWaitAgenShift = 8;
+  static constexpr std::uint32_t kWaitDataShift = 16;
+  static constexpr std::uint32_t kWaitMask = 0xFFU;
+  static constexpr std::uint32_t kOpShift = 28;
+
+  /// Fresh dispatch state: everything clear except the given flags.
+  void reset(std::uint32_t flags) noexcept { w_ = flags; }
+
+  [[nodiscard]] bool in_iq() const noexcept { return (w_ & kInIq) != 0; }
+  [[nodiscard]] bool agen_issued() const noexcept {
+    return (w_ & kAgenIssued) != 0;
+  }
+  [[nodiscard]] bool agen_done() const noexcept {
+    return (w_ & kAgenDone) != 0;
+  }
+  [[nodiscard]] bool placed() const noexcept { return (w_ & kPlaced) != 0; }
+  [[nodiscard]] bool data_ready() const noexcept {
+    return (w_ & kDataReady) != 0;
+  }
+  [[nodiscard]] bool executing() const noexcept {
+    return (w_ & kExecuting) != 0;
+  }
+  [[nodiscard]] bool completed() const noexcept {
+    return (w_ & kCompleted) != 0;
+  }
+  [[nodiscard]] bool mispredicted() const noexcept {
+    return (w_ & kMispredicted) != 0;
+  }
+  [[nodiscard]] bool is_mem() const noexcept { return (w_ & kIsMem) != 0; }
+  [[nodiscard]] bool is_fp() const noexcept { return (w_ & kIsFp) != 0; }
+  [[nodiscard]] trace::OpClass op_class() const noexcept {
+    return static_cast<trace::OpClass>(w_ >> kOpShift);
+  }
+  void set(std::uint32_t flag) noexcept { w_ |= flag; }
+  void clear(std::uint32_t flag) noexcept { w_ &= ~flag; }
+
+  [[nodiscard]] std::uint32_t wait_agen() const noexcept {
+    return (w_ >> kWaitAgenShift) & kWaitMask;
+  }
+  [[nodiscard]] std::uint32_t wait_data() const noexcept {
+    return (w_ >> kWaitDataShift) & kWaitMask;
+  }
+  void inc_wait_agen() noexcept { w_ += 1U << kWaitAgenShift; }
+  void inc_wait_data() noexcept { w_ += 1U << kWaitDataShift; }
+  /// Decrements and returns true when the counter reached zero.
+  bool dec_wait_agen() noexcept {
+    w_ -= 1U << kWaitAgenShift;
+    return wait_agen() == 0;
+  }
+  bool dec_wait_data() noexcept {
+    w_ -= 1U << kWaitDataShift;
+    return wait_data() == 0;
+  }
+
+ private:
+  std::uint32_t w_ = 0;
+};
+
 template <typename LsqT = lsq::LoadStoreQueue,
           typename ObserverT = CycleObserver>
 class Core final : private lsq::PresentBitClearer {
@@ -144,6 +256,22 @@ class Core final : private lsq::PresentBitClearer {
   /// Runs until `max_insts` instructions commit (or the trace ends).
   CoreResult run(std::uint64_t max_insts);
 
+  // -- observability / microbenchmark probes ---------------------------------
+  /// The legacy from-scratch quiescence predicate: true iff no stage can
+  /// change architectural state at the current cycle (see core_impl.h
+  /// for the stage-by-stage proof obligations). The cycle loop itself
+  /// tests the incremental `wake_ledger()` word instead; this predicate
+  /// is kept as the cross-check (`CoreConfig::check_quiescence`,
+  /// SAMIE_CHECK_QUIESCENCE builds) and for bench_micro_structures'
+  /// ledger-vs-predicate microbenchmark. All O(1).
+  [[nodiscard]] bool quiescent() const;
+  /// The incremental wake ledger word (0 == quiescent); see WakeBit.
+  [[nodiscard]] std::uint32_t wake_ledger() const noexcept {
+    return wake_ledger_;
+  }
+  /// The shared dependence-ref arena (leak/reuse regression hooks).
+  [[nodiscard]] const DepSlab& dep_slab() const noexcept { return dep_slab_; }
+
  private:
   enum class SrcRole : std::uint8_t { kAgen = 0, kData = 1 };
 
@@ -158,34 +286,35 @@ class Core final : private lsq::PresentBitClearer {
     InstSeq seq = kNoInst;
     std::uint32_t gen = 0;
   };
-  /// SeqRef plus the operand role the dependent is waiting in.
-  struct DepRef {
+
+  /// The (seq, gen) incarnation token of a ROB slot — one entry of the
+  /// hot SoA token array. `seq` is bumped to the occupant at dispatch
+  /// and to kNoInst at commit/squash; `gen` counts incarnations so
+  /// cross-cycle references die on slot reuse (see SeqRef).
+  struct SlotToken {
     InstSeq seq = kNoInst;
     std::uint32_t gen = 0;
-    std::uint8_t role = 0;  ///< SrcRole
   };
 
-  struct InFlight {
-    InstSeq seq = kNoInst;
-    /// Incarnation counter of this ROB slot, bumped at every dispatch
-    /// into it. Completion events carry (seq, gen); a popped event whose
-    /// token no longer matches is stale (squash, flush or slot reuse) and
-    /// is dropped — which is what lets squashes skip walking the wheel.
-    std::uint32_t gen = 0;
-    const trace::MicroOp* op = nullptr;
-    std::uint8_t wait_agen = 0;  ///< outstanding source operands (all, or
-                                 ///< the address sources for stores)
-    std::uint8_t wait_data = 0;  ///< stores: outstanding data operand
-    bool in_iq = false;
-    bool agen_issued = false;
-    bool agen_done = false;
-    bool placed = false;
-    bool data_ready = false;  ///< stores
-    bool executing = false;
-    bool completed = false;
-    bool mispredicted = false;
+  /// Per-slot dependence-list handles into the shared DepSlab arena:
+  /// instructions waiting on this slot's result, and (stores only) loads
+  /// waiting to forward from / retire behind it. Stale tokens are
+  /// dropped at wake time.
+  struct SlotLists {
+    DepSlab::List dependents;      ///< waiting on this result (DepRef.role)
+    DepSlab::List fwd_waiters;     ///< ForwardWait: need the datum
+    DepSlab::List commit_waiters;  ///< WaitCommit: need retirement
+  };
+
+  /// Cold per-slot state: touched once per instruction (value check at
+  /// completion, rename undo on squash), never by the per-cycle scans —
+  /// keeping it out of the hot arrays is the point of the SoA split.
+  struct SlotCold {
     std::uint64_t load_value = 0;  ///< value the load observed (checked
                                    ///< against the trace oracle)
+    /// Destination register, cached at dispatch: commit and squash read
+    /// it next to prev_rename, so neither recovery path touches the op.
+    RegId dst = kNoReg;
     /// Rename checkpoint: the producer this instruction's dst displaced
     /// at dispatch (kNoInst included). Squash/flush restore the rename
     /// table by replaying these in reverse over the squashed range only —
@@ -193,27 +322,41 @@ class Core final : private lsq::PresentBitClearer {
     /// already-committed producer; that is benign because every rename
     /// consumer filters through live().
     InstSeq prev_rename = kNoInst;
-    std::vector<DepRef> dependents;  ///< instructions waiting on this result
-    /// Stores only — loads waiting on this slot's instruction, indexed
-    /// flat by ROB slot (replaces the former unordered_map waiter tables;
-    /// capacity is retained across slot reuse, so steady state never
-    /// allocates). Stale tokens are dropped at wake time.
-    std::vector<SeqRef> fwd_waiters;     ///< ForwardWait: need the datum
-    std::vector<SeqRef> commit_waiters;  ///< WaitCommit: need retirement
   };
 
+  /// A fetched instruction plus the decode facts dispatch's resource
+  /// checks need. dispatch_blocked() runs for every dispatch attempt
+  /// *and* closes the quiescence ledger's dispatch clause, so it reads
+  /// this hot 16-byte ring entry instead of the 48-byte trace record.
   struct Fetched {
     InstSeq seq = kNoInst;
+    RegId dst = kNoReg;
+    bool fp = false;
+    bool mem = false;
+    bool load = false;
     bool mispredicted = false;
   };
 
   /// A scheduled completion event: the instruction plus its ROB-slot
-  /// incarnation at schedule time (see InFlight::gen). Delivery order is
+  /// incarnation at schedule time (see SlotToken::gen). Delivery order is
   /// the calendar wheel's contract: same-cycle events pop in schedule
   /// order, identical to the (cycle, order) min-heap this replaced.
   struct CompletionRef {
     InstSeq seq = kNoInst;
     std::uint32_t gen = 0;
+  };
+
+  /// Wake ledger bits (the non-quiescence sources). Each bit mirrors one
+  /// clause of `quiescent()`'s negation; the stages that can change a
+  /// clause re-derive its bit (see core_impl.h "Wake-ledger maintenance"
+  /// for the site-by-site argument), so the post-cycle quiescence check
+  /// is the single word test `wake_ledger_ == 0`.
+  enum WakeBit : std::uint32_t {
+    kWakeCommitHead = 1U << 0,  ///< head completed or §3.3 flush pending
+    kWakeReady = 1U << 1,       ///< some ready queue is non-empty
+    kWakeLsq = 1U << 2,         ///< lsq_has_pending_work()
+    kWakeDispatch = 1U << 3,    ///< fetch queue head passes resource checks
+    kWakeFetch = 1U << 4,       ///< fetch could act at the checked cycle
   };
 
   // -- stages (called commit-first each cycle) -------------------------------
@@ -231,13 +374,21 @@ class Core final : private lsq::PresentBitClearer {
     return rob_mask_ != 0 ? static_cast<std::size_t>(seq & rob_mask_)
                           : static_cast<std::size_t>(seq % cfg_.rob_size);
   }
-  [[nodiscard]] InFlight& slot(InstSeq seq) { return rob_[rob_index(seq)]; }
+  [[nodiscard]] SlotStatus& status_of(InstSeq seq) {
+    return rob_status_[rob_index(seq)];
+  }
+  [[nodiscard]] const SlotStatus& status_of(InstSeq seq) const {
+    return rob_status_[rob_index(seq)];
+  }
+  [[nodiscard]] const trace::MicroOp& op_of(InstSeq seq) const {
+    return *rob_op_[rob_index(seq)];
+  }
   [[nodiscard]] bool live(InstSeq seq) const {
-    return seq >= head_ && seq < tail_ && rob_[rob_index(seq)].seq == seq;
+    return seq >= head_ && seq < tail_ && rob_token_[rob_index(seq)].seq == seq;
   }
   void schedule_completion(InstSeq seq, Cycle at);
   void complete(InstSeq seq);
-  void wake_dependents(InFlight& inst);
+  void wake_dependents(std::size_t idx);
   void on_agen_complete(InstSeq seq);
   void on_store_placed(InstSeq seq);
   void try_schedule_load(InstSeq seq);
@@ -252,23 +403,28 @@ class Core final : private lsq::PresentBitClearer {
   // -- event-driven engine ---------------------------------------------------
   /// True when `ref` still names the incarnation it was created for.
   [[nodiscard]] bool ref_live(InstSeq seq, std::uint32_t gen) const {
-    return live(seq) && rob_[rob_index(seq)].gen == gen;
+    const SlotToken& t = rob_token_[rob_index(seq)];
+    return seq >= head_ && seq < tail_ && t.seq == seq && t.gen == gen;
   }
-  [[nodiscard]] SeqRef ref_of(InstSeq seq) {
-    return SeqRef{seq, slot(seq).gen};
+  [[nodiscard]] SeqRef ref_of(InstSeq seq) const {
+    return SeqRef{seq, rob_token_[rob_index(seq)].gen};
   }
-  /// Work ledger: true iff some stage could change architectural state at
-  /// the *current* cycle_ (see core_impl.h for the stage-by-stage proof
-  /// obligations). All O(1).
-  [[nodiscard]] bool quiescent() const;
   /// §3.3 deadlock-avoidance predicate on the ROB head: the oldest
   /// instruction can never be placed without a flush. One definition
-  /// shared by commit_stage (which flushes on it) and quiescent() (which
-  /// reports work on it), so the two can never drift apart.
-  [[nodiscard]] bool deadlock_flush_pending(const InFlight& h) const {
-    return trace::is_mem(h.op->op) && !h.placed &&
-           (h.agen_done || (!h.agen_issued && h.wait_agen == 0 &&
-                            lsq_.placement_headroom() == 0));
+  /// shared by commit_stage (which flushes on it), quiescent() and the
+  /// wake ledger, so they can never drift apart.
+  [[nodiscard]] bool deadlock_flush_pending(std::size_t idx) const {
+    const SlotStatus s = rob_status_[idx];
+    return s.is_mem() && !s.placed() &&
+           (s.agen_done() || (!s.agen_issued() && s.wait_agen() == 0 &&
+                              lsq_.placement_headroom() == 0));
+  }
+  /// The commit clause of the wake ledger / quiescence predicate: the
+  /// head exists and commit_stage would act on it (retire or flush).
+  [[nodiscard]] bool commit_head_actionable() const {
+    if (head_ == tail_) return false;
+    const std::size_t idx = rob_index(head_);
+    return rob_status_[idx].completed() || deadlock_flush_pending(idx);
   }
   /// The dispatch stage's head-of-queue resource checks, O(1). The stage
   /// itself breaks on this same predicate, so the quiescence ledger and
@@ -283,6 +439,44 @@ class Core final : private lsq::PresentBitClearer {
     } else {
       return true;
     }
+  }
+  /// The once-per-cycle occupancy sample, cached behind the LSQ's
+  /// occupancy epoch: most stepped cycles change nothing the sample
+  /// reads (the run-length StatsCollector would compare-and-fold it
+  /// anyway), so the rebuild happens only when a placement, free,
+  /// buffer move or dispatch actually moved a counter.
+  [[nodiscard]] const lsq::OccupancySample& sampled_occupancy() {
+    if constexpr (requires(const LsqT& q) { q.occupancy_epoch(); }) {
+      const std::uint64_t e = lsq_.occupancy_epoch();
+      if (e != occ_epoch_seen_) {
+        occ_cache_ = lsq_.occupancy();
+        occ_epoch_seen_ = e;
+      }
+      return occ_cache_;
+    } else {
+      occ_cache_ = lsq_.occupancy();
+      return occ_cache_;
+    }
+  }
+  // -- wake-ledger maintenance (see core_impl.h for the proof) ---------------
+  void wake_set(std::uint32_t bit) noexcept { wake_ledger_ |= bit; }
+  void wake_assign(std::uint32_t bit, bool on) noexcept {
+    wake_ledger_ = on ? (wake_ledger_ | bit) : (wake_ledger_ & ~bit);
+  }
+  [[nodiscard]] bool any_ready_queue() const noexcept {
+    return !ready_int_.empty() || !ready_fp_.empty() || !ready_mem_.empty();
+  }
+  void push_ready_int(SeqRef r) {
+    ready_int_.push_back(r);
+    wake_set(kWakeReady);
+  }
+  void push_ready_fp(SeqRef r) {
+    ready_fp_.push_back(r);
+    wake_set(kWakeReady);
+  }
+  void push_ready_mem(SeqRef r) {
+    ready_mem_.push_back(r);
+    wake_set(kWakeReady);
   }
   /// When quiescent, jumps cycle_ to the next wake source (wheel event,
   /// fetch re-enable, hierarchy completion, watchdog), replaying the
@@ -311,7 +505,19 @@ class Core final : private lsq::PresentBitClearer {
   Cycle fetch_stall_until_ = 0;
   Addr last_fetch_line_ = ~0ULL;
   std::uint64_t rob_mask_ = 0;  ///< rob_size - 1 when rob_size is pow2
-  std::vector<InFlight> rob_;
+
+  // ROB state as parallel arrays indexed by rob_index (hot → cold); see
+  // the class comment. The per-stage scans read only the arrays they
+  // need: commit/issue checks touch 4-byte status words, token
+  // validation touches the 16-byte token array, and the cold array is
+  // only read at completion and squash.
+  std::vector<SlotStatus> rob_status_;
+  std::vector<SlotToken> rob_token_;
+  std::vector<const trace::MicroOp*> rob_op_;
+  std::vector<SlotLists> rob_lists_;
+  std::vector<SlotCold> rob_cold_;
+  DepSlab dep_slab_;
+
   RingDeque<Fetched> fetch_queue_;
   std::uint32_t iq_int_used_ = 0;
   std::uint32_t iq_fp_used_ = 0;
@@ -337,13 +543,23 @@ class Core final : private lsq::PresentBitClearer {
   // removed; they die by (seq, gen) token mismatch at pop time.
   CalendarWheel<CompletionRef> completions_;
 
+  /// Incremental quiescence ledger: bitwise OR of the WakeBit sources.
+  /// Non-zero means some stage could act; the post-cycle check is this
+  /// single word against zero. kWakeFetch starts set: cycle 0 fetches.
+  std::uint32_t wake_ledger_ = kWakeFetch;
+  /// dispatch_stage exhausted its width with the queue non-empty, so it
+  /// could not decide the dispatch clause; fetch_stage (the only later
+  /// mutator of fetch/dispatch state) re-derives it. In every other exit
+  /// the stage assigns kWakeDispatch itself — the expensive resource
+  /// predicate is then never evaluated on a cycle that proved it moot.
+  bool dispatch_clause_open_ = false;
+
   // Reused per-cycle scratch — cleared, never reallocated in steady state.
   std::vector<InstSeq> drain_scratch_;     ///< memory_stage: drained seqs
   std::vector<InstSeq> eligible_scratch_;  ///< on_store_placed: readyBit sweep
-  std::vector<SeqRef> waiter_scratch_;     ///< waking forward-waiting loads
-  std::vector<SeqRef> commit_waiter_scratch_;  ///< commit_stage wakeups
-  std::vector<SeqRef> skipped_int_;        ///< issue_stage re-queues
-  std::vector<SeqRef> skipped_fp_;
+  std::vector<SeqRef> issue_batch_;  ///< issue_stage: the cycle's ready set,
+                                     ///< collected once and arbitrated in
+                                     ///< one pass over the FU pools
 
   // Functional units.
   PipelinedPool int_alu_;
@@ -354,6 +570,12 @@ class Core final : private lsq::PresentBitClearer {
   /// Address computations issued but not yet resolved into a placement —
   /// each reserves one unit of the LSQ's placement headroom.
   std::uint32_t agens_outstanding_ = 0;
+
+  // Per-cycle occupancy sampling cache: rebuilt only when the LSQ's
+  // occupancy_epoch() moved (type-erased queues have no epoch hook and
+  // rebuild every cycle, as before).
+  lsq::OccupancySample occ_cache_;
+  std::uint64_t occ_epoch_seen_ = ~0ULL;
 
   // Results.
   CoreResult res_;

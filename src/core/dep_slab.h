@@ -1,0 +1,177 @@
+// DepSlab: a flat arena of dependence-reference chunks with a freelist.
+//
+// The core keeps three token lists per ROB slot (dependents, forward
+// waiters, commit waiters). As `std::vector` members of a per-slot
+// struct they cost 24 bytes of header each inside the hot record and
+// their backing stores land wherever the allocator put them; as slab
+// lists the per-slot footprint is two 32-bit chunk indices and every
+// ref lives in one contiguous arena. Chunks are recycled through a
+// freelist, so steady state never allocates; the arena grows (by
+// appending chunks) only when more refs are simultaneously live than
+// ever before.
+//
+// Invariants (cross-checked by tests/test_dep_slab.cpp via the recount
+// hooks):
+//   * every chunk is on exactly one list or on the freelist:
+//     chunks_in_use() + free_chunks() == total_chunks(), and
+//     recount_free_chunks() (a freelist walk) equals free_chunks();
+//   * live_refs() is the sum of all list lengths — 0 once every list
+//     has been cleared (no leaked DepRefs after squash/flush/commit);
+//   * iteration order is insertion order (the core's wake order — and
+//     therefore issue order and every downstream statistic — depends on
+//     it).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace samie::core {
+
+/// A (seq, ROB-slot incarnation) token plus the operand role a dependent
+/// is waiting in (see Core::SrcRole; waiter lists leave it 0). Consumers
+/// whose token no longer matches the slot are stale and dropped in O(1).
+struct DepRef {
+  InstSeq seq = kNoInst;
+  std::uint32_t gen = 0;
+  std::uint8_t role = 0;
+};
+
+class DepSlab {
+ public:
+  /// Refs per chunk: sized so a chunk (4 refs + header) stays within one
+  /// or two cache lines while typical lists (1-3 dependents) fit in one.
+  static constexpr std::uint32_t kChunkRefs = 4;
+  static constexpr std::uint32_t kNil = ~0U;
+
+  /// A list handle: head/tail chunk indices into the slab. Plain 8-byte
+  /// POD so per-slot list state stays inside the slot metadata array.
+  struct List {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  explicit DepSlab(std::size_t initial_chunks = 0) {
+    arena_.reserve(initial_chunks);
+    for (std::size_t i = 0; i < initial_chunks; ++i) append_free_chunk();
+  }
+
+  [[nodiscard]] bool empty(const List& l) const noexcept {
+    return l.head == kNil;
+  }
+
+  /// Appends `r` (insertion order is preserved across the whole list).
+  void push(List& l, const DepRef& r) {
+    if (l.tail == kNil || arena_[l.tail].count == kChunkRefs) {
+      const std::uint32_t c = take_chunk();
+      if (l.tail == kNil) {
+        l.head = c;
+      } else {
+        arena_[l.tail].next = c;
+      }
+      l.tail = c;
+    }
+    Chunk& t = arena_[l.tail];
+    t.refs[t.count++] = r;
+    ++live_refs_;
+  }
+
+  /// Visits every ref in insertion order. `fn` may push to *other*
+  /// lists — a push can grow (and therefore reallocate) the arena, so
+  /// the loop re-indexes `arena_` after every callback instead of
+  /// holding a Chunk reference across it; the visited chunks' indices,
+  /// counts and contents are stable (they are off the freelist and no
+  /// push touches them). `fn` must not mutate `l` itself — detach()
+  /// first when the body can re-enter.
+  template <typename Fn>
+  void for_each(const List& l, Fn&& fn) const {
+    for (std::uint32_t c = l.head; c != kNil; c = arena_[c].next) {
+      for (std::uint32_t i = 0; i < arena_[c].count; ++i) {
+        fn(arena_[c].refs[i]);
+      }
+    }
+  }
+
+  /// Steals the chain: `l` becomes empty, the returned handle owns the
+  /// refs. The caller iterates it (for_each) and must free() it — this
+  /// is the reentrancy-safe replacement for the copy-to-scratch pattern
+  /// (wake handlers can push to the very list being woken).
+  [[nodiscard]] List detach(List& l) noexcept {
+    const List taken = l;
+    l = List{};
+    return taken;
+  }
+
+  /// Returns every chunk of `l` to the freelist and empties the handle.
+  /// Freeing an empty list is a single predictable branch — the commit
+  /// path frees all three slot lists unconditionally.
+  void free(List& l) noexcept {
+    if (l.head == kNil) return;
+    std::uint32_t c = l.head;
+    while (c != kNil) {
+      const std::uint32_t next = arena_[c].next;
+      assert(live_refs_ >= arena_[c].count);
+      live_refs_ -= arena_[c].count;
+      release_chunk(c);
+      c = next;
+    }
+    l = List{};
+  }
+
+  // -- accounting (O(1) counters; recount hooks cross-check them) ------------
+  [[nodiscard]] std::uint64_t live_refs() const noexcept { return live_refs_; }
+  [[nodiscard]] std::size_t total_chunks() const noexcept {
+    return arena_.size();
+  }
+  [[nodiscard]] std::size_t free_chunks() const noexcept { return free_count_; }
+  [[nodiscard]] std::size_t chunks_in_use() const noexcept {
+    return arena_.size() - free_count_;
+  }
+  /// Walks the freelist and counts it — the regression hook that catches
+  /// a chunk leaked (freed twice, or dropped from both a list and the
+  /// freelist) by disagreeing with the O(1) counter.
+  [[nodiscard]] std::size_t recount_free_chunks() const noexcept {
+    std::size_t n = 0;
+    for (std::uint32_t c = free_head_; c != kNil; c = arena_[c].next) ++n;
+    return n;
+  }
+
+ private:
+  struct Chunk {
+    DepRef refs[kChunkRefs];
+    std::uint32_t count = 0;
+    std::uint32_t next = kNil;  ///< next chunk in the list / freelist
+  };
+
+  void append_free_chunk() {
+    arena_.emplace_back();
+    arena_.back().next = free_head_;
+    free_head_ = static_cast<std::uint32_t>(arena_.size() - 1);
+    ++free_count_;
+  }
+
+  [[nodiscard]] std::uint32_t take_chunk() {
+    if (free_head_ == kNil) append_free_chunk();
+    const std::uint32_t c = free_head_;
+    free_head_ = arena_[c].next;
+    --free_count_;
+    arena_[c].count = 0;
+    arena_[c].next = kNil;
+    return c;
+  }
+
+  void release_chunk(std::uint32_t c) noexcept {
+    arena_[c].next = free_head_;
+    free_head_ = c;
+    ++free_count_;
+  }
+
+  std::vector<Chunk> arena_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t free_count_ = 0;
+  std::uint64_t live_refs_ = 0;
+};
+
+}  // namespace samie::core

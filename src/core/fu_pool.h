@@ -43,7 +43,9 @@ class PipelinedPool {
 /// busy == latency; pipelined multipliers: busy == 1 with latency > 1).
 class OccupyingPool {
  public:
-  explicit OccupyingPool(std::uint32_t units) : busy_until_(units, 0) {}
+  explicit OccupyingPool(std::uint32_t units) : busy_until_(units, 0) {
+    free_scratch_.reserve(units);
+  }
 
   [[nodiscard]] bool can_issue(Cycle now) const noexcept {
     for (Cycle b : busy_until_) {
@@ -62,6 +64,26 @@ class OccupyingPool {
   }
   void reset() noexcept {
     for (Cycle& b : busy_until_) b = 0;
+  }
+
+  // -- batch arbitration (issue_stage) ---------------------------------------
+  /// Snapshots the free units once per cycle; try_issue_batched then
+  /// takes them in ascending-index order without rescanning. This is
+  /// exactly try_issue's first-fit policy — busy state only changes
+  /// through takes within the cycle (a reset() mid-cycle, the
+  /// full-flush path, happens before issue runs), so the snapshot
+  /// cannot go stale.
+  void begin_arbitration(Cycle now) noexcept {
+    free_scratch_.clear();
+    for (std::uint32_t i = 0; i < busy_until_.size(); ++i) {
+      if (busy_until_[i] <= now) free_scratch_.push_back(i);
+    }
+    taken_ = 0;
+  }
+  bool try_issue_batched(Cycle now, Cycle busy) noexcept {
+    if (taken_ >= free_scratch_.size()) return false;
+    busy_until_[free_scratch_[taken_++]] = now + busy;
+    return true;
   }
 
   // -- work-ledger hooks (event-driven engine) -------------------------------
@@ -86,6 +108,11 @@ class OccupyingPool {
 
  private:
   std::vector<Cycle> busy_until_;
+  /// Per-cycle arbitration snapshot: indices of units free at
+  /// begin_arbitration time, consumed front to back. Sized once (the
+  /// unit count is fixed), so snapshots never allocate.
+  std::vector<std::uint32_t> free_scratch_;
+  std::uint32_t taken_ = 0;
 };
 
 }  // namespace samie::core

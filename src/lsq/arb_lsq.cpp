@@ -1,5 +1,6 @@
 #include "src/lsq/arb_lsq.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -48,6 +49,7 @@ bool ArbLsq::can_dispatch(bool /*is_load*/) const {
 
 void ArbLsq::on_dispatch(InstSeq seq, bool /*is_load*/) {
   assert(dispatched_.empty() || dispatched_.back() < seq);
+  ++occ_epoch_;
   dispatched_.push_back(seq);
 }
 
@@ -58,12 +60,12 @@ void ArbLsq::disambiguate(const MemOpDesc& op, Row& row,
     for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
       for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
         const Slot& s = row.slots[wi * 64 + ctz(m)];
-        if (s.is_load || s.seq >= op.seq) continue;
+        if (s.flags.is_load() || s.seq >= op.seq) continue;
         if (ranges_overlap(op.addr & 0xFF, op.size, s.offset, s.size)) {
           if (self.fwd_store == kNoInst || s.seq > self.fwd_store) {
             self.fwd_store = s.seq;
-            self.fwd_full = range_covers(static_cast<Addr>(self.offset),
-                                         op.size, s.offset, s.size);
+            self.flags.set_fwd_full(range_covers(static_cast<Addr>(self.offset),
+                                                 op.size, s.offset, s.size));
           }
         }
       }
@@ -72,12 +74,12 @@ void ArbLsq::disambiguate(const MemOpDesc& op, Row& row,
     for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
       for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
         Slot& s = row.slots[wi * 64 + ctz(m)];
-        if (!s.is_load || s.seq <= op.seq) continue;
+        if (!s.flags.is_load() || s.seq <= op.seq) continue;
         if (ranges_overlap(s.offset, s.size, self.offset, self.size) &&
             (s.fwd_store == kNoInst || s.fwd_store < op.seq)) {
           s.fwd_store = op.seq;
-          s.fwd_full = range_covers(static_cast<Addr>(s.offset), s.size,
-                                    self.offset, self.size);
+          s.flags.set_fwd_full(range_covers(static_cast<Addr>(s.offset), s.size,
+                                            self.offset, self.size));
         }
       }
     }
@@ -107,15 +109,13 @@ bool ArbLsq::try_place(const MemOpDesc& op) {
   // The global in-flight cap bounds slots per row, so a valid row always
   // has a free slot.
   assert(slot_idx < cfg_.max_inflight);
+  ++occ_epoch_;
   Slot& s = row.slots[slot_idx];
   s.seq = op.seq;
   s.offset = static_cast<std::uint8_t>(op.addr & (cfg_.line_bytes - 1));
   s.size = op.size;
-  s.is_load = op.is_load;
-  s.data_ready = op.data_ready;
-  s.valid = true;
   s.fwd_store = kNoInst;
-  s.fwd_full = false;
+  s.flags = SlotFlags::make(/*valid=*/true, op.is_load, op.data_ready);
   row.slot_mask[slot_idx / 64] |= 1ULL << (slot_idx % 64);
   ++row.used;
   ++slots_placed_;
@@ -131,6 +131,7 @@ bool ArbLsq::try_place(const MemOpDesc& op) {
 Placement ArbLsq::on_address_ready(const MemOpDesc& op) {
   if (try_place(op)) return Placement{Placement::Status::kPlaced};
   ++conflicts_;
+  ++occ_epoch_;
   waiting_.push_back(op);
   return Placement{Placement::Status::kBuffered};
 }
@@ -140,6 +141,7 @@ void ArbLsq::drain(std::vector<InstSeq>& newly_placed) {
     const MemOpDesc op = waiting_.front();
     if (!try_place(op)) break;
     newly_placed.push_back(op.seq);
+    ++occ_epoch_;
     waiting_.pop_front();
   }
   // A head left in the FIFO just failed against current state; until a
@@ -164,15 +166,15 @@ ArbLsq::Slot* ArbLsq::slot_of(InstSeq seq) {
 
 LoadPlan ArbLsq::plan_load(InstSeq seq) const {
   const Slot* s = slot_of(seq);
-  assert(s != nullptr && s->is_load);
+  assert(s != nullptr && s->flags.is_load());
   LoadPlan p;
   if (s->fwd_store == kNoInst) return p;
   const Slot* st = slot_of(s->fwd_store);
   assert(st != nullptr);
   p.store = s->fwd_store;
-  if (!s->fwd_full) {
+  if (!s->flags.fwd_full()) {
     p.kind = LoadPlan::Kind::kWaitCommit;
-  } else if (st->data_ready) {
+  } else if (st->flags.data_ready()) {
     p.kind = LoadPlan::Kind::kForwardReady;
   } else {
     p.kind = LoadPlan::Kind::kForwardWait;
@@ -182,18 +184,19 @@ LoadPlan ArbLsq::plan_load(InstSeq seq) const {
 
 void ArbLsq::on_store_data_ready(InstSeq seq) {
   Slot* s = slot_of(seq);
-  assert(s != nullptr && !s->is_load);
-  s->data_ready = true;
+  assert(s != nullptr && !s->flags.is_load());
+  s->flags.set_data_ready(true);
 }
 
 void ArbLsq::free_slot(const Loc& loc) {
+  ++occ_epoch_;
   Row& row = row_at(loc.bank, loc.row);
   Slot& s = row.slots[loc.slot];
-  assert(s.valid);
-  s.valid = false;
+  assert(s.flags.valid());
+  s.flags.set_valid(false);
+  s.flags.set_fwd_full(false);
   s.seq = kNoInst;
   s.fwd_store = kNoInst;
-  s.fwd_full = false;
   row.slot_mask[loc.slot / 64] &= ~(1ULL << (loc.slot % 64));
   assert(row.used > 0);
   --row.used;
@@ -217,13 +220,14 @@ void ArbLsq::on_commit(InstSeq seq) {
       Slot& s = row.slots[wi * 64 + ctz(m)];
       if (s.fwd_store == seq) {
         s.fwd_store = kNoInst;
-        s.fwd_full = false;
+        s.flags.set_fwd_full(false);
       }
     }
   }
   free_slot(loc);
   where_.erase(seq);
   assert(!dispatched_.empty() && dispatched_.front() == seq);
+  ++occ_epoch_;
   dispatched_.pop_front();
   drain_blocked_ = false;  // a freed slot can unblock the retry FIFO
 }
@@ -231,28 +235,37 @@ void ArbLsq::on_commit(InstSeq seq) {
 void ArbLsq::squash_from(InstSeq seq) {
   // The age FIFO names every dispatched instruction >= seq; placed ones
   // release their slot, the rest were only occupying the in-flight cap.
+  // Forwarding references are strictly intra-row (disambiguate links a
+  // load only to stores on its own line, which is its own row), so the
+  // rows holding squashed *stores* are the only places a stale ref can
+  // survive — collect them while popping and clear just those instead
+  // of sweeping every row of every bank. O(squashed) end to end.
+  ++occ_epoch_;
+  squash_rows_scratch_.clear();
   while (!dispatched_.empty() && dispatched_.back() >= seq) {
     const InstSeq s = dispatched_.back();
     if (const Loc* loc = where_.find(s)) {
+      if (!row_at(loc->bank, loc->row).slots[loc->slot].flags.is_load()) {
+        squash_rows_scratch_.push_back(loc->bank * cfg_.rows_per_bank +
+                                       loc->row);
+      }
       free_slot(*loc);
       where_.erase(s);
     }
     dispatched_.pop_back();
   }
-  // Surviving slots must forget forwarding references to squashed stores.
-  for (std::uint32_t b = 0; b < cfg_.banks; ++b) {
-    for (std::uint32_t rw = 0; rw < row_words_; ++rw) {
-      for (std::uint64_t rm = row_masks_[b * row_words_ + rw]; rm != 0;
-           rm &= rm - 1) {
-        Row& row = row_at(b, rw * 64 + ctz(rm));
-        for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
-          for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
-            Slot& s = row.slots[wi * 64 + ctz(m)];
-            if (s.fwd_store != kNoInst && s.fwd_store >= seq) {
-              s.fwd_store = kNoInst;
-              s.fwd_full = false;
-            }
-          }
+  std::sort(squash_rows_scratch_.begin(), squash_rows_scratch_.end());
+  squash_rows_scratch_.erase(
+      std::unique(squash_rows_scratch_.begin(), squash_rows_scratch_.end()),
+      squash_rows_scratch_.end());
+  for (const std::uint32_t ri : squash_rows_scratch_) {
+    Row& row = rows_[ri];  // may have been freed by the pops: masks are 0
+    for (std::uint32_t wi = 0; wi < slot_words_; ++wi) {
+      for (std::uint64_t m = row.slot_mask[wi]; m != 0; m &= m - 1) {
+        Slot& s = row.slots[wi * 64 + ctz(m)];
+        if (s.fwd_store != kNoInst && s.fwd_store >= seq) {
+          s.fwd_store = kNoInst;
+          s.flags.set_fwd_full(false);
         }
       }
     }
@@ -282,7 +295,7 @@ OccupancySample ArbLsq::recount_occupancy() const {
       const Row& row = row_at(b, r);
       std::uint32_t used = 0;
       for (std::uint32_t i = 0; i < cfg_.max_inflight; ++i) {
-        const bool valid = row.slots[i].valid;
+        const bool valid = row.slots[i].flags.valid();
         assert(valid == ((row.slot_mask[i / 64] >> (i % 64) & 1ULL) != 0));
         if (!valid) continue;
         ++used;

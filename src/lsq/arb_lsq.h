@@ -88,6 +88,11 @@ class ArbLsq final : public LoadStoreQueue {
   [[nodiscard]] Cycle next_ready_cycle(Cycle /*now*/) const noexcept {
     return kNeverCycle;
   }
+  /// Bumped by every mutation that can change occupancy(); the core's
+  /// per-cycle sampling rebuilds the sample only when this moved.
+  [[nodiscard]] std::uint64_t occupancy_epoch() const noexcept {
+    return occ_epoch_;
+  }
 
   [[nodiscard]] std::uint64_t placement_conflicts() const { return conflicts_; }
   [[nodiscard]] std::uint32_t rows_used() const { return rows_used_; }
@@ -98,15 +103,16 @@ class ArbLsq final : public LoadStoreQueue {
   [[nodiscard]] OccupancySample recount_occupancy() const;
 
  private:
+  /// One instruction within a row. Booleans live in the packed
+  /// SlotFlags status word (lsq_interface.h) — rows allocate
+  /// max_inflight slots each, so the per-slot footprint matters here
+  /// most of all three queues.
   struct Slot {
     InstSeq seq = kNoInst;
+    InstSeq fwd_store = kNoInst;
     std::uint8_t offset = 0;  // within the line
     std::uint8_t size = 0;
-    bool is_load = false;
-    bool data_ready = false;
-    bool valid = false;
-    InstSeq fwd_store = kNoInst;
-    bool fwd_full = false;
+    SlotFlags flags;  ///< valid / is_load / data_ready / fwd_full
   };
   struct Row {
     Addr line = 0;
@@ -155,9 +161,13 @@ class ArbLsq final : public LoadStoreQueue {
   /// squashed before their address was computed are accounted correctly.
   RingDeque<InstSeq> dispatched_;
   std::uint64_t conflicts_ = 0;
+  /// Squash scratch: row indices that held squashed stores (the only
+  /// rows where stale forwarding refs can survive; see squash_from).
+  std::vector<std::uint32_t> squash_rows_scratch_;
   // O(1) occupancy counters, cross-checked by recount_occupancy().
   std::uint32_t rows_used_ = 0;
   std::uint32_t slots_placed_ = 0;
+  std::uint64_t occ_epoch_ = 0;  ///< see occupancy_epoch()
 };
 
 }  // namespace samie::lsq

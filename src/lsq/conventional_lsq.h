@@ -62,6 +62,11 @@ class ConventionalLsq final : public LoadStoreQueue {
   [[nodiscard]] Cycle next_ready_cycle(Cycle /*now*/) const noexcept {
     return kNeverCycle;
   }
+  /// Bumped by every mutation that can change occupancy(); the core's
+  /// per-cycle sampling rebuilds the sample only when this moved.
+  [[nodiscard]] std::uint64_t occupancy_epoch() const noexcept {
+    return occ_epoch_;
+  }
 
   /// Test hook: recomputes the occupancy sample by walking the age ring
   /// and cross-checks the seq ring table against it — every queued entry
@@ -70,15 +75,16 @@ class ConventionalLsq final : public LoadStoreQueue {
   [[nodiscard]] OccupancySample recount_occupancy() const;
 
  private:
+  /// One queued instruction. Booleans live in the packed SlotFlags
+  /// status word (lsq_interface.h): the disambiguation walk reads
+  /// is_load/addr_known for every older/younger entry, and the word
+  /// keeps the record one pointer smaller.
   struct Entry {
     InstSeq seq = kNoInst;
     Addr addr = 0;
-    std::uint8_t size = 0;
-    bool is_load = false;
-    bool addr_known = false;
-    bool data_ready = false;  // stores
     InstSeq fwd_store = kNoInst;
-    bool fwd_full = false;
+    std::uint8_t size = 0;
+    SlotFlags flags;  ///< is_load / addr_known / data_ready / fwd_full
   };
 
   [[nodiscard]] Entry* find(InstSeq seq);
@@ -105,6 +111,16 @@ class ConventionalLsq final : public LoadStoreQueue {
   SeqRingTable<std::uint64_t> where_;
   std::uint64_t front_abs_ = 0;  ///< absolute index of entries_.front()
   std::uint64_t next_abs_ = 0;   ///< absolute index of the next allocation
+  std::uint64_t occ_epoch_ = 0;  ///< see occupancy_epoch()
+  /// Age-ordered seqs by kind. Disambiguation only ever compares a load
+  /// against *older stores* and a store against *younger loads*, so the
+  /// placement walk visits exactly the relevant kind — the store walk
+  /// additionally enters from the young end and stops at its own age,
+  /// never touching the older half the age-ordered scan used to skip
+  /// one `continue` at a time. Maintained alongside entries_: dispatch
+  /// appends, commit pops the front (in-order), squash pops the back.
+  RingDeque<InstSeq> load_seqs_;
+  RingDeque<InstSeq> store_seqs_;
 };
 
 /// The unbounded LSQ of Figure 1: never stalls dispatch or placement.

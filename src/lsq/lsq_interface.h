@@ -70,6 +70,53 @@ struct LoadPlan {
   InstSeq store = kNoInst;
 };
 
+/// Packed per-slot status word shared by the three queues' slot/entry
+/// records. The disambiguation and occupancy scans are bitmask walks
+/// over slots, so the slot records themselves are laid out for density:
+/// one byte of flags with named accessors instead of four or five
+/// scattered bools (which also kept ConventionalLsq::Entry and the
+/// banked queues' Slot a pointer-size smaller). Bit assignments are an
+/// implementation detail; only the accessors are used.
+class SlotFlags {
+ public:
+  [[nodiscard]] bool valid() const noexcept { return get(kValid); }
+  [[nodiscard]] bool is_load() const noexcept { return get(kIsLoad); }
+  [[nodiscard]] bool data_ready() const noexcept { return get(kDataReady); }
+  [[nodiscard]] bool fwd_full() const noexcept { return get(kFwdFull); }
+  [[nodiscard]] bool addr_known() const noexcept { return get(kAddrKnown); }
+
+  void set_valid(bool v) noexcept { put(kValid, v); }
+  void set_is_load(bool v) noexcept { put(kIsLoad, v); }
+  void set_data_ready(bool v) noexcept { put(kDataReady, v); }
+  void set_fwd_full(bool v) noexcept { put(kFwdFull, v); }
+  void set_addr_known(bool v) noexcept { put(kAddrKnown, v); }
+
+  /// One-write initialization at placement time (avoids five RMW ops).
+  static SlotFlags make(bool valid, bool is_load, bool data_ready) noexcept {
+    SlotFlags f;
+    f.bits_ = static_cast<std::uint8_t>((valid ? kValid : 0U) |
+                                        (is_load ? kIsLoad : 0U) |
+                                        (data_ready ? kDataReady : 0U));
+    return f;
+  }
+
+ private:
+  enum : std::uint8_t {
+    kValid = 1U << 0,
+    kIsLoad = 1U << 1,
+    kDataReady = 1U << 2,
+    kFwdFull = 1U << 3,
+    kAddrKnown = 1U << 4,  ///< conventional LSQ (address at dispatch+agen)
+  };
+  [[nodiscard]] bool get(std::uint8_t bit) const noexcept {
+    return (bits_ & bit) != 0;
+  }
+  void put(std::uint8_t bit, bool v) noexcept {
+    bits_ = static_cast<std::uint8_t>(v ? (bits_ | bit) : (bits_ & ~bit));
+  }
+  std::uint8_t bits_ = 0;
+};
+
 /// SAMIE's cached L1D location + translation (paper §3.4).
 struct CacheHints {
   bool way_known = false;

@@ -88,15 +88,13 @@ void SamieLsq::fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry) {
     }
   }
 
+  ++occ_epoch_;
   Slot& s = e.slots[loc.slot];
-  s.valid = true;
   s.seq = op.seq;
   s.offset = static_cast<std::uint8_t>(op.addr & (cfg_.line_bytes - 1));
   s.size = op.size;
-  s.is_load = op.is_load;
-  s.data_ready = op.data_ready;
   s.fwd_store = kNoInst;
-  s.fwd_full = false;
+  s.flags = SlotFlags::make(/*valid=*/true, op.is_load, op.data_ready);
   e.slot_mask |= 1ULL << loc.slot;
   ++e.used;
   if (e.used == cfg_.slots_per_entry) {
@@ -124,20 +122,20 @@ void SamieLsq::disambiguate(const MemOpDesc& op, Loc self_loc) {
       Slot& s = e.slots[ctz(m)];
       if (s.seq == op.seq) continue;
       if (op.is_load) {
-        if (s.is_load || s.seq >= op.seq) continue;
+        if (s.flags.is_load() || s.seq >= op.seq) continue;
         if (ranges_overlap(offset, op.size, s.offset, s.size) &&
             (self.fwd_store == kNoInst || s.seq > self.fwd_store)) {
           self.fwd_store = s.seq;
-          self.fwd_full = range_covers(static_cast<Addr>(offset), op.size,
-                                       s.offset, s.size);
+          self.flags.set_fwd_full(range_covers(static_cast<Addr>(offset),
+                                               op.size, s.offset, s.size));
         }
       } else {
-        if (!s.is_load || s.seq <= op.seq) continue;
+        if (!s.flags.is_load() || s.seq <= op.seq) continue;
         if (ranges_overlap(s.offset, s.size, offset, op.size) &&
             (s.fwd_store == kNoInst || s.fwd_store < op.seq)) {
           s.fwd_store = op.seq;
-          s.fwd_full = range_covers(static_cast<Addr>(s.offset), s.size, offset,
-                                    op.size);
+          s.flags.set_fwd_full(range_covers(static_cast<Addr>(s.offset), s.size,
+                                            offset, op.size));
         }
       }
     }
@@ -241,6 +239,7 @@ Placement SamieLsq::on_address_ready(const MemOpDesc& op) {
     return Placement{Placement::Status::kRejected};
   }
   ++buffered_;
+  ++occ_epoch_;
   buffer_.push_back(op);
   if (ledger_ != nullptr) ledger_->on_addrbuf_write();
   return Placement{Placement::Status::kBuffered};
@@ -258,6 +257,7 @@ void SamieLsq::drain(std::vector<InstSeq>& newly_placed) {
     if (ledger_ != nullptr) ledger_->on_addrbuf_read();
     if (!try_place(op, /*from_buffer=*/true)) break;
     newly_placed.push_back(op.seq);
+    ++occ_epoch_;
     buffer_.pop_front();
   }
 }
@@ -266,16 +266,16 @@ LoadPlan SamieLsq::plan_load(InstSeq seq) const {
   const Loc* loc = where_find(seq);
   assert(loc != nullptr);
   const Slot& s = entry_at(*loc).slots[loc->slot];
-  assert(s.valid && s.is_load);
+  assert(s.flags.valid() && s.flags.is_load());
   LoadPlan p;
   if (s.fwd_store == kNoInst) return p;
   const Loc* sloc = where_find(s.fwd_store);
   assert(sloc != nullptr);
   const Slot& st = entry_at(*sloc).slots[sloc->slot];
   p.store = s.fwd_store;
-  if (!s.fwd_full) {
+  if (!s.flags.fwd_full()) {
     p.kind = LoadPlan::Kind::kWaitCommit;
-  } else if (st.data_ready) {
+  } else if (st.flags.data_ready()) {
     p.kind = LoadPlan::Kind::kForwardReady;
   } else {
     p.kind = LoadPlan::Kind::kForwardWait;
@@ -337,7 +337,7 @@ void SamieLsq::on_load_complete(InstSeq seq) {
     // The loaded datum is written into the slot; a forwarded load also
     // read the source store's datum.
     distrib ? ledger_->on_distrib_datum_rw() : ledger_->on_shared_datum_rw();
-    if (s.fwd_store != kNoInst && s.fwd_full) {
+    if (s.fwd_store != kNoInst && s.flags.fwd_full()) {
       if (const Loc* sloc = where_find(s.fwd_store); sloc != nullptr) {
         sloc->where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
                                        : ledger_->on_shared_datum_rw();
@@ -350,8 +350,8 @@ void SamieLsq::on_store_data_ready(InstSeq seq) {
   const Loc* loc = where_find(seq);
   assert(loc != nullptr);
   Slot& s = entry_at(*loc).slots[loc->slot];
-  assert(s.valid && !s.is_load);
-  s.data_ready = true;
+  assert(s.flags.valid() && !s.flags.is_load());
+  s.flags.set_data_ready(true);
   if (ledger_ != nullptr) {
     loc->where == Where::kDistrib ? ledger_->on_distrib_datum_rw()
                                   : ledger_->on_shared_datum_rw();
@@ -363,19 +363,20 @@ void SamieLsq::clear_forward_refs(Entry& e, InstSeq store) {
     Slot& s = e.slots[ctz(m)];
     if (s.fwd_store == store) {
       s.fwd_store = kNoInst;
-      s.fwd_full = false;
+      s.flags.set_fwd_full(false);
     }
   }
 }
 
 void SamieLsq::free_slot(const Loc& loc, InstSeq seq) {
+  ++occ_epoch_;
   Entry& e = entry_at(loc);
   const bool distrib = loc.where == Where::kDistrib;
-  assert(e.slots[loc.slot].valid && e.slots[loc.slot].seq == seq);
+  assert(e.slots[loc.slot].flags.valid() && e.slots[loc.slot].seq == seq);
   if (e.used == cfg_.slots_per_entry) {
     distrib ? --d_entries_full_ : --s_entries_full_;
   }
-  e.slots[loc.slot].valid = false;
+  e.slots[loc.slot].flags.set_valid(false);
   e.slots[loc.slot].seq = kNoInst;
   e.slot_mask &= ~(1ULL << loc.slot);
   --e.used;
@@ -413,7 +414,7 @@ void SamieLsq::on_commit(InstSeq seq) {
   const Loc loc = *at;
   Entry& e = entry_at(loc);
   const Slot& s = e.slots[loc.slot];
-  if (!s.is_load) {
+  if (!s.flags.is_load()) {
     // The store's datum leaves for the cache; loads that planned to
     // forward from it fall back to the (now up-to-date) cache.
     if (ledger_ != nullptr) {
@@ -427,13 +428,22 @@ void SamieLsq::on_commit(InstSeq seq) {
 }
 
 void SamieLsq::squash_from(InstSeq seq) {
+  // One walk collects the squashed slots; forwarding refs are same-line
+  // by construction (disambiguate only links within for_each_same_line),
+  // so stale refs to squashed *stores* can only survive in entries
+  // holding those stores' lines — clear exactly those lines instead of
+  // re-walking every bank and the shared structure.
   squash_scratch_.clear();
+  squash_lines_scratch_.clear();
   auto collect = [&](Where where, std::uint32_t bank, std::uint32_t ei,
                      Entry& e) {
     for (std::uint64_t m = e.slot_mask; m != 0; m &= m - 1) {
       const std::uint32_t si = ctz(m);
       if (e.slots[si].seq >= seq) {
         squash_scratch_.emplace_back(Loc{where, bank, ei, si}, e.slots[si].seq);
+        if (!e.slots[si].flags.is_load()) {
+          squash_lines_scratch_.push_back(e.line);
+        }
       }
     }
   };
@@ -452,18 +462,20 @@ void SamieLsq::squash_from(InstSeq seq) {
       Slot& s = e.slots[ctz(m)];
       if (s.fwd_store != kNoInst && s.fwd_store >= seq) {
         s.fwd_store = kNoInst;
-        s.fwd_full = false;
+        s.flags.set_fwd_full(false);
       }
     }
   };
-  for (auto& bank : banks_) {
-    for (std::uint64_t m = bank.valid_mask; m != 0; m &= m - 1) {
-      clear_refs(bank.entries[ctz(m)]);
-    }
+  std::sort(squash_lines_scratch_.begin(), squash_lines_scratch_.end());
+  squash_lines_scratch_.erase(
+      std::unique(squash_lines_scratch_.begin(), squash_lines_scratch_.end()),
+      squash_lines_scratch_.end());
+  for (const Addr line : squash_lines_scratch_) {
+    for_each_same_line(line, clear_refs);
   }
-  for_each_valid_shared([&](std::uint32_t, Entry& e) { clear_refs(e); });
 
   // Compact the AddrBuffer ring in place, preserving FIFO order.
+  ++occ_epoch_;
   buffer_.erase_if([seq](const MemOpDesc& op) { return op.seq >= seq; });
 }
 
@@ -516,7 +528,7 @@ OccupancySample SamieLsq::recount_occupancy() const {
     std::uint32_t used = 0;
     std::uint64_t mask = 0;
     for (std::size_t i = 0; i < e.slots.size(); ++i) {
-      if (e.slots[i].valid) {
+      if (e.slots[i].flags.valid()) {
         ++used;
         mask |= 1ULL << i;
       }

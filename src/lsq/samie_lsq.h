@@ -129,6 +129,11 @@ class SamieLsq final : public LoadStoreQueue {
   [[nodiscard]] Cycle next_ready_cycle(Cycle /*now*/) const noexcept {
     return kNeverCycle;
   }
+  /// Bumped by every mutation that can change occupancy(); the core's
+  /// per-cycle sampling rebuilds the sample only when this moved.
+  [[nodiscard]] std::uint64_t occupancy_epoch() const noexcept {
+    return occ_epoch_;
+  }
 
   // -- SAMIE-specific observability ------------------------------------------
   [[nodiscard]] std::uint64_t buffered_placements() const { return buffered_; }
@@ -141,15 +146,16 @@ class SamieLsq final : public LoadStoreQueue {
   [[nodiscard]] OccupancySample recount_occupancy() const;
 
  private:
+  /// One instruction within an entry. Booleans live in the packed
+  /// SlotFlags status word (lsq_interface.h) — the disambiguation and
+  /// squash scans walk many slots per op, and the word keeps the record
+  /// at 24 bytes instead of 32.
   struct Slot {
     InstSeq seq = kNoInst;
+    InstSeq fwd_store = kNoInst;
     std::uint8_t offset = 0;
     std::uint8_t size = 0;
-    bool is_load = false;
-    bool data_ready = false;
-    bool valid = false;
-    InstSeq fwd_store = kNoInst;
-    bool fwd_full = false;
+    SlotFlags flags;  ///< valid / is_load / data_ready / fwd_full
   };
   struct Entry {
     Addr line = 0;  ///< line address (byte address >> line_shift)
@@ -240,6 +246,9 @@ class SamieLsq final : public LoadStoreQueue {
 
   // Reused scratch (squash paths) — no per-call allocation.
   std::vector<std::pair<Loc, InstSeq>> squash_scratch_;
+  /// Lines of squashed stores: the only entries that can hold stale
+  /// forwarding refs after the frees (see squash_from).
+  std::vector<Addr> squash_lines_scratch_;
 
   // O(1) occupancy counters (see OccupancySample).
   std::uint32_t d_entries_used_ = 0;
@@ -253,6 +262,7 @@ class SamieLsq final : public LoadStoreQueue {
   std::uint64_t buffered_ = 0;
   std::uint64_t present_resets_ = 0;
   std::uint64_t gated_ = 0;
+  std::uint64_t occ_epoch_ = 0;  ///< see occupancy_epoch()
 };
 
 }  // namespace samie::lsq

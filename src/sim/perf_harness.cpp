@@ -50,6 +50,7 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
   report.instructions = opt.instructions;
   report.seed = opt.seed;
   report.repeats = opt.repeats == 0 ? 1 : opt.repeats;
+  report.no_skip = opt.always_step;
 
   const std::vector<LsqChoice> lsqs =
       opt.lsqs.empty()
@@ -128,10 +129,15 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
       HotpathProgramResult pr;
       pr.program = programs[i];
       pr.best_wall_seconds = std::numeric_limits<double>::infinity();
+      pr.wall_all.reserve(report.repeats);
       for (std::uint32_t r = 0; r < report.repeats; ++r) {
         const auto t0 = Clock::now();
         SimResult res = run_simulation(cfg, view);
         const double wall = seconds_since(t0);
+        pr.wall_all.push_back(wall);
+        // Min-of-repeats, never sum/mean: intermittent host noise only
+        // ever adds time, so the minimum is the robust estimate (see
+        // docs/BENCH_hotpath.md).
         if (wall < pr.best_wall_seconds) pr.best_wall_seconds = wall;
         if (r == 0) pr.result = std::move(res);
       }
@@ -156,6 +162,7 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
   os << "  \"instructions\": " << report.instructions << ",\n";
   os << "  \"seed\": " << report.seed << ",\n";
   os << "  \"repeats\": " << report.repeats << ",\n";
+  os << "  \"no_skip\": " << (report.no_skip ? "true" : "false") << ",\n";
   os << "  \"lsqs\": {\n";
   for (std::size_t li = 0; li < report.lsqs.size(); ++li) {
     const HotpathLsqResult& lr = report.lsqs[li];
@@ -178,12 +185,25 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
       json_number(os, s.core.ipc);
       os << ", \"wall_seconds\": ";
       json_number(os, pr.best_wall_seconds);
+      os << ", \"wall_all\": [";
+      for (std::size_t wi = 0; wi < pr.wall_all.size(); ++wi) {
+        if (wi != 0) os << ", ";
+        json_number(os, pr.wall_all[wi]);
+      }
+      os << "]";
       // Engine metrics (like wall_seconds, excluded from bit-identity
-      // diffs): quiescent cycles fast-forwarded and their share.
+      // diffs): quiescent cycles fast-forwarded and their share. Under
+      // --no-skip both are exact literal zeros, never a stale or
+      // divide-by-zero artefact.
       os << ", \"skipped_cycles\": " << s.core.quiescent_cycles_skipped
          << ", \"skip_ratio\": ";
-      json_number(os,
-                  skip_fraction(s.core.quiescent_cycles_skipped, s.core.cycles));
+      if (report.no_skip) {
+        os << 0;
+      } else {
+        json_number(os,
+                    skip_fraction(s.core.quiescent_cycles_skipped,
+                                  s.core.cycles));
+      }
       os << ", \"mispredict_squashes\": " << s.core.mispredict_squashes
          << ", \"deadlock_flushes\": " << s.core.deadlock_flushes
          << ", \"forwarded_loads\": " << s.core.forwarded_loads

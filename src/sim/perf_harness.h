@@ -19,12 +19,18 @@
 
 namespace samie::sim {
 
-/// One (LSQ, program) measurement. Wall time is the best of `repeats`
-/// timed simulations; the SimResult is taken from the first run and is
-/// deterministic (bit-identical across runs and refactors by contract).
+/// One (LSQ, program) measurement. The *reported* wall time is the
+/// minimum over `repeats` timed simulations — not a sum or mean — so
+/// one descheduled repeat on a noisy host cannot inflate the program's
+/// number (the minimum of a nonnegative-noise process is the best
+/// estimator of the true cost). `wall_all` keeps every repeat, in run
+/// order, for noise diagnosis. The SimResult is taken from the first
+/// run and is deterministic (bit-identical across runs and refactors by
+/// contract).
 struct HotpathProgramResult {
   std::string program;
   double best_wall_seconds = 0.0;
+  std::vector<double> wall_all;  ///< per-repeat walls (min == best)
   SimResult result;
 };
 
@@ -47,6 +53,9 @@ struct HotpathReport {
   std::uint64_t instructions = 0;
   std::uint64_t seed = 0;
   std::uint32_t repeats = 0;
+  /// The measurement ran the always-step loop (--no-skip): skip metrics
+  /// are definitionally zero and consumers suppress them.
+  bool no_skip = false;
   std::vector<HotpathLsqResult> lsqs;
 };
 

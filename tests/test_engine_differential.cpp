@@ -32,9 +32,14 @@ namespace {
 /// Runs `cfg` twice — event-driven and always-step — and asserts every
 /// simulation statistic matches exactly (doubles compared bit-for-bit).
 /// Returns the event-driven result for scenario-specific assertions.
+/// Both runs enable CoreConfig::check_quiescence, so every stepped cycle
+/// of every scenario also asserts the incremental wake ledger against
+/// the from-scratch quiescent() predicate (the core throws on the first
+/// disagreement, failing the test loudly).
 SimResult expect_engines_identical(SimConfig cfg, const std::string& program,
                                    std::uint64_t insts) {
   cfg.instructions = insts;
+  cfg.core.check_quiescence = true;
   cfg.core.always_step = false;
   const SimResult fast = run_program(cfg, program);
   cfg.core.always_step = true;
@@ -218,6 +223,50 @@ TEST(EngineWorkLedger, LsqsAreCallDrivenNotTimeTriggered) {
   pressed.on_address_ready(MemOpDesc{2, 0x200, 8, true, false});
   EXPECT_TRUE(pressed.has_pending_work());
 }
+
+// Quiescence-ledger differential: the incremental dirty-bit ledger must
+// agree with the legacy from-scratch predicate on *every stepped cycle*
+// (expect_engines_identical turns the in-core cross-check on, so the
+// core throws at the first divergent cycle). This sweep drives it
+// through the hard cases explicitly: all three LSQ kinds under shrunken
+// geometries where mispredict squashes, §3.3 full flushes and
+// AddrBuffer / retry-FIFO drain pressure all fire, in both engine
+// modes, across randomized workload seeds.
+class QuiescenceLedgerSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QuiescenceLedgerSeeds, LedgerAgreesWithPredicateUnderPressure) {
+  const std::uint64_t seed = GetParam();
+  // SAMIE, tiny geometry: constant AddrBuffer pressure + full flushes.
+  SimConfig samie = paper_config(LsqChoice::kSamie);
+  samie.seed = seed;
+  samie.samie.banks = 4;
+  samie.samie.entries_per_bank = 1;
+  samie.samie.slots_per_entry = 2;
+  samie.samie.shared_entries = 1;
+  samie.samie.addr_buffer_slots = 4;
+  const SimResult sr = expect_engines_identical(samie, "mcf", 20'000);
+  EXPECT_GT(sr.core.deadlock_flushes, 0U) << "full_flush not exercised";
+  EXPECT_GT(sr.buffer_nonempty_frac, 0.0) << "AddrBuffer drain not exercised";
+
+  // ARB, tiny geometry: bank-conflict retries keep the FIFO hot.
+  SimConfig arb = paper_config(LsqChoice::kArb);
+  arb.seed = seed;
+  arb.arb.banks = 2;
+  arb.arb.rows_per_bank = 2;
+  arb.arb.max_inflight = 12;
+  const SimResult ar = expect_engines_identical(arb, "ammp", 20'000);
+  EXPECT_GT(ar.core.deadlock_flushes, 0U) << "full_flush not exercised";
+
+  // Conventional under capacity pressure: dispatch stalls + squashes.
+  SimConfig conv = paper_config(LsqChoice::kConventional);
+  conv.seed = seed;
+  conv.conventional.entries = 12;
+  const SimResult cr = expect_engines_identical(conv, "gcc", 20'000);
+  EXPECT_GT(cr.core.mispredict_squashes, 0U) << "squash not exercised";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuiescenceLedgerSeeds,
+                         ::testing::Values(3U, 911U, 424242U));
 
 // Randomized sweep: seeds perturb the generated workloads (different
 // dependence chains, branch patterns, address streams), so the two

@@ -113,14 +113,21 @@ int main(int argc, char** argv) {
   sim::write_hotpath_json(out, report);
 
   for (const auto& lr : report.lsqs) {
-    const double skip =
-        100.0 * sim::skip_fraction(lr.total_skipped_cycles, lr.total_sim_cycles);
     std::cout << sim::lsq_choice_name(lr.lsq) << ": "
               << lr.total_sim_cycles << " sim cycles in "
               << lr.total_wall_seconds << " s  ->  "
               << static_cast<std::uint64_t>(lr.sim_cycles_per_second)
-              << " cycles/s (" << skip << "% quiescent-skipped, peak RSS "
-              << lr.peak_rss_kb << " kB)\n";
+              << " cycles/s (";
+    if (report.no_skip) {
+      // Always-step run: the fast-forward was disabled, so a skip
+      // percentage would state a tautological 0 — name the mode instead.
+      std::cout << "skip disabled";
+    } else {
+      const double skip = 100.0 * sim::skip_fraction(lr.total_skipped_cycles,
+                                                     lr.total_sim_cycles);
+      std::cout << skip << "% quiescent-skipped";
+    }
+    std::cout << ", peak RSS " << lr.peak_rss_kb << " kB)\n";
   }
   std::cout << "wrote " << out_path << "\n";
   return 0;
