@@ -30,9 +30,11 @@
 // docs/BENCH_hotpath.md "Engine structures".
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "src/branch/predictor.h"
@@ -49,6 +51,15 @@
 #include "src/trace/trace_view.h"
 
 namespace samie::core {
+
+/// Thrown by Core::run when the cooperative cancellation token
+/// (CoreConfig::should_abort) is observed set. The machine state is
+/// abandoned, not drained — the caller owns what to do with the
+/// aborted job (the sweep scheduler reports it TimedOut).
+class SimulationAborted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct CoreConfig {
   std::uint32_t fetch_width = 8;
@@ -101,6 +112,13 @@ struct CoreConfig {
 #else
   bool check_quiescence = false;
 #endif
+
+  /// Cooperative cancellation token (borrowed; null = never cancel).
+  /// Polled with a relaxed load once per *stepped* cycle at the bottom
+  /// of the run loop — never inside a fast-forward span, whose length is
+  /// already bounded by the watchdog horizon — so wiring a token changes
+  /// no statistic. When observed set, run() throws SimulationAborted.
+  const std::atomic<bool>* should_abort = nullptr;
 };
 
 /// Per-cycle hook for occupancy sampling (area integration, Figures 3/4).

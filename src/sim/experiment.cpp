@@ -1,129 +1,34 @@
 #include "src/sim/experiment.h"
 
-#include <atomic>
-#include <exception>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <thread>
-#include <tuple>
+#include <stdexcept>
 
+#include "src/sim/sweep_scheduler.h"
 #include "src/trace/spec2000.h"
-#include "src/trace/trace_source.h"
 
 namespace samie::sim {
 
-namespace {
-
-/// Thread-safe cache of trace sources. Generated workloads are keyed by
-/// (program, length, seed); recorded SAMT files by path alone (the file
-/// is the same trace regardless of length/seed, and `instructions` only
-/// caps how much of it each job replays). Either way, every worker
-/// sharing a key holds one TraceSource — for replay jobs that is a
-/// single file mapping, not a per-worker heap copy.
-class TraceCache {
- public:
-  /// Registers the full job list up front so the cache knows how many
-  /// consumers each trace has; finished() uses the counts to release
-  /// page residency the moment a trace's last job completes.
-  explicit TraceCache(const std::vector<Job>& jobs) {
-    for (const Job& job : jobs) ++pending_[key_of(job)];
-  }
-
-  std::shared_ptr<const trace::TraceSource> get(const Job& job) {
-    const Key key = key_of(job);
-    {
-      std::scoped_lock lock(mu_);
-      if (auto it = cache_.find(key); it != cache_.end()) return it->second;
-    }
-    // Build outside the lock: different keys materialize concurrently.
-    const std::string& path = job.config.trace_path;
-    auto t = std::make_shared<const trace::TraceSource>(
-        path.empty()
-            ? trace::TraceSource::generate(
-                  trace::spec2000_profile(job.program), job.config.seed,
-                  job.config.instructions)
-            : trace::TraceSource::open_samt(path));
-    std::scoped_lock lock(mu_);
-    auto [it, _] = cache_.try_emplace(key, std::move(t));
-    return it->second;
-  }
-
-  /// A job is done with its trace. When it was the last one, mapped
-  /// traces drop their resident pages (MADV_DONTNEED) so a long
-  /// multi-trace sweep's RSS tracks the traces still in use instead of
-  /// every file touched since the sweep began. The source object stays
-  /// cached — a late duplicate key would just fault pages back in.
-  void finished(const Job& job) {
-    const Key key = key_of(job);
-    std::shared_ptr<const trace::TraceSource> done;
-    {
-      std::scoped_lock lock(mu_);
-      auto p = pending_.find(key);
-      if (p == pending_.end() || --p->second != 0) return;
-      if (auto it = cache_.find(key); it != cache_.end()) done = it->second;
-    }
-    if (done != nullptr) done->advise_dontneed();
-  }
-
- private:
-  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
-
-  [[nodiscard]] static Key key_of(const Job& job) {
-    const std::string& path = job.config.trace_path;
-    return path.empty() ? Key{job.program, job.config.instructions,
-                              job.config.seed}
-                        : Key{"file:" + path, 0, 0};
-  }
-
-  std::mutex mu_;
-  std::map<Key, std::shared_ptr<const trace::TraceSource>> cache_;
-  std::map<Key, std::size_t> pending_;
-};
-
-}  // namespace
-
 std::vector<JobResult> run_jobs(const std::vector<Job>& jobs, unsigned threads) {
-  if (threads == 0) threads = bench_threads();
-  threads = std::min<unsigned>(threads, static_cast<unsigned>(jobs.size()) + 1);
+  // Legacy fail-fast contract over the supervised scheduler: one attempt
+  // per job, and the first failure is rethrown to the caller — but only
+  // after the sweep drains, so a bad job no longer kills its siblings
+  // mid-flight. Callers that want partial results, retries, deadlines or
+  // checkpointing use run_sweep directly.
+  SweepOptions opt;
+  opt.threads = threads;
+  opt.retry.max_attempts = 1;
+  SweepReport report = run_sweep(jobs, opt);
 
-  TraceCache traces(jobs);
-  std::vector<JobResult> results(jobs.size());
-  std::atomic<std::size_t> next{0};
-
-  // A worker hitting an error (e.g. a malformed trace file) parks the
-  // exception and the pool drains; the first one is rethrown to the
-  // caller after join instead of terminating the process.
-  std::mutex error_mu;
-  std::exception_ptr error;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= jobs.size()) return;
-      const Job& job = jobs[i];
-      try {
-        const auto t = traces.get(job);
-        results[i].job = job;
-        results[i].result = run_simulation(job.config, t->view());
-        traces.finished(job);
-      } catch (...) {
-        // Still release the trace: the pool keeps draining in-flight
-        // workers, and a failing job must not pin its mapping's pages.
-        traces.finished(job);
-        std::scoped_lock lock(error_mu);
-        if (!error) error = std::current_exception();
-        next.store(jobs.size());  // stop handing out work
-        return;
-      }
+  std::vector<JobResult> results;
+  results.reserve(report.jobs.size());
+  for (SweepJobResult& jr : report.jobs) {
+    if (!jr.completed()) {
+      if (jr.error) std::rethrow_exception(jr.error);
+      throw std::runtime_error("run_jobs: job '" + jr.job.program + "' (" +
+                               jr.job.tag + ") ended " +
+                               job_status_name(jr.outcome.status));
     }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
+    results.push_back(JobResult{std::move(jr.job), jr.result});
+  }
   return results;
 }
 

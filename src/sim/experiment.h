@@ -3,6 +3,11 @@
 // mmapped once per recorded trace file when `config.trace_path` is set —
 // and shared read-only between workers (Core Guidelines CP.1: workers
 // share only immutable traces and write disjoint result slots).
+//
+// run_jobs is the simple all-or-nothing interface: every job runs, and
+// the first failure is rethrown after the pool drains. Sweeps that need
+// per-job outcomes, retries, deadlines or checkpoint/resume use
+// run_sweep (src/sim/sweep_scheduler.h), which this is a wrapper over.
 #pragma once
 
 #include <functional>

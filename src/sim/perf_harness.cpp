@@ -7,11 +7,14 @@
 #include <filesystem>
 #include <iomanip>
 #include <limits>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "src/sim/checkpoint.h"
 #include "src/trace/spec2000.h"
+#include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
 
 namespace samie::sim {
@@ -26,6 +29,70 @@ using Clock = std::chrono::steady_clock;
 
 void json_number(std::ostream& os, double v) {
   os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+}
+
+[[nodiscard]] std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Binds a measurement journal to its configuration (same role as
+/// sweep_fingerprint for sweeps): every knob that changes what is
+/// measured, none that only changes how fast.
+[[nodiscard]] std::uint64_t hotpath_fingerprint(
+    const HotpathOptions& opt, const std::vector<LsqChoice>& lsqs,
+    const std::vector<std::string>& programs) {
+  std::ostringstream os;
+  os << opt.instructions << '\x1f' << opt.seed << '\x1f' << opt.repeats
+     << '\x1f' << opt.always_step << '\x1f' << opt.trace_dir << '\x1e';
+  for (const LsqChoice l : lsqs) os << lsq_choice_name(l) << '\x1f';
+  os << '\x1e';
+  for (const auto& p : programs) os << p << '\x1f';
+  const std::string s = os.str();
+  return trace::fnv1a_64(s.data(), s.size());
+}
+
+/// Journal record payload for one (lsq, program) measurement:
+///   lsq \t program \t best_wall \t walls (space-separated) \t SimResult
+[[nodiscard]] std::string encode_measurement(const char* lsq_tag,
+                                             const HotpathProgramResult& pr) {
+  std::ostringstream os;
+  os << lsq_tag << '\t' << pr.program << '\t' << hex_double(pr.best_wall_seconds)
+     << '\t';
+  for (std::size_t i = 0; i < pr.wall_all.size(); ++i) {
+    if (i != 0) os << ' ';
+    os << hex_double(pr.wall_all[i]);
+  }
+  os << '\t' << serialize_sim_result(pr.result);
+  return os.str();
+}
+
+[[nodiscard]] bool decode_measurement(const std::string& payload,
+                                      std::string& lsq_tag,
+                                      HotpathProgramResult& pr) {
+  std::vector<std::string> f;
+  std::size_t at = 0;
+  while (f.size() < 4) {
+    const std::size_t tab = payload.find('\t', at);
+    if (tab == std::string::npos) return false;
+    f.push_back(payload.substr(at, tab - at));
+    at = tab + 1;
+  }
+  lsq_tag = f[0];
+  pr.program = f[1];
+  char* end = nullptr;
+  pr.best_wall_seconds = std::strtod(f[2].c_str(), &end);
+  if (end != f[2].c_str() + f[2].size()) return false;
+  pr.wall_all.clear();
+  std::istringstream walls(f[3]);
+  std::string w;
+  while (walls >> w) {
+    const double v = std::strtod(w.c_str(), &end);
+    if (end != w.c_str() + w.size()) return false;
+    pr.wall_all.push_back(v);
+  }
+  return parse_sim_result(payload.substr(at), pr.result);
 }
 
 }  // namespace
@@ -107,6 +174,35 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
     }
   }
 
+  // Resume journal: load finished (lsq, program) measurements — walls
+  // included, so a resumed report is byte-identical to the partial run
+  // it continues — and append new ones as they complete.
+  std::map<std::string, HotpathProgramResult> resumed;
+  std::optional<CheckpointWriter> journal;
+  if (!opt.resume_path.empty()) {
+    const std::uint64_t fp = hotpath_fingerprint(opt, lsqs, programs);
+    if (std::filesystem::exists(opt.resume_path)) {
+      CheckpointContents c = load_checkpoint(opt.resume_path);
+      if (c.njobs != lsqs.size() * programs.size() || c.fingerprint != fp) {
+        throw CheckpointError(
+            opt.resume_path +
+            ": journal belongs to a different measurement configuration — "
+            "delete it or fix the command line");
+      }
+      for (const std::string& payload : c.records) {
+        std::string lsq_tag;
+        HotpathProgramResult pr;
+        if (decode_measurement(payload, lsq_tag, pr)) {
+          resumed.emplace(lsq_tag + '\t' + pr.program, std::move(pr));
+        }
+      }
+      journal = CheckpointWriter::append_to(opt.resume_path);
+    } else {
+      journal = CheckpointWriter::create(
+          opt.resume_path, lsqs.size() * programs.size(), fp);
+    }
+  }
+
   for (const LsqChoice lsq : lsqs) {
     HotpathLsqResult lr;
     lr.lsq = lsq;
@@ -116,30 +212,53 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
     cfg.core.always_step = opt.always_step;
 
     for (std::size_t i = 0; i < programs.size(); ++i) {
-      std::optional<trace::TraceSource> mapped;
-      trace::TraceView view;
-      if (opt.trace_dir.empty()) {
-        view = traces[i].view();
-        cfg.instructions = opt.instructions;
-      } else {
-        mapped.emplace(trace::TraceSource::open_samt(trace_files[i]));
-        view = mapped->view();
-        cfg.instructions = static_cast<std::uint64_t>(mapped->size());
+      if (auto it = resumed.find(std::string(lsq_choice_name(lsq)) + '\t' +
+                                 programs[i]);
+          it != resumed.end()) {
+        HotpathProgramResult pr = std::move(it->second);
+        lr.total_sim_cycles += pr.result.core.cycles;
+        lr.total_skipped_cycles += pr.result.core.quiescent_cycles_skipped;
+        lr.total_wall_seconds += pr.best_wall_seconds;
+        lr.programs.push_back(std::move(pr));
+        ++report.resumed;
+        continue;
       }
       HotpathProgramResult pr;
       pr.program = programs[i];
       pr.best_wall_seconds = std::numeric_limits<double>::infinity();
       pr.wall_all.reserve(report.repeats);
-      for (std::uint32_t r = 0; r < report.repeats; ++r) {
-        const auto t0 = Clock::now();
-        SimResult res = run_simulation(cfg, view);
-        const double wall = seconds_since(t0);
-        pr.wall_all.push_back(wall);
-        // Min-of-repeats, never sum/mean: intermittent host noise only
-        // ever adds time, so the minimum is the robust estimate (see
-        // docs/BENCH_hotpath.md).
-        if (wall < pr.best_wall_seconds) pr.best_wall_seconds = wall;
-        if (r == 0) pr.result = std::move(res);
+      try {
+        std::optional<trace::TraceSource> mapped;
+        trace::TraceView view;
+        if (opt.trace_dir.empty()) {
+          view = traces[i].view();
+          cfg.instructions = opt.instructions;
+        } else {
+          mapped.emplace(trace::TraceSource::open_samt(trace_files[i]));
+          view = mapped->view();
+          cfg.instructions = static_cast<std::uint64_t>(mapped->size());
+        }
+        for (std::uint32_t r = 0; r < report.repeats; ++r) {
+          const auto t0 = Clock::now();
+          SimResult res = run_simulation(cfg, view);
+          const double wall = seconds_since(t0);
+          pr.wall_all.push_back(wall);
+          // Min-of-repeats, never sum/mean: intermittent host noise only
+          // ever adds time, so the minimum is the robust estimate (see
+          // docs/BENCH_hotpath.md).
+          if (wall < pr.best_wall_seconds) pr.best_wall_seconds = wall;
+          if (r == 0) pr.result = std::move(res);
+        }
+      } catch (const std::exception& e) {
+        // One bad measurement (say, a corrupt trace in the sweep
+        // directory) is reported and excluded; the rest still measure.
+        report.failures.push_back("lsq=" + std::string(lsq_choice_name(lsq)) +
+                                  " program=" + programs[i] +
+                                  " error=" + e.what());
+        continue;
+      }
+      if (journal) {
+        journal->append_record(encode_measurement(lsq_choice_name(lsq), pr));
       }
       lr.total_sim_cycles += pr.result.core.cycles;
       lr.total_skipped_cycles += pr.result.core.quiescent_cycles_skipped;
@@ -163,6 +282,20 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
   os << "  \"seed\": " << report.seed << ",\n";
   os << "  \"repeats\": " << report.repeats << ",\n";
   os << "  \"no_skip\": " << (report.no_skip ? "true" : "false") << ",\n";
+  // Additive to schema v1: measurements that threw (absent from their
+  // LSQ's programs/totals). Always emitted so a resumed report stays
+  // byte-identical to the uninterrupted one.
+  os << "  \"failures\": [";
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"';
+    for (const char ch : report.failures[i]) {
+      if (ch == '"' || ch == '\\') os << '\\';
+      os << ch;
+    }
+    os << '"';
+  }
+  os << "],\n";
   os << "  \"lsqs\": {\n";
   for (std::size_t li = 0; li < report.lsqs.size(); ++li) {
     const HotpathLsqResult& lr = report.lsqs[li];

@@ -57,6 +57,12 @@ struct HotpathReport {
   /// are definitionally zero and consumers suppress them.
   bool no_skip = false;
   std::vector<HotpathLsqResult> lsqs;
+  /// One "lsq=K program=P error=..." line per measurement that threw
+  /// (e.g. a corrupt trace in --trace-dir). Failed programs are absent
+  /// from their LSQ's `programs` and totals; empty = clean run.
+  std::vector<std::string> failures;
+  /// Measurements loaded from the resume journal instead of re-run.
+  std::size_t resumed = 0;
 };
 
 struct HotpathOptions {
@@ -76,6 +82,13 @@ struct HotpathOptions {
   /// the measured statistics are identical, only throughput and the
   /// skipped_cycles fields change.
   bool always_step = false;
+  /// Checkpoint journal (src/sim/checkpoint.h): when non-empty, every
+  /// finished (lsq, program) measurement — statistics *and* walls — is
+  /// appended crash-safely, and an existing journal for the same
+  /// configuration is loaded first so those measurements are not re-run.
+  /// A journal written under a different configuration is refused
+  /// (CheckpointError).
+  std::string resume_path;
 };
 
 /// Share of `total` cycles that were fast-forwarded: skipped / total,

@@ -38,6 +38,10 @@ struct SimConfig {
   /// (replayed via mmap) instead of a (profile, seed, length) triple;
   /// `instructions` then caps how much of the trace is replayed.
   std::string trace_path;
+  /// Verify the SAMT FNV-1a checksum when opening `trace_path` (touches
+  /// every page once). `samie_sim --no-verify-checksum` clears it for
+  /// mmap replay hot paths re-opening an already-verified trace.
+  bool verify_trace_checksum = true;
 };
 
 /// The paper's evaluation configuration with the given LSQ choice.

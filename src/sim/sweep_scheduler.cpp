@@ -1,0 +1,559 @@
+#include "src/sim/sweep_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "src/core/core.h"
+#include "src/sim/checkpoint.h"
+#include "src/trace/spec2000.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
+
+namespace samie::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Thread-safe cache of trace sources with a once-per-key build latch.
+/// Generated workloads are keyed by (program, length, seed); recorded
+/// SAMT files by path alone. The first worker to request a key builds
+/// it *outside* the cache lock (distinct keys materialize concurrently)
+/// while later requesters wait on the latch instead of generating or
+/// mmapping the same multi-MB workload a second time. A failed build
+/// releases the latch so a retry attempt rebuilds rather than being
+/// poisoned forever.
+class TraceCache {
+ public:
+  /// Registers the jobs that will actually run (resume-skipped jobs are
+  /// excluded) so finished() can release page residency the moment a
+  /// trace's last consumer completes.
+  TraceCache(const std::vector<Job>& jobs, const std::vector<bool>& resumed) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!resumed[i]) ++pending_[key_of(jobs[i])];
+    }
+  }
+
+  std::shared_ptr<const trace::TraceSource> get(const Job& job) {
+    const Key key = key_of(job);
+    {
+      std::unique_lock lock(mu_);
+      for (;;) {
+        Slot& slot = slots_[key];
+        if (slot.ready) return slot.src;
+        if (!slot.building) {
+          slot.building = true;
+          break;
+        }
+        cv_.wait(lock);
+      }
+    }
+    // Build outside the lock: different keys materialize concurrently.
+    std::shared_ptr<const trace::TraceSource> built;
+    try {
+      const std::string& path = job.config.trace_path;
+      built = std::make_shared<const trace::TraceSource>(
+          path.empty()
+              ? trace::TraceSource::generate(
+                    trace::spec2000_profile(job.program), job.config.seed,
+                    job.config.instructions)
+              : trace::TraceSource::open_samt(
+                    path, job.config.verify_trace_checksum));
+    } catch (...) {
+      std::scoped_lock lock(mu_);
+      slots_[key].building = false;  // next requester retries the build
+      cv_.notify_all();
+      throw;
+    }
+    std::scoped_lock lock(mu_);
+    Slot& slot = slots_[key];
+    slot.src = std::move(built);
+    slot.ready = true;
+    slot.building = false;
+    cv_.notify_all();
+    return slot.src;
+  }
+
+  /// A job is done with its trace (success, failure or skip). When it
+  /// was the last one, mapped traces drop their resident pages
+  /// (MADV_DONTNEED) so a long sweep's RSS tracks the traces still in
+  /// use. The source object stays cached — a late duplicate key would
+  /// just fault pages back in.
+  void finished(const Job& job) {
+    const Key key = key_of(job);
+    std::shared_ptr<const trace::TraceSource> done;
+    {
+      std::scoped_lock lock(mu_);
+      auto p = pending_.find(key);
+      if (p == pending_.end() || --p->second != 0) return;
+      if (auto it = slots_.find(key); it != slots_.end() && it->second.ready) {
+        done = it->second.src;
+      }
+    }
+    if (done != nullptr) done->advise_dontneed();
+  }
+
+ private:
+  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
+
+  struct Slot {
+    std::shared_ptr<const trace::TraceSource> src;
+    bool building = false;
+    bool ready = false;
+  };
+
+  [[nodiscard]] static Key key_of(const Job& job) {
+    const std::string& path = job.config.trace_path;
+    return path.empty() ? Key{job.program, job.config.instructions,
+                              job.config.seed}
+                        : Key{"file:" + path, 0, 0};
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, Slot> slots_;
+  std::map<Key, std::size_t> pending_;
+};
+
+/// Enforces per-job wall-clock deadlines by flipping each job's
+/// cooperative cancellation token when its deadline passes. One thread
+/// serves the whole pool: it sleeps until the earliest armed deadline
+/// and rescans on every wake. Spurious wake-ups (which the fault plan
+/// can inject) are harmless by construction — the loop recomputes the
+/// earliest deadline from scratch each iteration and only fires tokens
+/// whose deadline has genuinely passed.
+class DeadlineSupervisor {
+ public:
+  explicit DeadlineSupervisor(unsigned slots) : entries_(slots) {
+    thread_ = std::thread([this] { loop(); });
+  }
+  DeadlineSupervisor(const DeadlineSupervisor&) = delete;
+  DeadlineSupervisor& operator=(const DeadlineSupervisor&) = delete;
+  ~DeadlineSupervisor() {
+    {
+      std::scoped_lock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void arm(unsigned slot, std::atomic<bool>* token, Clock::time_point deadline) {
+    {
+      std::scoped_lock lock(mu_);
+      entries_[slot] = Entry{token, deadline, true};
+    }
+    cv_.notify_all();
+  }
+
+  void disarm(unsigned slot) {
+    std::scoped_lock lock(mu_);
+    entries_[slot].armed = false;
+  }
+
+  /// Fault-injection hook: wake the supervisor with nothing expired.
+  void spurious_wake() { cv_.notify_all(); }
+
+ private:
+  struct Entry {
+    std::atomic<bool>* token = nullptr;
+    Clock::time_point deadline{};
+    bool armed = false;
+  };
+
+  void loop() {
+    std::unique_lock lock(mu_);
+    while (!stop_) {
+      Clock::time_point next = Clock::time_point::max();
+      const Clock::time_point now = Clock::now();
+      for (Entry& e : entries_) {
+        if (!e.armed) continue;
+        if (e.deadline <= now) {
+          e.token->store(true, std::memory_order_relaxed);
+          e.armed = false;
+        } else {
+          next = std::min(next, e.deadline);
+        }
+      }
+      if (next == Clock::time_point::max()) {
+        cv_.wait(lock);
+      } else {
+        cv_.wait_until(lock, next);
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Entry> entries_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+[[nodiscard]] std::string what_of(const std::exception_ptr& error) {
+  if (!error) return "unknown error";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
+[[nodiscard]] std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+/// Checkpoint record payload for one completed job (TAB-separated):
+///   index, program, tag, attempts, wall, serialized SimResult
+[[nodiscard]] std::string encode_record(std::size_t index, const Job& job,
+                                        const JobOutcome& oc,
+                                        const SimResult& result) {
+  std::ostringstream os;
+  os << index << '\t' << job.program << '\t' << job.tag << '\t' << oc.attempts
+     << '\t' << hex_double(oc.wall_seconds) << '\t'
+     << serialize_sim_result(result);
+  return os.str();
+}
+
+struct DecodedRecord {
+  std::size_t index = 0;
+  std::string program;
+  std::string tag;
+  std::uint32_t attempts = 0;
+  double wall_seconds = 0.0;
+  SimResult result;
+};
+
+[[nodiscard]] bool decode_record(const std::string& payload,
+                                 DecodedRecord& out) {
+  std::vector<std::string> fields;
+  std::size_t at = 0;
+  while (fields.size() < 5) {
+    const std::size_t tab = payload.find('\t', at);
+    if (tab == std::string::npos) return false;
+    fields.push_back(payload.substr(at, tab - at));
+    at = tab + 1;
+  }
+  char* end = nullptr;
+  errno = 0;
+  out.index = std::strtoull(fields[0].c_str(), &end, 10);
+  if (errno != 0 || end != fields[0].c_str() + fields[0].size()) return false;
+  out.program = fields[1];
+  out.tag = fields[2];
+  out.attempts =
+      static_cast<std::uint32_t>(std::strtoul(fields[3].c_str(), &end, 10));
+  if (end != fields[3].c_str() + fields[3].size()) return false;
+  out.wall_seconds = std::strtod(fields[4].c_str(), &end);
+  if (end != fields[4].c_str() + fields[4].size()) return false;
+  return parse_sim_result(payload.substr(at), out.result);
+}
+
+/// Journalable names must survive the TAB-separated record grammar.
+void require_journalable(const std::vector<Job>& jobs) {
+  for (const Job& job : jobs) {
+    for (const std::string* s : {&job.program, &job.tag}) {
+      if (s->find('\t') != std::string::npos ||
+          s->find('\n') != std::string::npos) {
+        throw std::invalid_argument(
+            "job name/tag '" + *s + "' cannot be journaled (contains a "
+            "tab or newline)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus s) noexcept {
+  switch (s) {
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kTimedOut: return "timed-out";
+    case JobStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+const char* failure_class_name(FailureClass c) noexcept {
+  switch (c) {
+    case FailureClass::kNone: return "none";
+    case FailureClass::kTransient: return "transient";
+    case FailureClass::kDeterministic: return "deterministic";
+  }
+  return "?";
+}
+
+FailureClass classify_failure(const std::exception_ptr& error) {
+  if (!error) return FailureClass::kNone;
+  try {
+    std::rethrow_exception(error);
+  } catch (const TransientFault&) {
+    return FailureClass::kTransient;
+  } catch (const std::bad_alloc&) {
+    return FailureClass::kTransient;
+  } catch (const trace::TraceFormatError&) {
+    return FailureClass::kTransient;
+  } catch (...) {
+    return FailureClass::kDeterministic;
+  }
+}
+
+std::uint64_t sweep_fingerprint(const std::vector<Job>& jobs) {
+  // Hash every knob that changes what a job computes. Nondeterminism
+  // knobs (threads, deadlines, retry policy) are deliberately excluded:
+  // they alter how the sweep runs, not what each job's results are.
+  std::ostringstream os;
+  for (const Job& job : jobs) {
+    const SimConfig& c = job.config;
+    os << job.program << '\x1f' << job.tag << '\x1f'
+       << lsq_choice_name(c.lsq) << '\x1f' << c.instructions << '\x1f'
+       << c.seed << '\x1f' << c.trace_path << '\x1f'
+       << c.paper_energy_constants << '\x1f'
+       << c.core.exploit_known_line_latency << '\x1f'
+       << c.conventional.entries << '\x1f' << c.samie.banks << '\x1f'
+       << c.samie.entries_per_bank << '\x1f' << c.samie.slots_per_entry
+       << '\x1f' << c.samie.shared_entries << '\x1f'
+       << c.samie.addr_buffer_slots << '\x1f' << c.samie.unbounded_shared
+       << '\x1f' << c.arb.banks << '\x1f' << c.arb.rows_per_bank << '\x1f'
+       << c.arb.max_inflight << '\x1e';
+  }
+  const std::string s = os.str();
+  return trace::fnv1a_64(s.data(), s.size());
+}
+
+SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
+  unsigned threads = opt.threads != 0 ? opt.threads : bench_threads();
+  threads = std::max(1U, std::min<unsigned>(
+                             threads, static_cast<unsigned>(jobs.size()) + 1));
+
+  SweepReport rep;
+  rep.jobs.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) rep.jobs[i].job = jobs[i];
+
+  // -- checkpoint: load finished jobs, open the journal --------------------
+  std::vector<bool> done(jobs.size(), false);
+  std::optional<CheckpointWriter> journal;
+  if (!opt.checkpoint_path.empty()) {
+    require_journalable(jobs);
+    const std::uint64_t fingerprint = sweep_fingerprint(jobs);
+    if (opt.resume && std::filesystem::exists(opt.checkpoint_path)) {
+      CheckpointContents c = load_checkpoint(opt.checkpoint_path);
+      if (c.njobs != jobs.size() || c.fingerprint != fingerprint) {
+        throw CheckpointError(
+            opt.checkpoint_path +
+            ": checkpoint belongs to a different sweep (job list or "
+            "configuration changed) — delete it or fix the command line");
+      }
+      rep.checkpoint_lines_ignored = c.ignored_lines;
+      for (const std::string& payload : c.records) {
+        DecodedRecord rec;
+        if (!decode_record(payload, rec) || rec.index >= jobs.size() ||
+            rec.program != jobs[rec.index].program ||
+            rec.tag != jobs[rec.index].tag) {
+          ++rep.checkpoint_lines_ignored;
+          continue;
+        }
+        SweepJobResult& out = rep.jobs[rec.index];
+        out.result = rec.result;
+        out.outcome.status = JobStatus::kCompleted;
+        out.outcome.attempts = rec.attempts;
+        out.outcome.wall_seconds = rec.wall_seconds;
+        out.outcome.from_checkpoint = true;
+        done[rec.index] = true;
+      }
+      journal = CheckpointWriter::append_to(opt.checkpoint_path);
+    } else {
+      journal = CheckpointWriter::create(opt.checkpoint_path, jobs.size(),
+                                         fingerprint);
+    }
+  }
+
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!done[i]) todo.push_back(i);
+  }
+
+  TraceCache traces(jobs, done);
+  const bool wants_wake_faults =
+      opt.faults != nullptr &&
+      std::any_of(opt.faults->faults.begin(), opt.faults->faults.end(),
+                  [](const SweepFault& f) {
+                    return f.kind == SweepFault::Kind::kSpuriousWake;
+                  });
+  std::optional<DeadlineSupervisor> supervisor;
+  if (opt.job_deadline.count() > 0 || wants_wake_faults) {
+    supervisor.emplace(threads);
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> failures{0};
+  std::mutex journal_mu;
+
+  auto worker = [&](unsigned slot) {
+    std::atomic<bool> cancel{false};
+    for (;;) {
+      const std::size_t k = next.fetch_add(1);
+      if (k >= todo.size()) return;
+      const std::size_t i = todo[k];
+      const Job& job = jobs[i];
+      SweepJobResult& out = rep.jobs[i];
+
+      // Drain semantics: past the failure budget, remaining jobs are
+      // reported Skipped — an explicit outcome, never a zero-stat row.
+      if (opt.max_failures != 0 &&
+          failures.load(std::memory_order_relaxed) >= opt.max_failures) {
+        out.outcome.status = JobStatus::kSkipped;
+        out.outcome.attempts = 0;
+        traces.finished(job);
+        continue;
+      }
+
+      JobOutcome oc;
+      std::exception_ptr error;
+      SimResult result;
+      const auto job_t0 = Clock::now();
+      for (std::uint32_t attempt = 1;; ++attempt) {
+        oc.attempts = attempt;
+        cancel.store(false, std::memory_order_relaxed);
+        const SweepFault* fault =
+            opt.faults != nullptr ? opt.faults->find(i, attempt) : nullptr;
+        try {
+          if (supervisor && opt.job_deadline.count() > 0) {
+            supervisor->arm(slot, &cancel, Clock::now() + opt.job_deadline);
+          }
+          if (fault != nullptr) {
+            switch (fault->kind) {
+              case SweepFault::Kind::kThrowTransient:
+                throw TransientFault("injected transient fault (job " +
+                                     std::to_string(i) + ", attempt " +
+                                     std::to_string(attempt) + ")");
+              case SweepFault::Kind::kThrowDeterministic:
+                throw std::logic_error("injected deterministic fault (job " +
+                                       std::to_string(i) + ", attempt " +
+                                       std::to_string(attempt) + ")");
+              case SweepFault::Kind::kDelay:
+                std::this_thread::sleep_for(fault->delay);
+                break;
+              case SweepFault::Kind::kSpuriousWake:
+                if (supervisor) supervisor->spurious_wake();
+                break;
+            }
+          }
+          const auto t = traces.get(job);
+          SimConfig cfg = job.config;
+          cfg.core.should_abort = &cancel;
+          result = run_simulation(cfg, t->view());
+          if (supervisor) supervisor->disarm(slot);
+          oc.status = JobStatus::kCompleted;
+          break;
+        } catch (const core::SimulationAborted& e) {
+          // Only the deadline supervisor sets this job's token, so an
+          // abort is by definition a deadline expiry. Terminal: the
+          // same job would spend the same wall clock again.
+          if (supervisor) supervisor->disarm(slot);
+          oc.status = JobStatus::kTimedOut;
+          oc.what = e.what();
+          error = std::current_exception();
+          break;
+        } catch (...) {
+          if (supervisor) supervisor->disarm(slot);
+          error = std::current_exception();
+          const FailureClass cls = classify_failure(error);
+          if (cls == FailureClass::kTransient &&
+              attempt < opt.retry.max_attempts) {
+            std::this_thread::sleep_for(opt.retry.backoff_for(attempt + 1));
+            continue;
+          }
+          oc.status = JobStatus::kFailed;
+          oc.failure = cls;
+          oc.what = what_of(error);
+          break;
+        }
+      }
+      oc.wall_seconds = seconds_since(job_t0);
+      traces.finished(job);
+
+      out.outcome = oc;
+      out.error = error;
+      if (oc.status == JobStatus::kCompleted) {
+        out.result = result;
+        if (journal) {
+          std::scoped_lock lock(journal_mu);
+          journal->append_record(encode_record(i, job, oc, result));
+        }
+      } else {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned s = 0; s < threads; ++s) pool.emplace_back(worker, s);
+  for (auto& th : pool) th.join();
+
+  for (const SweepJobResult& jr : rep.jobs) {
+    switch (jr.outcome.status) {
+      case JobStatus::kCompleted:
+        ++rep.completed;
+        if (jr.outcome.from_checkpoint) ++rep.resumed;
+        break;
+      case JobStatus::kFailed: ++rep.failed; break;
+      case JobStatus::kTimedOut: ++rep.timed_out; break;
+      case JobStatus::kSkipped: ++rep.skipped; break;
+    }
+  }
+  return rep;
+}
+
+void print_failure_report(std::ostream& os, const SweepReport& report) {
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const SweepJobResult& jr = report.jobs[i];
+    if (jr.completed()) continue;
+    os << "sweep: job=" << i << " program=" << jr.job.program
+       << " tag=" << jr.job.tag
+       << " outcome=" << job_status_name(jr.outcome.status);
+    if (jr.outcome.status == JobStatus::kFailed) {
+      os << " class=" << failure_class_name(jr.outcome.failure);
+    }
+    os << " attempts=" << jr.outcome.attempts
+       << " wall=" << jr.outcome.wall_seconds;
+    if (!jr.outcome.what.empty()) os << " error=" << jr.outcome.what;
+    os << "\n";
+  }
+  os << "sweep: " << report.completed << "/" << report.jobs.size()
+     << " completed, " << report.failed << " failed, " << report.timed_out
+     << " timed-out, " << report.skipped << " skipped";
+  if (report.resumed != 0) {
+    os << " (" << report.resumed << " resumed from checkpoint)";
+  }
+  if (report.checkpoint_lines_ignored != 0) {
+    os << " [" << report.checkpoint_lines_ignored
+       << " torn checkpoint line(s) ignored]";
+  }
+  os << "\n";
+}
+
+}  // namespace samie::sim

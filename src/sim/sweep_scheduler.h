@@ -1,0 +1,190 @@
+// Supervised sweep scheduler: runs (config, trace) jobs over a worker
+// pool where a failing job is an *outcome*, not a poison pill.
+//
+// The fail-fast pool this replaces (run_jobs pre-PR 6) parked the first
+// exception, stopped handing out work and rethrew after join — one
+// malformed trace discarded every completed result with no partial
+// output, no retry and no way to resume. Here every job ends in a
+// structured JobOutcome:
+//
+//   Completed — result is valid (run live, or loaded from a checkpoint)
+//   Failed    — all attempts exhausted; carries the failure class,
+//               error text and the exception for programmatic rethrow
+//   TimedOut  — the per-job wall-clock deadline fired; the core observed
+//               the cooperative cancellation token and unwound
+//   Skipped   — never attempted (the sweep drained after max_failures)
+//
+// Failures are classified transient (bad_alloc, TraceFormatError — e.g.
+// a trace still being written or an I/O flake — and the fault-injection
+// TransientFault) or deterministic (logic_error, watchdog throws,
+// everything else). Transient failures retry up to RetryPolicy::
+// max_attempts with capped exponential backoff; deterministic ones fail
+// immediately. Deadlines are enforced cooperatively: a supervisor thread
+// sets a per-job atomic token when the deadline passes, and the core's
+// cycle loop polls it on stepped cycles (off the fast-forward path —
+// statistics stay bit-identical whether or not a token is wired).
+//
+// Completed jobs are journaled incrementally to a crash-safe checkpoint
+// (src/sim/checkpoint.h) so an interrupted sweep resumes with
+// SweepOptions::resume, skipping finished jobs and reproducing their
+// results bit-identically. SweepFaultPlan injects throws, delays and
+// spurious supervisor wake-ups at (job, attempt) for the deterministic
+// fault-injection tests and the CI job that drives them.
+//
+// Taxonomy, policies and file format: docs/SWEEP_ROBUSTNESS.md.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+
+namespace samie::sim {
+
+/// A retryable failure by definition — thrown by the fault-injection
+/// hook, and available to external job code that knows its error is
+/// transient (e.g. an NFS open that flaked).
+class TransientFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class JobStatus : std::uint8_t { kCompleted, kFailed, kTimedOut, kSkipped };
+[[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
+
+enum class FailureClass : std::uint8_t { kNone, kTransient, kDeterministic };
+[[nodiscard]] const char* failure_class_name(FailureClass c) noexcept;
+
+/// Classifies a caught job failure. Transient: TransientFault,
+/// std::bad_alloc, trace::TraceFormatError (a trace mid-write or an I/O
+/// flake deserves a retry; a genuinely corrupt file fails identically N
+/// times and surfaces as Failed{transient} with its attempts count).
+/// Everything else — logic_error, the commit watchdog's runtime_error —
+/// is deterministic: retrying replays the same wedge.
+[[nodiscard]] FailureClass classify_failure(const std::exception_ptr& error);
+
+struct JobOutcome {
+  JobStatus status = JobStatus::kSkipped;
+  FailureClass failure = FailureClass::kNone;  ///< kNone unless Failed
+  std::string what;                ///< final error text (Failed/TimedOut)
+  std::uint32_t attempts = 0;      ///< attempts actually started
+  double wall_seconds = 0.0;       ///< wall clock across all attempts
+  bool from_checkpoint = false;    ///< Completed via resume, not re-run
+};
+
+/// One job's slot in the sweep report. `result` is meaningful only when
+/// `completed()` — a non-completed job's slot is never a fabricated
+/// zero-stat row, because the outcome says explicitly what happened.
+struct SweepJobResult {
+  Job job;
+  SimResult result;
+  JobOutcome outcome;
+  std::exception_ptr error;  ///< final failure, for programmatic rethrow
+
+  [[nodiscard]] bool completed() const noexcept {
+    return outcome.status == JobStatus::kCompleted;
+  }
+};
+
+struct RetryPolicy {
+  /// Total attempts for transiently-failing jobs (1 = no retry).
+  std::uint32_t max_attempts = 3;
+  std::chrono::milliseconds backoff_base{10};
+  std::chrono::milliseconds backoff_cap{500};
+
+  /// Backoff before attempt `next_attempt` (2-based): base doubled per
+  /// prior failure, capped.
+  [[nodiscard]] std::chrono::milliseconds backoff_for(
+      std::uint32_t next_attempt) const noexcept {
+    std::chrono::milliseconds d = backoff_base;
+    for (std::uint32_t i = 2; i < next_attempt && d < backoff_cap; ++i) d += d;
+    return std::min(d, backoff_cap);
+  }
+};
+
+/// Deterministic fault injection for the robustness test suite and the
+/// CI fault-injection job: when the worker reaches (job, attempt) it
+/// performs the fault before running the simulation.
+struct SweepFault {
+  enum class Kind : std::uint8_t {
+    kThrowTransient,      ///< throw TransientFault (retried)
+    kThrowDeterministic,  ///< throw std::logic_error (not retried)
+    kDelay,               ///< sleep `delay` first (drives deadline tests)
+    kSpuriousWake,        ///< wake the deadline supervisor for no reason
+  };
+  std::size_t job = 0;
+  std::uint32_t attempt = 1;  ///< 1-based attempt the fault fires on
+  Kind kind = Kind::kThrowTransient;
+  std::chrono::milliseconds delay{0};
+};
+
+struct SweepFaultPlan {
+  std::vector<SweepFault> faults;
+
+  [[nodiscard]] const SweepFault* find(std::size_t job,
+                                       std::uint32_t attempt) const noexcept {
+    for (const SweepFault& f : faults) {
+      if (f.job == job && f.attempt == attempt) return &f;
+    }
+    return nullptr;
+  }
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 picks bench_threads().
+  unsigned threads = 0;
+  RetryPolicy retry;
+  /// Per-job wall-clock deadline; zero disables the supervisor.
+  std::chrono::milliseconds job_deadline{0};
+  /// Drain after this many Failed/TimedOut jobs (0 = never): workers
+  /// stop starting new jobs, which then report Skipped.
+  std::size_t max_failures = 0;
+  /// Journal completed jobs here (empty = no checkpointing). With
+  /// `resume`, an existing journal is validated against the job list
+  /// and its finished jobs are not re-run.
+  std::string checkpoint_path;
+  bool resume = false;
+  /// Borrowed; may be nullptr. Only the tests and CI set this.
+  const SweepFaultPlan* faults = nullptr;
+};
+
+struct SweepReport {
+  std::vector<SweepJobResult> jobs;  ///< one per input job, in job order
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t timed_out = 0;
+  std::size_t skipped = 0;
+  std::size_t resumed = 0;  ///< subset of `completed` loaded from journal
+  /// Torn checkpoint lines ignored on resume (a kill mid-append).
+  std::size_t checkpoint_lines_ignored = 0;
+
+  [[nodiscard]] bool all_completed() const noexcept {
+    return completed == jobs.size();
+  }
+};
+
+/// Runs the sweep. Never throws for per-job failures — those are
+/// outcomes. Throws CheckpointError (bad/mismatched journal on resume)
+/// and std::invalid_argument (unjournalable job names) before any job
+/// has started.
+[[nodiscard]] SweepReport run_sweep(const std::vector<Job>& jobs,
+                                    const SweepOptions& opt = {});
+
+/// Binds a checkpoint to its sweep: FNV-1a over every job's identity
+/// (program, tag, LSQ kind and geometry, workload length/seed/path), so
+/// resuming against a different job list is refused instead of grafting
+/// foreign results.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const std::vector<Job>& jobs);
+
+/// The machine-readable failure report (consumed by CI): one
+/// `sweep: job=I program=P tag=T outcome=... attempts=N wall=S [...]`
+/// line per non-completed job, then a one-line summary. Prints only the
+/// summary when everything completed.
+void print_failure_report(std::ostream& os, const SweepReport& report);
+
+}  // namespace samie::sim

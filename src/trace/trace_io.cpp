@@ -63,12 +63,17 @@ void validate_header(const std::string& path, const SamtHeader& h,
                    " does not match this build's MicroOp (" +
                    std::to_string(sizeof(MicroOp)) + " bytes)");
   }
-  const std::uint64_t want = sizeof(SamtHeader) + h.count * sizeof(MicroOp);
-  if (file_bytes != want) {
+  // Divide, never multiply: `h.count * sizeof(MicroOp)` can wrap
+  // (count += 2^61 makes the product overflow to the exact valid size,
+  // and the checksum length wraps identically — the corrupt-trace fuzz
+  // suite found the file being *accepted*). Comparing against the
+  // record count the payload actually holds is overflow-free.
+  const std::uint64_t payload = file_bytes - sizeof(SamtHeader);
+  if (payload % sizeof(MicroOp) != 0 || h.count != payload / sizeof(MicroOp)) {
     fail(path, "truncated or oversized: header promises " +
-                   std::to_string(h.count) + " records (" +
-                   std::to_string(want) + " bytes), file has " +
-                   std::to_string(file_bytes));
+                   std::to_string(h.count) + " records, file payload is " +
+                   std::to_string(payload) + " bytes (" +
+                   std::to_string(payload / sizeof(MicroOp)) + " records)");
   }
 }
 

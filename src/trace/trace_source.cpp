@@ -17,8 +17,9 @@ TraceSource TraceSource::from_trace(Trace t) {
   return TraceSource(std::move(t), std::move(name), seed);
 }
 
-TraceSource TraceSource::open_samt(const std::string& path) {
-  MappedTrace mapped(path);
+TraceSource TraceSource::open_samt(const std::string& path,
+                                   bool verify_checksum) {
+  MappedTrace mapped(path, verify_checksum);
   std::string name = mapped.name();
   const std::uint64_t seed = mapped.header().seed;
   return TraceSource(std::move(mapped), std::move(name), seed);

@@ -27,8 +27,12 @@ class TraceSource {
   /// Takes ownership of an existing trace.
   [[nodiscard]] static TraceSource from_trace(Trace t);
   /// mmaps a SAMT file: zero-copy, shared page cache across processes
-  /// and workers. Throws TraceFormatError on malformed files.
-  [[nodiscard]] static TraceSource open_samt(const std::string& path);
+  /// and workers. Throws TraceFormatError on malformed files, including
+  /// an FNV-1a checksum mismatch over the record bytes. The checksum
+  /// pass touches every page once; `verify_checksum = false` skips it
+  /// for replay hot paths that re-open an already-verified trace.
+  [[nodiscard]] static TraceSource open_samt(const std::string& path,
+                                             bool verify_checksum = true);
   /// Reads a SAMT file into an owned in-RAM copy (TraceReader path).
   [[nodiscard]] static TraceSource read_samt(const std::string& path);
   /// Imports a plain-text trace (grammar: docs/TRACE_FORMAT.md).

@@ -16,6 +16,14 @@
 //   --no-skip       measure the always-step cycle loop (disables the
 //                   quiescent-cycle fast-forward; statistics identical,
 //                   skip_ratio reads 0)
+//   --resume=FILE   journal each finished (lsq, program) measurement to
+//                   FILE (crash-safe) and, when FILE already exists for
+//                   the same configuration, load its measurements instead
+//                   of re-running them
+//
+// Exit status: 0 on a clean run, 2 when some measurements failed (the
+// per-measurement errors go to stderr and the JSON's "failures" array),
+// 1 on usage or fatal errors.
 //
 // Runs the SPEC2000 suite under the requested LSQ organizations on a
 // single thread (deterministic job order, stable timings) and writes
@@ -41,7 +49,7 @@ using namespace samie;
 [[noreturn]] void usage_error(const std::string& what) {
   std::cerr << "perf_report: " << what
             << " (see the header of tools/perf_report.cpp)\n";
-  std::exit(2);
+  std::exit(1);
 }
 
 bool parse_u64(const std::string& arg, const char* key, std::uint64_t& out) {
@@ -74,6 +82,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg.rfind("--trace-dir=", 0) == 0) {
       opt.trace_dir = arg.substr(12);
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      opt.resume_path = arg.substr(9);
     } else if (arg == "--no-skip") {
       opt.always_step = true;
     } else if (arg.rfind("--lsq=", 0) == 0) {
@@ -129,6 +139,14 @@ int main(int argc, char** argv) {
     }
     std::cout << ", peak RSS " << lr.peak_rss_kb << " kB)\n";
   }
+  if (report.resumed != 0) {
+    std::cout << report.resumed << " measurement"
+              << (report.resumed == 1 ? "" : "s") << " resumed from "
+              << opt.resume_path << "\n";
+  }
   std::cout << "wrote " << out_path << "\n";
-  return 0;
+  for (const auto& f : report.failures) {
+    std::cerr << "perf_report: " << f << "\n";
+  }
+  return report.failures.empty() ? 0 : 2;
 }

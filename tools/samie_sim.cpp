@@ -22,6 +22,23 @@
 //   --csv              machine-readable output (one row per program)
 //   --threads=N        parallel jobs (default: all hardware threads)
 //
+// Sweep robustness (docs/SWEEP_ROBUSTNESS.md):
+//   --retries=N            attempts per transiently-failing job (default 3)
+//   --job-deadline-ms=N    per-job wall-clock deadline; an overrunning job
+//                          is cancelled cooperatively and reported timed-out
+//   --max-failures=N       drain the sweep after N failed/timed-out jobs
+//                          (remaining jobs report skipped; default: run all)
+//   --checkpoint=FILE      journal each completed job to FILE (crash-safe)
+//   --resume=FILE          resume an interrupted sweep from FILE: finished
+//                          jobs are loaded bit-identically, the rest run
+//   --no-verify-checksum   skip the SAMT FNV-1a checksum pass on replay
+//                          (for re-opening an already-verified trace)
+//   --inject-fault=J:A:KIND[:MS]  test/CI hook: inject a fault at job J
+//                          (0-based) attempt A (1-based); KIND is flaky
+//                          (transient throw), fail (deterministic throw),
+//                          delay (sleep MS ms first) or wake (spurious
+//                          supervisor wake-up). Repeatable.
+//
 // Trace modes (SAMT format: docs/TRACE_FORMAT.md):
 //   --record-trace=DIR   additionally write each program's generated
 //                        trace to DIR/<program>.samt (DIR is created);
@@ -35,8 +52,14 @@
 //                        .txt/.trace files; one op per line) and run it
 //
 // With no programs, the whole 26-program SPEC2000 suite runs.
+//
+// Exit status: 0 when every job completed, 2 when the sweep was partial
+// (some jobs failed, timed out or were skipped — the failure report goes
+// to stderr, completed rows still print), 1 on usage or fatal errors
+// (bad flags, unreadable checkpoint, import failure).
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -46,8 +69,10 @@
 #include <vector>
 
 #include "src/common/table.h"
+#include "src/sim/checkpoint.h"
 #include "src/sim/experiment.h"
 #include "src/sim/simulator.h"
+#include "src/sim/sweep_scheduler.h"
 #include "src/trace/spec2000.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
@@ -59,12 +84,50 @@ using namespace samie;
 
 [[noreturn]] void usage_error(const std::string& what) {
   std::cerr << "samie_sim: " << what << " (see the header of tools/samie_sim.cpp)\n";
-  std::exit(2);
+  std::exit(1);
 }
 
 bool parse_u64(const std::string& arg, const char* key, std::uint64_t& out) {
   return tools::parse_u64(arg, key, out,
                           [](const std::string& what) { usage_error(what); });
+}
+
+/// Parses --inject-fault=J:A:KIND[:MS].
+sim::SweepFault parse_fault(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', at);
+    parts.push_back(spec.substr(at, colon - at));
+    if (colon == std::string::npos) break;
+    at = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    usage_error("--inject-fault wants J:A:KIND[:MS], got '" + spec + "'");
+  }
+  sim::SweepFault f;
+  char* end = nullptr;
+  f.job = std::strtoull(parts[0].c_str(), &end, 10);
+  if (end != parts[0].c_str() + parts[0].size()) {
+    usage_error("bad job index in --inject-fault '" + spec + "'");
+  }
+  f.attempt = static_cast<std::uint32_t>(std::strtoul(parts[1].c_str(), &end, 10));
+  if (end != parts[1].c_str() + parts[1].size() || f.attempt == 0) {
+    usage_error("bad (1-based) attempt in --inject-fault '" + spec + "'");
+  }
+  const std::string& kind = parts[2];
+  if (kind == "flaky") f.kind = sim::SweepFault::Kind::kThrowTransient;
+  else if (kind == "fail") f.kind = sim::SweepFault::Kind::kThrowDeterministic;
+  else if (kind == "delay") f.kind = sim::SweepFault::Kind::kDelay;
+  else if (kind == "wake") f.kind = sim::SweepFault::Kind::kSpuriousWake;
+  else usage_error("unknown fault kind '" + kind + "' in --inject-fault");
+  if (parts.size() == 4) {
+    f.delay = std::chrono::milliseconds(std::strtoull(parts[3].c_str(), &end, 10));
+    if (end != parts[3].c_str() + parts[3].size()) {
+      usage_error("bad delay in --inject-fault '" + spec + "'");
+    }
+  }
+  return f;
 }
 
 /// Collects PATH itself (a file) or the files under it (a directory)
@@ -99,11 +162,12 @@ int main(int argc, char** argv) {
   cfg.instructions = 200'000;
   bool csv = false;
   bool insts_given = false;
-  unsigned threads = 0;
   std::string record_dir;
   std::string replay_path;
   std::string import_path;
   std::vector<std::string> programs;
+  sim::SweepOptions sweep;
+  sim::SweepFaultPlan fault_plan;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +178,22 @@ int main(int argc, char** argv) {
       replay_path = arg.substr(15);
     } else if (arg.rfind("--import-trace=", 0) == 0) {
       import_path = arg.substr(15);
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      sweep.checkpoint_path = arg.substr(13);
+    } else if (arg.rfind("--resume=", 0) == 0) {
+      sweep.checkpoint_path = arg.substr(9);
+      sweep.resume = true;
+    } else if (arg.rfind("--inject-fault=", 0) == 0) {
+      fault_plan.faults.push_back(parse_fault(arg.substr(15)));
+    } else if (arg == "--no-verify-checksum") {
+      cfg.verify_trace_checksum = false;
+    } else if (parse_u64(arg, "--retries", v)) {
+      if (v == 0) usage_error("--retries must be at least 1");
+      sweep.retry.max_attempts = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--job-deadline-ms", v)) {
+      sweep.job_deadline = std::chrono::milliseconds(v);
+    } else if (parse_u64(arg, "--max-failures", v)) {
+      sweep.max_failures = static_cast<std::size_t>(v);
     } else if (arg.rfind("--lsq=", 0) == 0) {
       const std::string k = arg.substr(6);
       if (k == "conventional") cfg.lsq = sim::LsqChoice::kConventional;
@@ -155,7 +235,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--csv") {
       csv = true;
     } else if (parse_u64(arg, "--threads", v)) {
-      threads = static_cast<unsigned>(v);
+      sweep.threads = static_cast<unsigned>(v);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "see the header of tools/samie_sim.cpp for options\n";
       return 0;
@@ -175,18 +255,24 @@ int main(int argc, char** argv) {
   if ((!replay_path.empty() || !import_path.empty()) && !programs.empty()) {
     usage_error("program names cannot be combined with trace replay/import");
   }
+  if (!import_path.empty() && !sweep.checkpoint_path.empty()) {
+    usage_error("--checkpoint/--resume apply to sweep modes, not --import-trace");
+  }
   if (!record_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(record_dir, ec);
     if (ec) usage_error("cannot create '" + record_dir + "': " + ec.message());
   }
+  if (!fault_plan.faults.empty()) sweep.faults = &fault_plan;
 
   std::vector<sim::JobResult> results;
+  sim::SweepReport report;
+  bool ran_sweep = false;
   const std::string tag = sim::lsq_choice_name(cfg.lsq);
 
   try {
   if (!replay_path.empty()) {
-    // Replay recorded SAMT traces through the parallel runner: workers
+    // Replay recorded SAMT traces through the supervised sweep: workers
     // sweeping one file share a single mmap via the trace cache.
     std::vector<sim::Job> jobs;
     for (const auto& file : collect_files(replay_path, {".samt"})) {
@@ -202,10 +288,12 @@ int main(int argc, char** argv) {
       job.tag = tag;
       jobs.push_back(std::move(job));
     }
-    results = sim::run_jobs(jobs, threads);
+    report = sim::run_sweep(jobs, sweep);
+    ran_sweep = true;
   } else if (!import_path.empty()) {
     // Text import: materialize each trace once, optionally convert it to
-    // SAMT, and run it in place.
+    // SAMT, and run it in place. Fail-fast: a malformed text trace is a
+    // fatal (exit 1) error, not a sweep outcome.
     for (const auto& file : collect_files(import_path, {".txt", ".trace"})) {
       const trace::TraceSource src = trace::TraceSource::import_text(file);
       if (!record_dir.empty()) {
@@ -251,11 +339,29 @@ int main(int argc, char** argv) {
     for (const auto& p : programs) {
       jobs.push_back(sim::Job{p, cfg, tag});
     }
-    results = sim::run_jobs(jobs, threads);
+    report = sim::run_sweep(jobs, sweep);
+    ran_sweep = true;
   }
+  } catch (const sim::CheckpointError& e) {
+    std::cerr << "samie_sim: " << e.what() << "\n";
+    return 1;
   } catch (const trace::TraceFormatError& e) {
     std::cerr << "samie_sim: " << e.what() << "\n";
     return 1;
+  }
+
+  if (ran_sweep) {
+    // Completed jobs only, in job order: a failed/timed-out/skipped job
+    // never fabricates an output row.
+    for (sim::SweepJobResult& jr : report.jobs) {
+      if (jr.completed()) {
+        results.push_back(sim::JobResult{std::move(jr.job), jr.result});
+      }
+    }
+    if (!report.all_completed() || report.resumed != 0 ||
+        report.checkpoint_lines_ignored != 0) {
+      sim::print_failure_report(std::cerr, report);
+    }
   }
 
   if (csv) {
@@ -280,7 +386,7 @@ int main(int argc, char** argv) {
                 << ',' << s.buffer_nonempty_frac << ',' << s.area_total << ','
                 << s.core.value_mismatches << '\n';
     }
-    return 0;
+    return ran_sweep && !report.all_completed() ? 2 : 0;
   }
 
   Table t({"program", "IPC", "LSQ uJ", "Dcache uJ", "DTLB uJ", "deadlk/Mcyc",
@@ -303,5 +409,5 @@ int main(int argc, char** argv) {
     std::cout << cfg.instructions << " instructions/program\n";
   }
   t.print(std::cout);
-  return 0;
+  return ran_sweep && !report.all_completed() ? 2 : 0;
 }
