@@ -272,7 +272,22 @@ class Core final : private lsq::PresentBitClearer {
   ~Core() override { lsq_.set_present_bit_clearer(nullptr); }
 
   /// Runs until `max_insts` instructions commit (or the trace ends).
+  /// Equivalent to begin(max_insts); while (step(...)) {}; finish() —
+  /// the stepped decomposition exists for the LaneEngine, which
+  /// interleaves many cores in one loop; results are bit-identical by
+  /// construction (the cycle loop body is shared).
   CoreResult run(std::uint64_t max_insts);
+
+  // -- resumable stepping (lane mode) ----------------------------------------
+  /// Arms a run targeting `max_insts` committed instructions.
+  void begin(std::uint64_t max_insts);
+  /// Advances up to `max_cycles` stepped cycles. Returns false once the
+  /// run is over (target reached or trace drained); the watchdog /
+  /// quiescence-check / abort exceptions of run() propagate from here.
+  bool step(std::uint64_t max_cycles);
+  /// Seals the run and returns the result. Call once, after step()
+  /// returned false.
+  CoreResult finish();
 
   // -- observability / microbenchmark probes ---------------------------------
   /// The legacy from-scratch quiescence predicate: true iff no stage can
@@ -598,6 +613,8 @@ class Core final : private lsq::PresentBitClearer {
   // Results.
   CoreResult res_;
   Cycle last_commit_cycle_ = 0;
+  /// Commit target of the armed run (see begin()).
+  std::uint64_t target_ = 0;
 };
 
 /// A literal nullptr observer cannot deduce ObserverT; it means "no

@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -1046,10 +1047,19 @@ void Core<LsqT, ObserverT>::try_fast_forward() {
 }
 
 template <typename LsqT, typename ObserverT>
-CoreResult Core<LsqT, ObserverT>::run(std::uint64_t max_insts) {
-  const std::uint64_t target = std::min<std::uint64_t>(max_insts, trace_.size());
+void Core<LsqT, ObserverT>::begin(std::uint64_t max_insts) {
+  target_ = std::min<std::uint64_t>(max_insts, trace_.size());
   last_commit_cycle_ = 0;
-  while (res_.committed < target) {
+}
+
+template <typename LsqT, typename ObserverT>
+bool Core<LsqT, ObserverT>::step(std::uint64_t max_cycles) {
+  // One iteration here is one iteration of the legacy run() loop — the
+  // body is verbatim, so stepping in blocks of any size (the LaneEngine
+  // round-robins lanes in ~kilocycle turns) commits the same
+  // instructions at the same cycles as one uninterrupted run.
+  for (std::uint64_t stepped = 0; stepped < max_cycles; ++stepped) {
+    if (res_.committed >= target_) return false;
     dcache_ports_used_ = 0;
     int_alu_.new_cycle();
     fp_alu_.new_cycle();
@@ -1064,7 +1074,7 @@ CoreResult Core<LsqT, ObserverT>::run(std::uint64_t max_insts) {
     // cross-check.
     if (cfg_.always_step || (wake_ledger_ & kWakeCommitHead) != 0) {
       commit_stage();
-      if (res_.committed >= target) break;
+      if (res_.committed >= target_) return false;
     }
     if (cfg_.always_step || completions_.has_due(cycle_)) {
       writeback_stage();
@@ -1084,7 +1094,7 @@ CoreResult Core<LsqT, ObserverT>::run(std::uint64_t max_insts) {
     // and it cannot mask a wedge: this holds within commit_width cycles
     // of the final commit, 200k cycles before the watchdog could.
     if (head_ == tail_ && fetch_queue_.empty() && fetch_seq_ >= trace_.size()) {
-      break;
+      return false;
     }
     // Differential cross-check (tests, SAMIE_CHECK_QUIESCENCE builds):
     // the incremental ledger and the from-scratch predicate must agree
@@ -1111,11 +1121,24 @@ CoreResult Core<LsqT, ObserverT>::run(std::uint64_t max_insts) {
                               std::to_string(cycle_));
     }
   }
+  return res_.committed < target_;
+}
+
+template <typename LsqT, typename ObserverT>
+CoreResult Core<LsqT, ObserverT>::finish() {
   res_.cycles = cycle_;
   res_.ipc = cycle_ > 0 ? static_cast<double>(res_.committed) /
                               static_cast<double>(cycle_)
                         : 0.0;
   return res_;
+}
+
+template <typename LsqT, typename ObserverT>
+CoreResult Core<LsqT, ObserverT>::run(std::uint64_t max_insts) {
+  begin(max_insts);
+  while (step(std::numeric_limits<std::uint64_t>::max())) {
+  }
+  return finish();
 }
 
 }  // namespace samie::core

@@ -100,7 +100,12 @@ void SamieLsq::fill_slot(const MemOpDesc& op, const Loc& loc, bool new_entry) {
   if (e.used == cfg_.slots_per_entry) {
     distrib ? ++d_entries_full_ : ++s_entries_full_;
   }
-  if (distrib) ++d_slots_used_; else ++s_slots_used_;
+  if (distrib) {
+    ++d_slots_used_;
+    ++banks_[loc.bank].slots_used;
+  } else {
+    ++s_slots_used_;
+  }
   where_.insert(op.seq, loc);
 
   if (ledger_ != nullptr) {
@@ -150,20 +155,14 @@ bool SamieLsq::try_place(const MemOpDesc& op, bool /*from_buffer*/) {
   // The address is broadcast to its bank and to the SharedLSQ; both are
   // searched in parallel (paper §3.2). Charge the comparisons now — they
   // happen regardless of whether a slot is found. Age identifiers of every
-  // in-use entry reached by the search are compared as well (§4.2).
+  // in-use entry reached by the search are compared as well (§4.2). One
+  // fused event record carries the whole search: the bank's valid-entry
+  // count and per-bank slots_used supply the distrib counts, the O(1)
+  // occupancy counters the shared ones — no entry iteration.
   if (ledger_ != nullptr) {
-    ledger_->on_bus_send();
-    for (std::uint64_t m = bank.valid_mask; m != 0; m &= m - 1) {
-      ledger_->on_distrib_age_search(bank.entries[ctz(m)].used);
-    }
-    ledger_->on_distrib_addr_search(
-        static_cast<std::uint64_t>(std::popcount(bank.valid_mask)));
-    std::uint64_t shared_inuse = 0;
-    for_each_valid_shared([&](std::uint32_t, Entry& e) {
-      ++shared_inuse;
-      ledger_->on_shared_age_search(e.used);
-    });
-    ledger_->on_shared_addr_search(shared_inuse);
+    ledger_->on_placement_search(
+        static_cast<std::uint64_t>(std::popcount(bank.valid_mask)),
+        bank.slots_used, s_entries_used_, s_slots_used_);
   }
 
   // Placement preference (paper §3.2): same-line entry with a free slot in
@@ -380,7 +379,12 @@ void SamieLsq::free_slot(const Loc& loc, InstSeq seq) {
   e.slots[loc.slot].seq = kNoInst;
   e.slot_mask &= ~(1ULL << loc.slot);
   --e.used;
-  if (distrib) --d_slots_used_; else --s_slots_used_;
+  if (distrib) {
+    --d_slots_used_;
+    --banks_[loc.bank].slots_used;
+  } else {
+    --s_slots_used_;
+  }
   if (e.used == 0) {
     e.valid = false;
     if (e.present && cfg_.clear_stale_present_bits &&

@@ -170,6 +170,10 @@ class SamieLsq final : public LoadStoreQueue {
   };
   struct Bank {
     std::uint64_t valid_mask = 0;  ///< bit i <=> entries[i].valid
+    /// Sum of `used` over the valid entries. Lets the placement search
+    /// charge its fused age-search event (total ids compared across the
+    /// bank) without touching the entries.
+    std::uint32_t slots_used = 0;
     std::vector<Entry> entries;
   };
   enum class Where : std::uint8_t { kDistrib, kShared };

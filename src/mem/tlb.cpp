@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
-#include <vector>
+#include <utility>
 
 namespace samie::mem {
 
@@ -23,23 +23,31 @@ constexpr std::uint64_t kTickRenormalize =
 Tlb::Tlb(const TlbConfig& cfg)
     : cfg_(cfg), page_shift_(log2_floor(cfg.page_bytes)) {
   assert(is_pow2(cfg.page_bytes));
-  map_.reserve(cfg_.entries * 2);
+  entries_.reserve(cfg_.entries);
+  index_.reserve(cfg_.entries);
 }
 
 void Tlb::reset() {
-  map_.clear();
+  entries_.clear();
+  index_.clear();
   front_.fill(FrontEntry{});
   tick_ = 0;
   hits_ = 0;
   misses_ = 0;
 }
 
+Tlb::Entry* Tlb::find(Addr vpn) {
+  // Front-miss path only: one hash probe into the slot index.
+  const auto it = index_.find(vpn);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
 void Tlb::install_front(Addr vpn, std::uint64_t tick) {
   FrontEntry& fe = front_[vpn & (kFrontSize - 1)];
   if (fe.valid && fe.vpn != vpn) {
     // The displaced page stays resident; its front-accumulated recency
-    // must reach the map or the LRU scan would see a stale tick.
-    if (auto it = map_.find(fe.vpn); it != map_.end()) it->second = fe.tick;
+    // must reach the resident set or the LRU scan would see a stale tick.
+    if (Entry* e = find(fe.vpn); e != nullptr) e->tick = fe.tick;
   }
   fe.valid = true;
   fe.vpn = vpn;
@@ -47,36 +55,45 @@ void Tlb::install_front(Addr vpn, std::uint64_t tick) {
 }
 
 void Tlb::evict_lru() {
-  // True-LRU eviction; the scan is miss-path only. Pages held by the
-  // front array carry their freshest tick there (see effective_tick).
-  auto victim = map_.begin();
-  std::uint64_t victim_tick = effective_tick(victim->first, victim->second);
-  for (auto it = std::next(map_.begin()); it != map_.end(); ++it) {
-    const std::uint64_t t = effective_tick(it->first, it->second);
+  // True-LRU eviction; the scan is miss-path only and walks the dense
+  // array. Pages held by the front array carry their freshest tick
+  // there (see effective_tick).
+  assert(!entries_.empty());
+  std::size_t victim = 0;
+  std::uint64_t victim_tick =
+      effective_tick(entries_[0].vpn, entries_[0].tick);
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const std::uint64_t t = effective_tick(entries_[i].vpn, entries_[i].tick);
     if (t < victim_tick) {
-      victim = it;
+      victim = i;
       victim_tick = t;
     }
   }
-  FrontEntry& fe = front_[victim->first & (kFrontSize - 1)];
-  if (fe.valid && fe.vpn == victim->first) fe.valid = false;
-  map_.erase(victim);
+  FrontEntry& fe = front_[entries_[victim].vpn & (kFrontSize - 1)];
+  if (fe.valid && fe.vpn == entries_[victim].vpn) fe.valid = false;
+  index_.erase(entries_[victim].vpn);
+  entries_[victim] = entries_.back();
+  entries_.pop_back();
+  if (victim < entries_.size()) {
+    index_[entries_[victim].vpn] = static_cast<std::uint32_t>(victim);
+  }
 }
 
 void Tlb::renormalize_ticks() {
   // Compress all live ticks into [1, n] preserving order. Cold by many
   // orders of magnitude (see kTickRenormalize); correctness only.
-  std::vector<std::pair<std::uint64_t, Addr>> order;
-  order.reserve(map_.size());
-  for (const auto& [vpn, tick] : map_) {
-    order.emplace_back(effective_tick(vpn, tick), vpn);
-  }
-  std::sort(order.begin(), order.end());
+  std::sort(entries_.begin(), entries_.end(),
+            [this](const Entry& a, const Entry& b) {
+              return effective_tick(a.vpn, a.tick) <
+                     effective_tick(b.vpn, b.tick);
+            });
   tick_ = 0;
-  for (const auto& [tick, vpn] : order) {
-    map_[vpn] = ++tick_;
-    FrontEntry& fe = front_[vpn & (kFrontSize - 1)];
-    if (fe.valid && fe.vpn == vpn) fe.tick = tick_;
+  index_.clear();
+  for (Entry& e : entries_) {
+    e.tick = ++tick_;
+    index_[e.vpn] = static_cast<std::uint32_t>(&e - entries_.data());
+    FrontEntry& fe = front_[e.vpn & (kFrontSize - 1)];
+    if (fe.valid && fe.vpn == e.vpn) fe.tick = e.tick;
   }
 }
 
@@ -84,21 +101,22 @@ bool Tlb::access(Addr vaddr) {
   const Addr vpn = vaddr >> page_shift_;
   FrontEntry& fe = front_[vpn & (kFrontSize - 1)];
   if (fe.valid && fe.vpn == vpn) {
-    // Front hit: no hash lookup; recency lands in the front cell.
+    // Front hit: no resident-set search; recency lands in the front cell.
     fe.tick = ++tick_;
     ++hits_;
     return true;
   }
-  if (auto it = map_.find(vpn); it != map_.end()) {
-    it->second = ++tick_;
+  if (Entry* e = find(vpn); e != nullptr) {
+    e->tick = ++tick_;
     ++hits_;
-    install_front(vpn, it->second);
+    install_front(vpn, e->tick);
     return true;
   }
   ++misses_;
   if (tick_ >= kTickRenormalize) renormalize_ticks();
-  if (map_.size() >= cfg_.entries) evict_lru();
-  map_.emplace(vpn, ++tick_);
+  if (entries_.size() >= cfg_.entries) evict_lru();
+  index_[vpn] = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{vpn, ++tick_});
   install_front(vpn, tick_);
   return false;
 }

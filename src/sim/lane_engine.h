@@ -1,0 +1,95 @@
+// Batched-lane execution: many independent (core, trace) simulations
+// stepped through one interleaved loop.
+//
+// A Lane is one fully built machine — queue, ledgers, memory hierarchy,
+// predictor, collector, Core — behind a two-method interface. The
+// concrete LaneImpl<LsqT> keeps Core statically dispatched over the
+// queue and observer exactly as run_simulation does; the only virtual
+// boundary is one step() call per multi-kilocycle turn, so lane
+// interleaving costs nothing measurable per cycle.
+//
+// Lane results are bit-identical to run_simulation by construction:
+// run_simulation *is* a single lane stepped to completion (see
+// simulator.cpp), and Core::step() shares the run() loop body verbatim,
+// so slicing a run into turns cannot change any statistic. The per-lane
+// energy fold is the integer-event ledger fold (src/energy/ledger.h) —
+// O(1) per lane regardless of event count.
+//
+// LaneEngine is the round-robin driver: it owns up to K live lanes and
+// steps each non-retired lane `cycles_per_turn` cycles per pass. A lane
+// retires by finishing (result event) or throwing (error event —
+// watchdog, quiescence cross-check, cancellation); the engine surfaces
+// one retirement at a time so callers (the sweep's lane executor,
+// samie_sim --lanes) can refill the slot, retry, or journal in job
+// order. docs/ENERGY_LEDGER.md describes the execution model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/trace/trace_view.h"
+
+namespace samie::sim {
+
+/// One resumable simulation. Exceptions from the underlying core
+/// (commit watchdog, SimulationAborted, quiescence cross-check)
+/// propagate out of step().
+class Lane {
+ public:
+  virtual ~Lane() = default;
+  /// Advances up to `max_cycles` stepped cycles; false when the run is
+  /// complete and finish() may be called.
+  virtual bool step(std::uint64_t max_cycles) = 0;
+  /// Seals the run and folds the statistics. Call once.
+  [[nodiscard]] virtual SimResult finish() = 0;
+};
+
+/// Builds the machine for `cfg` over the borrowed `trace` view (the
+/// backing storage must outlive the lane). Dispatches on cfg.lsq like
+/// run_simulation; cfg is copied into the lane.
+[[nodiscard]] std::unique_ptr<Lane> make_lane(const SimConfig& cfg,
+                                              trace::TraceView trace);
+
+/// Round-robin stepper over a set of live lanes.
+class LaneEngine {
+ public:
+  /// A retired lane: `key` is the caller's identifier from add().
+  /// Exactly one of {ok, error} holds: on ok the folded result, else the
+  /// exception that ended the lane.
+  struct Event {
+    std::uint64_t key = 0;
+    bool ok = false;
+    SimResult result;
+    std::exception_ptr error;
+  };
+
+  explicit LaneEngine(std::uint64_t cycles_per_turn = kDefaultCyclesPerTurn)
+      : cycles_per_turn_(cycles_per_turn) {}
+
+  /// Admits a lane under the caller's key (e.g. a sweep job index).
+  void add(std::uint64_t key, std::unique_ptr<Lane> lane);
+  [[nodiscard]] std::size_t active() const { return lanes_.size(); }
+
+  /// Steps the live lanes round-robin until one retires; returns its
+  /// event, or nullopt when no lanes are live. Lanes admitted first are
+  /// stepped first within a pass.
+  std::optional<Event> run_until_event();
+
+  static constexpr std::uint64_t kDefaultCyclesPerTurn = 4096;
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::unique_ptr<Lane> lane;
+  };
+  std::uint64_t cycles_per_turn_;
+  std::vector<Slot> lanes_;
+  std::size_t next_ = 0;  ///< round-robin cursor into lanes_
+};
+
+}  // namespace samie::sim

@@ -44,6 +44,14 @@ struct HotpathLsqResult {
   std::uint64_t total_skipped_cycles = 0;
   double total_wall_seconds = 0.0;  ///< sum of per-program best walls
   double sim_cycles_per_second = 0.0;
+  /// Schema v2 (HotpathOptions::lanes != 0): wall seconds for one
+  /// whole-suite sweep of this LSQ's job list, best of `repeats`, run
+  /// through the per-job worker pool and through the batched-lane
+  /// executor. Unlike the per-program walls, these time run_sweep end to
+  /// end (trace-cache builds included) — identically for both executors,
+  /// so their ratio is the lane-mode speedup. 0.0 when disabled.
+  double pool_sweep_wall_seconds = 0.0;
+  double lane_sweep_wall_seconds = 0.0;
   /// Process peak RSS (VmHWM) after this LSQ's runs, in kB. Monotonic
   /// across the whole process: meaningful as "peak so far".
   std::uint64_t peak_rss_kb = 0;
@@ -56,6 +64,9 @@ struct HotpathReport {
   /// The measurement ran the always-step loop (--no-skip): skip metrics
   /// are definitionally zero and consumers suppress them.
   bool no_skip = false;
+  /// Lane count of the sweep measurement (0 = sweep timing disabled and
+  /// the schema-v2 sweep fields read 0).
+  unsigned lanes = 0;
   std::vector<HotpathLsqResult> lsqs;
   /// One "lsq=K program=P error=..." line per measurement that threw
   /// (e.g. a corrupt trace in --trace-dir). Failed programs are absent
@@ -82,6 +93,13 @@ struct HotpathOptions {
   /// the measured statistics are identical, only throughput and the
   /// skipped_cycles fields change.
   bool always_step = false;
+  /// When nonzero, additionally measure whole-suite *sweep* throughput
+  /// per LSQ: the same job list timed through the per-job worker pool
+  /// and through the batched-lane executor with this many lanes
+  /// (SweepOptions::lanes), best of `repeats` each. Results land in the
+  /// schema-v2 pool_sweep/lane_sweep fields and are never journaled
+  /// (they are timings, re-measured every run).
+  unsigned lanes = 0;
   /// Checkpoint journal (src/sim/checkpoint.h): when non-empty, every
   /// finished (lsq, program) measurement — statistics *and* walls — is
   /// appended crash-safely, and an existing journal for the same

@@ -19,6 +19,7 @@
 
 #include "src/core/core.h"
 #include "src/sim/checkpoint.h"
+#include "src/sim/lane_engine.h"
 #include "src/trace/spec2000.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
@@ -284,6 +285,226 @@ void require_journalable(const std::vector<Job>& jobs) {
   }
 }
 
+/// Fills the report's outcome counters from the per-job slots.
+void tally(SweepReport& rep) {
+  for (const SweepJobResult& jr : rep.jobs) {
+    switch (jr.outcome.status) {
+      case JobStatus::kCompleted:
+        ++rep.completed;
+        if (jr.outcome.from_checkpoint) ++rep.resumed;
+        break;
+      case JobStatus::kFailed: ++rep.failed; break;
+      case JobStatus::kTimedOut: ++rep.timed_out; break;
+      case JobStatus::kSkipped: ++rep.skipped; break;
+    }
+  }
+}
+
+/// Single-threaded batched-lane executor (SweepOptions::lanes): up to K
+/// machines live at once, stepped round-robin by a LaneEngine. The job
+/// lifecycle mirrors the worker pool exactly — the same pre-run fault
+/// hooks, transient-retry policy with backoff, cooperative deadline
+/// tokens (one supervisor slot per lane), drain-to-Skipped past the
+/// failure budget and checkpoint journaling — and completed results are
+/// bit-identical (a lane *is* run_simulation sliced into turns), so the
+/// CSV a lane sweep emits matches the threaded sweep byte for byte.
+/// Retry backoff and injected delays sleep the driver thread (every
+/// lane pauses); both are cold paths, and outcomes don't depend on when
+/// a lane's cycles happen relative to another's.
+class LaneExecutor {
+ public:
+  LaneExecutor(const std::vector<Job>& jobs,
+               const std::vector<std::size_t>& todo, const SweepOptions& opt,
+               SweepReport& rep, TraceCache& traces,
+               std::optional<DeadlineSupervisor>& supervisor,
+               std::optional<CheckpointWriter>& journal)
+      : jobs_(jobs),
+        todo_(todo),
+        opt_(opt),
+        rep_(rep),
+        traces_(traces),
+        supervisor_(supervisor),
+        journal_(journal) {
+    const unsigned lanes = std::max(1U, opt.lanes);
+    for (unsigned s = 0; s < lanes; ++s) free_slots_.push_back(s);
+  }
+
+  void run() {
+    refill();
+    while (auto ev = engine_.run_until_event()) {
+      auto node = inflight_.extract(ev->key);
+      InFlight& st = node.mapped();
+      if (supervisor_) supervisor_->disarm(st.slot);
+      if (ev->ok) {
+        st.oc.status = JobStatus::kCompleted;
+        finalize(st, nullptr, &ev->result);
+        free_slots_.push_back(st.slot);
+      } else if (!retry_or_finalize(st, ev->error)) {
+        free_slots_.push_back(st.slot);
+      } else {
+        inflight_.insert(std::move(node));
+      }
+      refill();
+    }
+  }
+
+ private:
+  struct InFlight {
+    std::size_t index = 0;
+    unsigned slot = 0;
+    JobOutcome oc;
+    /// Stable address for the core's cooperative cancellation poll.
+    std::unique_ptr<std::atomic<bool>> cancel;
+    /// Keeps the mmapped/generated trace alive while the lane runs.
+    std::shared_ptr<const trace::TraceSource> trace;
+    Clock::time_point t0;
+  };
+
+  /// Admits jobs until the lanes are full or the job list is drained.
+  void refill() {
+    while (!free_slots_.empty() && cursor_ < todo_.size()) {
+      const std::size_t i = todo_[cursor_++];
+      if (opt_.max_failures != 0 && failures_ >= opt_.max_failures) {
+        SweepJobResult& out = rep_.jobs[i];
+        out.outcome.status = JobStatus::kSkipped;
+        out.outcome.attempts = 0;
+        traces_.finished(jobs_[i]);
+        continue;
+      }
+      InFlight st;
+      st.index = i;
+      st.slot = free_slots_.back();
+      free_slots_.pop_back();
+      st.cancel = std::make_unique<std::atomic<bool>>(false);
+      st.t0 = Clock::now();
+      const unsigned slot = st.slot;
+      if (start_attempt(st)) {
+        inflight_.emplace(st.index, std::move(st));
+      } else {
+        free_slots_.push_back(slot);
+      }
+    }
+  }
+
+  /// Starts the next attempt: pre-run fault hook, deadline arm, trace
+  /// acquisition, lane admission. Pre-run failures are classified and
+  /// transient ones retried right here (with backoff); returns false
+  /// when the job reached a terminal outcome instead.
+  bool start_attempt(InFlight& st) {
+    const Job& job = jobs_[st.index];
+    for (;;) {
+      const std::uint32_t attempt = ++st.oc.attempts;
+      st.cancel->store(false, std::memory_order_relaxed);
+      const SweepFault* fault =
+          opt_.faults != nullptr ? opt_.faults->find(st.index, attempt)
+                                 : nullptr;
+      try {
+        if (supervisor_ && opt_.job_deadline.count() > 0) {
+          supervisor_->arm(st.slot, st.cancel.get(),
+                           Clock::now() + opt_.job_deadline);
+        }
+        if (fault != nullptr) {
+          switch (fault->kind) {
+            case SweepFault::Kind::kThrowTransient:
+              throw TransientFault("injected transient fault (job " +
+                                   std::to_string(st.index) + ", attempt " +
+                                   std::to_string(attempt) + ")");
+            case SweepFault::Kind::kThrowDeterministic:
+              throw std::logic_error("injected deterministic fault (job " +
+                                     std::to_string(st.index) + ", attempt " +
+                                     std::to_string(attempt) + ")");
+            case SweepFault::Kind::kDelay:
+              std::this_thread::sleep_for(fault->delay);
+              break;
+            case SweepFault::Kind::kSpuriousWake:
+              if (supervisor_) supervisor_->spurious_wake();
+              break;
+          }
+        }
+        st.trace = traces_.get(job);
+        SimConfig cfg = job.config;
+        cfg.core.should_abort = st.cancel.get();
+        engine_.add(st.index, make_lane(cfg, st.trace->view()));
+        return true;
+      } catch (...) {
+        if (supervisor_) supervisor_->disarm(st.slot);
+        const std::exception_ptr error = std::current_exception();
+        const FailureClass cls = classify_failure(error);
+        if (cls == FailureClass::kTransient &&
+            attempt < opt_.retry.max_attempts) {
+          std::this_thread::sleep_for(opt_.retry.backoff_for(attempt + 1));
+          continue;
+        }
+        st.oc.status = JobStatus::kFailed;
+        st.oc.failure = cls;
+        st.oc.what = what_of(error);
+        finalize(st, error, nullptr);
+        return false;
+      }
+    }
+  }
+
+  /// Handles a lane that retired by throwing: a cooperative abort is a
+  /// deadline expiry (terminal), a transient failure with attempts left
+  /// re-enters start_attempt, anything else is Failed. Returns true when
+  /// the job went back in flight.
+  bool retry_or_finalize(InFlight& st, const std::exception_ptr& error) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const core::SimulationAborted& e) {
+      st.oc.status = JobStatus::kTimedOut;
+      st.oc.what = e.what();
+      finalize(st, error, nullptr);
+      return false;
+    } catch (...) {
+    }
+    const FailureClass cls = classify_failure(error);
+    if (cls == FailureClass::kTransient &&
+        st.oc.attempts < opt_.retry.max_attempts) {
+      std::this_thread::sleep_for(opt_.retry.backoff_for(st.oc.attempts + 1));
+      return start_attempt(st);
+    }
+    st.oc.status = JobStatus::kFailed;
+    st.oc.failure = cls;
+    st.oc.what = what_of(error);
+    finalize(st, error, nullptr);
+    return false;
+  }
+
+  /// Seals the job's slot in the report: wall clock, trace release,
+  /// journal append (completed only) and the failure tally for drain.
+  void finalize(InFlight& st, const std::exception_ptr& error,
+                const SimResult* result) {
+    st.oc.wall_seconds = seconds_since(st.t0);
+    traces_.finished(jobs_[st.index]);
+    SweepJobResult& out = rep_.jobs[st.index];
+    out.outcome = st.oc;
+    out.error = error;
+    if (st.oc.status == JobStatus::kCompleted) {
+      out.result = *result;
+      if (journal_) {
+        journal_->append_record(
+            encode_record(st.index, jobs_[st.index], st.oc, *result));
+      }
+    } else {
+      ++failures_;
+    }
+  }
+
+  const std::vector<Job>& jobs_;
+  const std::vector<std::size_t>& todo_;
+  const SweepOptions& opt_;
+  SweepReport& rep_;
+  TraceCache& traces_;
+  std::optional<DeadlineSupervisor>& supervisor_;
+  std::optional<CheckpointWriter>& journal_;
+  LaneEngine engine_;
+  std::map<std::uint64_t, InFlight> inflight_;
+  std::vector<unsigned> free_slots_;
+  std::size_t cursor_ = 0;   ///< next index into todo_
+  std::size_t failures_ = 0;
+};
+
 }  // namespace
 
 const char* job_status_name(JobStatus s) noexcept {
@@ -404,7 +625,13 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
                   });
   std::optional<DeadlineSupervisor> supervisor;
   if (opt.job_deadline.count() > 0 || wants_wake_faults) {
-    supervisor.emplace(threads);
+    supervisor.emplace(opt.lanes != 0 ? std::max(1U, opt.lanes) : threads);
+  }
+
+  if (opt.lanes != 0) {
+    LaneExecutor(jobs, todo, opt, rep, traces, supervisor, journal).run();
+    tally(rep);
+    return rep;
   }
 
   std::atomic<std::size_t> next{0};
@@ -514,17 +741,7 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
   for (unsigned s = 0; s < threads; ++s) pool.emplace_back(worker, s);
   for (auto& th : pool) th.join();
 
-  for (const SweepJobResult& jr : rep.jobs) {
-    switch (jr.outcome.status) {
-      case JobStatus::kCompleted:
-        ++rep.completed;
-        if (jr.outcome.from_checkpoint) ++rep.resumed;
-        break;
-      case JobStatus::kFailed: ++rep.failed; break;
-      case JobStatus::kTimedOut: ++rep.timed_out; break;
-      case JobStatus::kSkipped: ++rep.skipped; break;
-    }
-  }
+  tally(rep);
   return rep;
 }
 

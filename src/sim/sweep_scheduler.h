@@ -138,6 +138,15 @@ struct SweepFaultPlan {
 struct SweepOptions {
   /// Worker threads; 0 picks bench_threads().
   unsigned threads = 0;
+  /// Batched-lane executor: when nonzero, jobs run as up to `lanes`
+  /// interleaved machines stepped round-robin by one LaneEngine
+  /// (src/sim/lane_engine.h) instead of one thread per job. Outcome
+  /// semantics — retries, deadlines, fault hooks, drain, checkpointing —
+  /// are identical, and completed results are bit-identical to the
+  /// worker pool's, so the CSV a lane sweep emits matches byte for byte.
+  /// `threads` is ignored in lane mode (the driver is single-threaded;
+  /// only the deadline supervisor runs beside it).
+  unsigned lanes = 0;
   RetryPolicy retry;
   /// Per-job wall-clock deadline; zero disables the supervisor.
   std::chrono::milliseconds job_deadline{0};

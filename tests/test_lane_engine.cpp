@@ -1,0 +1,230 @@
+// Differential tests for the batched-lane execution path (src/sim/
+// lane_engine.h) and the sweep's lane executor (SweepOptions::lanes):
+// a lane stepped in arbitrary turn sizes must reproduce run_simulation
+// bit for bit, the round-robin engine must retire every lane with
+// bit-identical results, and a lane-mode sweep must match the threaded
+// sweep exactly across all LSQ kinds — including under injected
+// transient faults (retried), deterministic faults (isolated) and the
+// max-failures drain. All faults are deterministic via SweepFaultPlan.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/checkpoint.h"
+#include "src/sim/experiment.h"
+#include "src/sim/lane_engine.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sweep_scheduler.h"
+#include "src/trace/spec2000.h"
+#include "src/trace/trace_source.h"
+
+namespace samie {
+namespace {
+
+[[nodiscard]] sim::SimConfig small_config(sim::LsqChoice lsq,
+                                          std::uint64_t insts = 4000) {
+  sim::SimConfig cfg = sim::paper_config(lsq);
+  cfg.instructions = insts;
+  return cfg;
+}
+
+[[nodiscard]] trace::TraceSource trace_for(const sim::SimConfig& cfg,
+                                           const std::string& program) {
+  return trace::TraceSource::generate(trace::spec2000_profile(program),
+                                      cfg.seed, cfg.instructions);
+}
+
+const sim::LsqChoice kAllLsqs[] = {
+    sim::LsqChoice::kConventional, sim::LsqChoice::kUnbounded,
+    sim::LsqChoice::kArb, sim::LsqChoice::kSamie};
+
+TEST(LaneEngine, SteppedLaneIsBitIdenticalToRunSimulation) {
+  // Slicing the cycle loop into turns of any size must not change a
+  // single statistic: step() shares run()'s loop body verbatim.
+  for (const sim::LsqChoice lsq : kAllLsqs) {
+    const sim::SimConfig cfg = small_config(lsq);
+    const trace::TraceSource src = trace_for(cfg, "gcc");
+    const sim::SimResult whole = sim::run_simulation(cfg, src.view());
+    for (const std::uint64_t turn : {1ULL, 7ULL, 4096ULL}) {
+      std::unique_ptr<sim::Lane> lane = sim::make_lane(cfg, src.view());
+      while (lane->step(turn)) {
+      }
+      const sim::SimResult sliced = lane->finish();
+      EXPECT_EQ(sim::serialize_sim_result(sliced),
+                sim::serialize_sim_result(whole))
+          << sim::lsq_choice_name(lsq) << " turn=" << turn;
+    }
+  }
+}
+
+TEST(LaneEngine, RoundRobinRetiresEveryLaneBitIdentically) {
+  // Many interleaved machines, one thread: each retirement must carry
+  // the same result as its program run in isolation.
+  const char* programs[] = {"gcc", "ammp", "mcf", "crafty", "art"};
+  const sim::SimConfig cfg = small_config(sim::LsqChoice::kSamie);
+  std::vector<trace::TraceSource> traces;
+  std::vector<std::string> expected;
+  for (const char* p : programs) {
+    traces.push_back(trace_for(cfg, p));
+    expected.push_back(
+        sim::serialize_sim_result(sim::run_simulation(cfg, traces.back().view())));
+  }
+  sim::LaneEngine engine(/*cycles_per_turn=*/512);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    engine.add(i, sim::make_lane(cfg, traces[i].view()));
+  }
+  std::vector<bool> seen(traces.size(), false);
+  while (auto ev = engine.run_until_event()) {
+    ASSERT_TRUE(ev->ok);
+    ASSERT_LT(ev->key, traces.size());
+    EXPECT_FALSE(seen[ev->key]);
+    seen[ev->key] = true;
+    EXPECT_EQ(sim::serialize_sim_result(ev->result), expected[ev->key])
+        << programs[ev->key];
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_TRUE(seen[i]) << programs[i];
+  }
+  EXPECT_EQ(engine.active(), 0U);
+}
+
+/// Sweep over three programs for one LSQ kind; `mutate` tweaks options.
+[[nodiscard]] sim::SweepReport sweep_three(
+    sim::LsqChoice lsq, const sim::SweepOptions& opt) {
+  const sim::SimConfig cfg = small_config(lsq, 3000);
+  std::vector<sim::Job> jobs;
+  for (const char* p : {"gcc", "ammp", "mcf"}) {
+    jobs.push_back(sim::Job{p, cfg, sim::lsq_choice_name(lsq)});
+  }
+  return sim::run_sweep(jobs, opt);
+}
+
+TEST(LaneSweep, MatchesThreadedSweepAcrossAllLsqKinds) {
+  for (const sim::LsqChoice lsq :
+       {sim::LsqChoice::kConventional, sim::LsqChoice::kArb,
+        sim::LsqChoice::kSamie}) {
+    sim::SweepOptions threaded;
+    threaded.threads = 2;
+    const sim::SweepReport a = sweep_three(lsq, threaded);
+    sim::SweepOptions laned;
+    laned.lanes = 2;
+    const sim::SweepReport b = sweep_three(lsq, laned);
+    ASSERT_TRUE(a.all_completed());
+    ASSERT_TRUE(b.all_completed());
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(sim::serialize_sim_result(a.jobs[i].result),
+                sim::serialize_sim_result(b.jobs[i].result))
+          << sim::lsq_choice_name(lsq) << " job " << i;
+    }
+  }
+}
+
+TEST(LaneSweep, TransientFaultsAreRetriedToTheSameResults) {
+  // Inject transient throws at several (job, attempt) points; the lane
+  // executor must retry through them and still produce results equal to
+  // the clean threaded sweep.
+  sim::SweepFaultPlan plan;
+  plan.faults.push_back({0, 1, sim::SweepFault::Kind::kThrowTransient, {}});
+  plan.faults.push_back({2, 1, sim::SweepFault::Kind::kThrowTransient, {}});
+  plan.faults.push_back({2, 2, sim::SweepFault::Kind::kThrowTransient, {}});
+
+  sim::SweepOptions clean;
+  clean.threads = 2;
+  const sim::SweepReport want = sweep_three(sim::LsqChoice::kSamie, clean);
+
+  sim::SweepOptions laned;
+  laned.lanes = 3;
+  laned.retry.max_attempts = 3;
+  laned.retry.backoff_base = std::chrono::milliseconds(1);
+  laned.faults = &plan;
+  const sim::SweepReport got = sweep_three(sim::LsqChoice::kSamie, laned);
+
+  ASSERT_TRUE(got.all_completed());
+  EXPECT_EQ(got.jobs[0].outcome.attempts, 2U);
+  EXPECT_EQ(got.jobs[1].outcome.attempts, 1U);
+  EXPECT_EQ(got.jobs[2].outcome.attempts, 3U);
+  for (std::size_t i = 0; i < want.jobs.size(); ++i) {
+    EXPECT_EQ(sim::serialize_sim_result(got.jobs[i].result),
+              sim::serialize_sim_result(want.jobs[i].result))
+        << "job " << i;
+  }
+}
+
+TEST(LaneSweep, DeterministicFaultIsolatesOnlyThatJob) {
+  sim::SweepFaultPlan plan;
+  plan.faults.push_back({1, 1, sim::SweepFault::Kind::kThrowDeterministic, {}});
+  sim::SweepOptions laned;
+  laned.lanes = 2;
+  laned.faults = &plan;
+  const sim::SweepReport rep = sweep_three(sim::LsqChoice::kSamie, laned);
+  EXPECT_EQ(rep.completed, 2U);
+  EXPECT_EQ(rep.failed, 1U);
+  EXPECT_EQ(rep.jobs[1].outcome.status, sim::JobStatus::kFailed);
+  EXPECT_EQ(rep.jobs[1].outcome.failure, sim::FailureClass::kDeterministic);
+  EXPECT_EQ(rep.jobs[1].outcome.attempts, 1U);
+  EXPECT_TRUE(rep.jobs[0].completed());
+  EXPECT_TRUE(rep.jobs[2].completed());
+}
+
+TEST(LaneSweep, MaxFailuresDrainsUnstartedJobsToSkipped) {
+  // One lane, so jobs start strictly in order: job 0 fails, and the
+  // failure budget (1) drains jobs 1 and 2 to Skipped.
+  sim::SweepFaultPlan plan;
+  plan.faults.push_back({0, 1, sim::SweepFault::Kind::kThrowDeterministic, {}});
+  sim::SweepOptions laned;
+  laned.lanes = 1;
+  laned.max_failures = 1;
+  laned.faults = &plan;
+  const sim::SweepReport rep = sweep_three(sim::LsqChoice::kSamie, laned);
+  EXPECT_EQ(rep.failed, 1U);
+  EXPECT_EQ(rep.skipped, 2U);
+  EXPECT_EQ(rep.jobs[1].outcome.status, sim::JobStatus::kSkipped);
+  EXPECT_EQ(rep.jobs[2].outcome.status, sim::JobStatus::kSkipped);
+}
+
+TEST(LaneSweep, LaneCheckpointResumesIntoThreadedSweepBitIdentically) {
+  // A lane sweep journals like the threaded one: fail one job under a
+  // checkpoint, resume with the *threaded* executor, and the combined
+  // results must equal a clean run — executors share one journal format.
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() /
+       ("samie_lane_ckpt_" + std::to_string(::getpid()) + ".ckpt"))
+          .string();
+  std::filesystem::remove(ckpt);
+  sim::SweepFaultPlan plan;
+  plan.faults.push_back({1, 1, sim::SweepFault::Kind::kThrowDeterministic, {}});
+  sim::SweepOptions first;
+  first.lanes = 2;
+  first.faults = &plan;
+  first.checkpoint_path = ckpt;
+  const sim::SweepReport partial = sweep_three(sim::LsqChoice::kSamie, first);
+  ASSERT_EQ(partial.completed, 2U);
+
+  sim::SweepOptions second;
+  second.threads = 2;
+  second.checkpoint_path = ckpt;
+  second.resume = true;
+  const sim::SweepReport resumed = sweep_three(sim::LsqChoice::kSamie, second);
+  EXPECT_TRUE(resumed.all_completed());
+  EXPECT_EQ(resumed.resumed, 2U);
+
+  sim::SweepOptions clean;
+  clean.threads = 2;
+  const sim::SweepReport want = sweep_three(sim::LsqChoice::kSamie, clean);
+  for (std::size_t i = 0; i < want.jobs.size(); ++i) {
+    EXPECT_EQ(sim::serialize_sim_result(resumed.jobs[i].result),
+              sim::serialize_sim_result(want.jobs[i].result))
+        << "job " << i;
+  }
+  std::filesystem::remove(ckpt);
+}
+
+}  // namespace
+}  // namespace samie

@@ -13,6 +13,11 @@
 //   --trace-dir=D   sweep the recorded *.samt traces in D (mmap replay)
 //                   instead of generating synthetic workloads; replays
 //                   each trace in full (--insts/--seed are ignored)
+//   --lanes=K       additionally time one whole-suite *sweep* per LSQ
+//                   through the per-job worker pool and through the
+//                   batched-lane executor with K lanes (best of
+//                   --repeats each; schema-v2 pool_sweep/lane_sweep
+//                   fields). 0 (default) disables the sweep timing
 //   --no-skip       measure the always-step cycle loop (disables the
 //                   quiescent-cycle fast-forward; statistics identical,
 //                   skip_ratio reads 0)
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
       opt.seed = v;
     } else if (parse_u64(arg, "--repeats", v)) {
       opt.repeats = static_cast<std::uint32_t>(v);
+    } else if (parse_u64(arg, "--lanes", v)) {
+      opt.lanes = static_cast<unsigned>(v);
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (arg.rfind("--programs=", 0) == 0) {
@@ -138,6 +145,11 @@ int main(int argc, char** argv) {
       std::cout << skip << "% quiescent-skipped";
     }
     std::cout << ", peak RSS " << lr.peak_rss_kb << " kB)\n";
+    if (report.lanes != 0) {
+      std::cout << sim::lsq_choice_name(lr.lsq) << " sweep: pool "
+                << lr.pool_sweep_wall_seconds << " s, " << report.lanes
+                << " lanes " << lr.lane_sweep_wall_seconds << " s\n";
+    }
   }
   if (report.resumed != 0) {
     std::cout << report.resumed << " measurement"

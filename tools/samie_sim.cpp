@@ -21,6 +21,10 @@
 //                      paper's published constants
 //   --csv              machine-readable output (one row per program)
 //   --threads=N        parallel jobs (default: all hardware threads)
+//   --lanes=K          batched-lane executor: run the sweep as up to K
+//                      interleaved machines stepped round-robin on one
+//                      thread (docs/ENERGY_LEDGER.md). Results and the
+//                      CSV are byte-identical to the threaded sweep
 //
 // Sweep robustness (docs/SWEEP_ROBUSTNESS.md):
 //   --retries=N            attempts per transiently-failing job (default 3)
@@ -236,6 +240,9 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (parse_u64(arg, "--threads", v)) {
       sweep.threads = static_cast<unsigned>(v);
+    } else if (parse_u64(arg, "--lanes", v)) {
+      if (v == 0) usage_error("--lanes must be at least 1");
+      sweep.lanes = static_cast<unsigned>(v);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "see the header of tools/samie_sim.cpp for options\n";
       return 0;
