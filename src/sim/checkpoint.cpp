@@ -1,5 +1,6 @@
 #include "src/sim/checkpoint.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -46,6 +47,22 @@ void flush_and_sync(const std::string& path, std::FILE* f) {
   }
 }
 
+/// fsyncs the directory holding `path`, making the directory entry
+/// itself durable: the per-record fsyncs persist the file's *contents*,
+/// but the rename that created the file lives in the directory, and a
+/// machine crash before a directory sync can lose the whole journal.
+[[nodiscard]] bool sync_parent_dir(const std::string& path) noexcept {
+  std::string dir;
+  const std::size_t slash = path.find_last_of('/');
+  dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
 }  // namespace
 
 CheckpointWriter CheckpointWriter::create(const std::string& path,
@@ -74,6 +91,9 @@ CheckpointWriter CheckpointWriter::create(const std::string& path,
     io_fail(path, std::string("cannot rename into place: ") +
                       std::strerror(errno));
   }
+  if (!sync_parent_dir(path)) {
+    io_fail(path, "cannot fsync parent directory after rename");
+  }
   return append_to(path);
 }
 
@@ -92,27 +112,43 @@ CheckpointWriter::CheckpointWriter(CheckpointWriter&& other) noexcept
 
 CheckpointWriter& CheckpointWriter::operator=(CheckpointWriter&& other) noexcept {
   if (this != &other) {
-    if (file_ != nullptr) std::fclose(file_);
+    close();
     path_ = std::move(other.path_);
     file_ = std::exchange(other.file_, nullptr);
   }
   return *this;
 }
 
-CheckpointWriter::~CheckpointWriter() {
-  if (file_ != nullptr) std::fclose(file_);
+CheckpointWriter::~CheckpointWriter() { close(); }
+
+void CheckpointWriter::close() noexcept {
+  if (file_ == nullptr) return;
+  std::fflush(file_);
+  ::fsync(::fileno(file_));
+  std::fclose(file_);
+  file_ = nullptr;
+  (void)sync_parent_dir(path_);
 }
 
-void CheckpointWriter::append_record(const std::string& payload) {
-  if (file_ == nullptr) io_fail(path_, "append on a moved-from writer");
+void CheckpointWriter::append_line(char type, const std::string& payload) {
+  if (file_ == nullptr) io_fail(path_, "append on a closed or moved-from writer");
   if (payload.find('\n') != std::string::npos) {
     io_fail(path_, "record payload contains a newline");
   }
-  const std::string line = "R\t" + fnv_hex(payload) + '\t' + payload + '\n';
+  const std::string line =
+      std::string(1, type) + '\t' + fnv_hex(payload) + '\t' + payload + '\n';
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     io_fail(path_, "short write");
   }
   flush_and_sync(path_, file_);
+}
+
+void CheckpointWriter::append_record(const std::string& payload) {
+  append_line('R', payload);
+}
+
+void CheckpointWriter::append_quarantine(const std::string& payload) {
+  append_line('Q', payload);
 }
 
 CheckpointContents load_checkpoint(const std::string& path) {
@@ -141,6 +177,8 @@ CheckpointContents load_checkpoint(const std::string& path) {
     if (line.empty()) continue;
     if (parse_guarded(line, 'R', payload)) {
       out.records.push_back(std::move(payload));
+    } else if (parse_guarded(line, 'Q', payload)) {
+      out.quarantined.push_back(std::move(payload));
     } else {
       // A torn tail after a kill mid-append, or bit rot: the FNV guard
       // rejects it and the job simply re-runs on resume.

@@ -6,7 +6,7 @@
 //   # samie-sweep-checkpoint v1
 //   H <fnv64> <njobs> <fingerprint>
 //   R <fnv64> <payload>
-//   R <fnv64> <payload>
+//   Q <fnv64> <payload>
 //   ...
 //
 // (fields are TAB-separated; <fnv64> is the FNV-1a 64 hash, in hex, of
@@ -16,9 +16,17 @@
 // from a different sweep. Records are appended — flushed and fsync'd —
 // one per completed job, so a crash or OOM kill loses at most the job
 // that was in flight; a torn final line fails its FNV guard and is
-// ignored on load. Payload contents are the caller's (the sweep
-// scheduler journals job outcomes, the perf harness journals program
-// measurements); this module only guarantees integrity and atomicity.
+// ignored on load. 'R' lines are results; 'Q' lines are quarantine
+// records (the process-isolated executor journals jobs that crashed a
+// child, so a resume never re-runs a known-poison job). Payload contents
+// are the caller's (the sweep scheduler journals job outcomes, the perf
+// harness journals program measurements); this module only guarantees
+// integrity and atomicity.
+//
+// Durability covers the *directory entry* too: creation fsyncs the
+// journal's parent directory after the atomic tmp+rename (a machine
+// crash cannot forget the rename), and the writer fsyncs it again when
+// it closes.
 //
 // Format details and invariants: docs/SWEEP_ROBUSTNESS.md.
 #pragma once
@@ -65,9 +73,19 @@ class CheckpointWriter {
   /// Throws CheckpointError on I/O failure.
   void append_record(const std::string& payload);
 
+  /// Appends one guarded quarantine line (a job whose child process
+  /// crashed: resume must skip it, not re-run it).
+  void append_quarantine(const std::string& payload);
+
+  /// Flushes, fsyncs the file and its parent directory, and closes.
+  /// Idempotent; the destructor calls it best-effort (errors swallowed).
+  void close() noexcept;
+
  private:
   explicit CheckpointWriter(std::string path, std::FILE* f)
       : path_(std::move(path)), file_(f) {}
+
+  void append_line(char type, const std::string& payload);
 
   std::string path_;
   std::FILE* file_ = nullptr;
@@ -78,6 +96,8 @@ struct CheckpointContents {
   std::uint64_t fingerprint = 0;
   /// Validated record payloads, in journal (completion) order.
   std::vector<std::string> records;
+  /// Validated quarantine payloads ('Q' lines), in journal order.
+  std::vector<std::string> quarantined;
   /// Lines whose FNV guard failed (a torn tail after a kill) — ignored,
   /// but counted so tools can report that the journal was truncated.
   std::size_t ignored_lines = 0;

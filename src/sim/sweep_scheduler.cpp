@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cinttypes>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -20,6 +21,8 @@
 #include "src/core/core.h"
 #include "src/sim/checkpoint.h"
 #include "src/sim/lane_engine.h"
+#include "src/sim/proc_frame.h"
+#include "src/sim/process_executor.h"
 #include "src/trace/spec2000.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
@@ -271,6 +274,72 @@ struct DecodedRecord {
   return parse_sim_result(payload.substr(at), out.result);
 }
 
+/// Quarantine payload for a job that crashed its isolated child
+/// (TAB-separated):
+///   index, program, tag, attempts, wall, signal, fault_addr (hex),
+///   backtrace frames joined by '\x1f'
+/// Frames were scrubbed of tabs/newlines by the crash decoder, so the
+/// grammar holds.
+[[nodiscard]] std::string encode_quarantine(std::size_t index, const Job& job,
+                                            const JobOutcome& oc) {
+  std::ostringstream os;
+  os << index << '\t' << job.program << '\t' << job.tag << '\t' << oc.attempts
+     << '\t' << hex_double(oc.wall_seconds) << '\t' << oc.crash.signal << '\t'
+     << std::hex << oc.crash.fault_addr << std::dec << '\t';
+  for (std::size_t i = 0; i < oc.crash.frames.size(); ++i) {
+    if (i != 0) os << '\x1f';
+    os << oc.crash.frames[i];
+  }
+  return os.str();
+}
+
+struct DecodedQuarantine {
+  std::size_t index = 0;
+  std::string program;
+  std::string tag;
+  std::uint32_t attempts = 0;
+  double wall_seconds = 0.0;
+  CrashRecord crash;
+};
+
+[[nodiscard]] bool decode_quarantine(const std::string& payload,
+                                     DecodedQuarantine& out) {
+  std::vector<std::string> fields;
+  std::size_t at = 0;
+  while (fields.size() < 7) {
+    const std::size_t tab = payload.find('\t', at);
+    if (tab == std::string::npos) return false;
+    fields.push_back(payload.substr(at, tab - at));
+    at = tab + 1;
+  }
+  char* end = nullptr;
+  errno = 0;
+  out.index = std::strtoull(fields[0].c_str(), &end, 10);
+  if (errno != 0 || end != fields[0].c_str() + fields[0].size()) return false;
+  out.program = fields[1];
+  out.tag = fields[2];
+  out.attempts =
+      static_cast<std::uint32_t>(std::strtoul(fields[3].c_str(), &end, 10));
+  if (end != fields[3].c_str() + fields[3].size()) return false;
+  out.wall_seconds = std::strtod(fields[4].c_str(), &end);
+  if (end != fields[4].c_str() + fields[4].size()) return false;
+  out.crash.signal = static_cast<int>(std::strtol(fields[5].c_str(), &end, 10));
+  if (end != fields[5].c_str() + fields[5].size() || out.crash.signal == 0) {
+    return false;
+  }
+  out.crash.fault_addr = std::strtoull(fields[6].c_str(), &end, 16);
+  if (end != fields[6].c_str() + fields[6].size()) return false;
+  const std::string frames = payload.substr(at);
+  for (std::size_t from = 0; from <= frames.size() && !frames.empty();) {
+    std::size_t sep = frames.find('\x1f', from);
+    if (sep == std::string::npos) sep = frames.size();
+    if (sep > from) out.crash.frames.push_back(frames.substr(from, sep - from));
+    from = sep + 1;
+    if (sep == frames.size()) break;
+  }
+  return true;
+}
+
 /// Journalable names must survive the TAB-separated record grammar.
 void require_journalable(const std::vector<Job>& jobs) {
   for (const Job& job : jobs) {
@@ -296,6 +365,11 @@ void tally(SweepReport& rep) {
       case JobStatus::kFailed: ++rep.failed; break;
       case JobStatus::kTimedOut: ++rep.timed_out; break;
       case JobStatus::kSkipped: ++rep.skipped; break;
+      case JobStatus::kCrashed:
+        ++rep.crashed;
+        if (jr.outcome.from_checkpoint) ++rep.quarantined;
+        break;
+      case JobStatus::kResourceExceeded: ++rep.resource_exceeded; break;
     }
   }
 }
@@ -419,6 +493,13 @@ class LaneExecutor {
             case SweepFault::Kind::kSpuriousWake:
               if (supervisor_) supervisor_->spurious_wake();
               break;
+            case SweepFault::Kind::kCrash:
+            case SweepFault::Kind::kOom:
+            case SweepFault::Kind::kSpin:
+            case SweepFault::Kind::kTornFrame:
+              // Unreachable: run_sweep rejects isolation-only kinds
+              // before any executor starts.
+              break;
           }
         }
         st.trace = traces_.get(job);
@@ -505,6 +586,294 @@ class LaneExecutor {
   std::size_t failures_ = 0;
 };
 
+/// Process-isolated executor (SweepOptions::isolate_procs): each job
+/// runs in a forked child under rlimit jails, supervised by this
+/// single-threaded policy loop. The job lifecycle mirrors the other
+/// executors — same fault hooks (isolation-only kinds execute inside
+/// the child), same transient-retry policy (retries wait non-blocking
+/// on a due list so live children keep getting reaped), same drain and
+/// journal semantics — plus the outcomes only a process boundary can
+/// produce: Crashed (fatal signal, quarantined in the journal with its
+/// forensics record), ResourceExceeded (rlimit jail or OOM kill), and
+/// hard-kill TimedOut for children that ignore the SIGTERM grace.
+/// Deadlines are enforced right here by escalation (SIGTERM → grace →
+/// SIGKILL), not by the DeadlineSupervisor thread: the parent stays
+/// single-threaded so fork() is safe, and a stuck child needs signals,
+/// not a token it will never poll. Completed results round-trip through
+/// the hexfloat frame codec and are bit-identical to the pool's.
+class IsolateExecutor {
+ public:
+  IsolateExecutor(const std::vector<Job>& jobs,
+                  const std::vector<std::size_t>& todo,
+                  const SweepOptions& opt, SweepReport& rep,
+                  TraceCache& traces,
+                  std::optional<CheckpointWriter>& journal)
+      : jobs_(jobs),
+        todo_(todo),
+        opt_(opt),
+        rep_(rep),
+        traces_(traces),
+        journal_(journal),
+        procs_(std::max(1U, opt.isolate_procs)) {}
+
+  void run() {
+    for (;;) {
+      start_due_retries();
+      refill();
+      if (inflight_.empty() && retries_.empty() && cursor_ >= todo_.size()) {
+        return;
+      }
+      enforce_deadlines();
+      if (auto ev = exec_.poll()) {
+        handle(*ev);
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+ private:
+  struct InFlight {
+    std::size_t index = 0;
+    JobOutcome oc;
+    /// Keeps the trace mapping alive in the parent while the child
+    /// reads the inherited copy; released on reap via finalize().
+    std::shared_ptr<const trace::TraceSource> trace;
+    Clock::time_point job_t0;                        ///< first attempt start
+    Clock::time_point deadline = Clock::time_point::max();
+    Clock::time_point kill_at = Clock::time_point::max();
+    bool termed = false;
+  };
+
+  struct PendingRetry {
+    std::size_t index = 0;
+    JobOutcome oc;  ///< attempts so far carried across the backoff
+    Clock::time_point job_t0;
+    Clock::time_point due;
+  };
+
+  /// Admits fresh jobs until the process slots are full.
+  void refill() {
+    while (inflight_.size() < procs_ && cursor_ < todo_.size()) {
+      const std::size_t i = todo_[cursor_++];
+      if (opt_.max_failures != 0 && failures_ >= opt_.max_failures) {
+        SweepJobResult& out = rep_.jobs[i];
+        out.outcome.status = JobStatus::kSkipped;
+        out.outcome.attempts = 0;
+        traces_.finished(jobs_[i]);
+        continue;
+      }
+      InFlight st;
+      st.index = i;
+      st.job_t0 = Clock::now();
+      spawn_attempt(std::move(st));
+    }
+  }
+
+  void start_due_retries() {
+    const Clock::time_point now = Clock::now();
+    for (std::size_t k = 0; k < retries_.size();) {
+      if (inflight_.size() >= procs_ || retries_[k].due > now) {
+        ++k;
+        continue;
+      }
+      PendingRetry r = std::move(retries_[k]);
+      retries_.erase(retries_.begin() + static_cast<std::ptrdiff_t>(k));
+      InFlight st;
+      st.index = r.index;
+      st.oc = std::move(r.oc);
+      st.job_t0 = r.job_t0;
+      spawn_attempt(std::move(st));
+    }
+  }
+
+  /// Starts the next attempt for `st` (its attempts count is the number
+  /// already made). Parent-side failures — trace build, pipe, fork —
+  /// are classified like any job failure: transient ones go on the
+  /// retry list, terminal ones seal the slot.
+  void spawn_attempt(InFlight st) {
+    const std::size_t i = st.index;
+    const Job& job = jobs_[i];
+    const std::uint32_t attempt = ++st.oc.attempts;
+    const SweepFault* fault =
+        opt_.faults != nullptr ? opt_.faults->find(i, attempt) : nullptr;
+    try {
+      st.trace = traces_.get(job);
+      exec_.spawn(i, job.config, st.trace->view(), fault,
+                  ChildLimits{opt_.job_mem_mb, opt_.job_cpu_s});
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      if (!retry_later(st, classify_failure(error))) {
+        st.oc.status = JobStatus::kFailed;
+        st.oc.failure = classify_failure(error);
+        st.oc.what = what_of(error);
+        finalize(st, error, nullptr);
+      }
+      return;
+    }
+    if (opt_.job_deadline.count() > 0) {
+      st.deadline = Clock::now() + opt_.job_deadline;
+    }
+    inflight_.emplace(i, std::move(st));
+  }
+
+  /// Queues another attempt after backoff when the failure was
+  /// transient and the budget allows; returns false when terminal.
+  bool retry_later(InFlight& st, FailureClass cls) {
+    if (cls != FailureClass::kTransient ||
+        st.oc.attempts >= opt_.retry.max_attempts) {
+      return false;
+    }
+    PendingRetry r;
+    r.index = st.index;
+    r.oc = st.oc;
+    r.job_t0 = st.job_t0;
+    r.due = Clock::now() + opt_.retry.backoff_for(st.oc.attempts + 1);
+    retries_.push_back(std::move(r));
+    return true;
+  }
+
+  /// Deadline escalation: SIGTERM at the deadline (the child's handler
+  /// flips its cancel token; a cooperative child unwinds into an
+  /// "aborted" frame), SIGKILL once the grace expires.
+  void enforce_deadlines() {
+    const Clock::time_point now = Clock::now();
+    for (auto& [key, st] : inflight_) {
+      if (!st.termed && now >= st.deadline) {
+        st.termed = true;
+        st.kill_at = now + opt_.kill_grace;
+        exec_.term(key);
+      } else if (st.termed && now >= st.kill_at) {
+        exec_.kill(key);
+      }
+    }
+  }
+
+  /// Maps a reaped child's fate into the outcome taxonomy.
+  void handle(const ProcessExecutor::Event& ev) {
+    auto node = inflight_.extract(ev.key);
+    InFlight& st = node.mapped();
+    using Fate = ProcessExecutor::FateKind;
+    st.oc.term_signal = ev.signal;
+    switch (ev.fate) {
+      case Fate::kResult:
+        st.oc.status = JobStatus::kCompleted;
+        finalize(st, nullptr, &ev.result);
+        return;
+      case Fate::kError:
+        if (ev.error_class == kErrAborted) {
+          // Only the deadline SIGTERM flips the child's token, so an
+          // aborted frame is a deadline expiry that unwound cleanly.
+          st.oc.status = JobStatus::kTimedOut;
+          st.oc.what = ev.what;
+          finalize(st,
+                   std::make_exception_ptr(core::SimulationAborted(ev.what)),
+                   nullptr);
+          return;
+        }
+        if (ev.error_class == kErrResource) {
+          st.oc.status = JobStatus::kResourceExceeded;
+          st.oc.failure = FailureClass::kDeterministic;
+          st.oc.what = ev.what;
+          finalize(st, std::make_exception_ptr(std::runtime_error(ev.what)),
+                   nullptr);
+          return;
+        }
+        if (ev.error_class == kErrTransient &&
+            retry_later(st, FailureClass::kTransient)) {
+          traces_release_only(st);
+          return;
+        }
+        st.oc.status = JobStatus::kFailed;
+        st.oc.failure = ev.error_class == kErrTransient
+                            ? FailureClass::kTransient
+                            : FailureClass::kDeterministic;
+        st.oc.what = ev.what;
+        finalize(st,
+                 ev.error_class == kErrTransient
+                     ? std::make_exception_ptr(TransientFault(ev.what))
+                     : std::make_exception_ptr(std::runtime_error(ev.what)),
+                 nullptr);
+        return;
+      case Fate::kKilled:
+        st.oc.status = JobStatus::kTimedOut;
+        st.oc.what = ev.what;
+        finalize(st, std::make_exception_ptr(std::runtime_error(ev.what)),
+                 nullptr);
+        return;
+      case Fate::kCrashed:
+        st.oc.status = JobStatus::kCrashed;
+        st.oc.failure = FailureClass::kDeterministic;
+        st.oc.what = ev.what;
+        st.oc.crash = ev.crash;
+        finalize(st, std::make_exception_ptr(std::runtime_error(ev.what)),
+                 nullptr);
+        return;
+      case Fate::kResourceExceeded:
+        st.oc.status = JobStatus::kResourceExceeded;
+        st.oc.failure = FailureClass::kDeterministic;
+        st.oc.what = ev.what;
+        finalize(st, std::make_exception_ptr(std::runtime_error(ev.what)),
+                 nullptr);
+        return;
+      case Fate::kBadFrame:
+      case Fate::kBadExit:
+        st.oc.status = JobStatus::kFailed;
+        st.oc.failure = FailureClass::kDeterministic;
+        st.oc.what = ev.what;
+        finalize(st, std::make_exception_ptr(std::runtime_error(ev.what)),
+                 nullptr);
+        return;
+    }
+  }
+
+  /// A retried job drops its trace reference across the backoff (the
+  /// cache keeps the source; the next attempt re-acquires it) without
+  /// decrementing the cache's pending count — that happens exactly once
+  /// per job, in finalize().
+  void traces_release_only(InFlight& st) { st.trace.reset(); }
+
+  /// Seals the job's report slot. This is the residency-leak fix for
+  /// child-failure paths: the *parent* releases the trace when it reaps
+  /// the child, so a job that SIGSEGVs or gets SIGKILLed cannot pin its
+  /// mapping for the rest of the sweep. Crashed jobs are quarantined in
+  /// the journal so a resume skips the known-poison job.
+  void finalize(InFlight& st, const std::exception_ptr& error,
+                const SimResult* result) {
+    st.oc.wall_seconds = seconds_since(st.job_t0);
+    traces_.finished(jobs_[st.index]);
+    SweepJobResult& out = rep_.jobs[st.index];
+    out.outcome = st.oc;
+    out.error = error;
+    if (st.oc.status == JobStatus::kCompleted) {
+      out.result = *result;
+      if (journal_) {
+        journal_->append_record(
+            encode_record(st.index, jobs_[st.index], st.oc, *result));
+      }
+    } else {
+      ++failures_;
+      if (st.oc.status == JobStatus::kCrashed && journal_) {
+        journal_->append_quarantine(
+            encode_quarantine(st.index, jobs_[st.index], st.oc));
+      }
+    }
+  }
+
+  const std::vector<Job>& jobs_;
+  const std::vector<std::size_t>& todo_;
+  const SweepOptions& opt_;
+  SweepReport& rep_;
+  TraceCache& traces_;
+  std::optional<CheckpointWriter>& journal_;
+  ProcessExecutor exec_;
+  std::map<std::uint64_t, InFlight> inflight_;
+  std::vector<PendingRetry> retries_;
+  std::size_t procs_;
+  std::size_t cursor_ = 0;   ///< next index into todo_
+  std::size_t failures_ = 0;
+};
+
 }  // namespace
 
 const char* job_status_name(JobStatus s) noexcept {
@@ -513,8 +882,31 @@ const char* job_status_name(JobStatus s) noexcept {
     case JobStatus::kFailed: return "failed";
     case JobStatus::kTimedOut: return "timed-out";
     case JobStatus::kSkipped: return "skipped";
+    case JobStatus::kCrashed: return "crashed";
+    case JobStatus::kResourceExceeded: return "resource-exceeded";
   }
   return "?";
+}
+
+std::string signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGABRT: return "SIGABRT";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    default: return "SIG" + std::to_string(sig);
+  }
+}
+
+int sweep_exit_code(const SweepReport& report) noexcept {
+  if (report.crashed != 0 || report.resource_exceeded != 0) return 3;
+  return report.all_completed() ? 0 : 2;
 }
 
 const char* failure_class_name(FailureClass c) noexcept {
@@ -565,6 +957,25 @@ std::uint64_t sweep_fingerprint(const std::vector<Job>& jobs) {
 }
 
 SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
+  if (opt.lanes != 0 && opt.isolate_procs != 0) {
+    throw std::invalid_argument(
+        "lanes and isolate_procs are mutually exclusive executors");
+  }
+  if (opt.faults != nullptr) {
+    for (const SweepFault& f : opt.faults->faults) {
+      if (SweepFault::needs_isolation(f.kind) && opt.isolate_procs == 0) {
+        throw std::invalid_argument(
+            "fault kind for job " + std::to_string(f.job) +
+            " requires process isolation (isolate_procs) — it takes the "
+            "whole process down");
+      }
+      if (f.kind == SweepFault::Kind::kOom && opt.job_mem_mb == 0) {
+        throw std::invalid_argument(
+            "an oom fault requires a job_mem_mb jail (without RLIMIT_AS the "
+            "bomb runs into host memory)");
+      }
+    }
+  }
   unsigned threads = opt.threads != 0 ? opt.threads : bench_threads();
   threads = std::max(1U, std::min<unsigned>(
                              threads, static_cast<unsigned>(jobs.size()) + 1));
@@ -604,6 +1015,30 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
         out.outcome.from_checkpoint = true;
         done[rec.index] = true;
       }
+      // Quarantine records: a previous run's child crashed on this job.
+      // Deterministic by definition — re-running replays the crash — so
+      // the job is sealed as Crashed instead of re-attempted, whichever
+      // executor the resume uses.
+      for (const std::string& payload : c.quarantined) {
+        DecodedQuarantine q;
+        if (!decode_quarantine(payload, q) || q.index >= jobs.size() ||
+            q.program != jobs[q.index].program ||
+            q.tag != jobs[q.index].tag || done[q.index]) {
+          ++rep.checkpoint_lines_ignored;
+          continue;
+        }
+        SweepJobResult& out = rep.jobs[q.index];
+        out.outcome.status = JobStatus::kCrashed;
+        out.outcome.failure = FailureClass::kDeterministic;
+        out.outcome.attempts = q.attempts;
+        out.outcome.wall_seconds = q.wall_seconds;
+        out.outcome.from_checkpoint = true;
+        out.outcome.term_signal = q.crash.signal;
+        out.outcome.what = "child crashed with " + signal_name(q.crash.signal) +
+                           " (quarantined by a previous run)";
+        out.outcome.crash = std::move(q.crash);
+        done[q.index] = true;
+      }
       journal = CheckpointWriter::append_to(opt.checkpoint_path);
     } else {
       journal = CheckpointWriter::create(opt.checkpoint_path, jobs.size(),
@@ -623,9 +1058,19 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
                   [](const SweepFault& f) {
                     return f.kind == SweepFault::Kind::kSpuriousWake;
                   });
+  // Isolate mode enforces deadlines by signal escalation in the parent
+  // loop, and the parent must stay single-threaded so fork() is safe —
+  // no supervisor thread.
   std::optional<DeadlineSupervisor> supervisor;
-  if (opt.job_deadline.count() > 0 || wants_wake_faults) {
+  if (opt.isolate_procs == 0 &&
+      (opt.job_deadline.count() > 0 || wants_wake_faults)) {
     supervisor.emplace(opt.lanes != 0 ? std::max(1U, opt.lanes) : threads);
+  }
+
+  if (opt.isolate_procs != 0) {
+    IsolateExecutor(jobs, todo, opt, rep, traces, journal).run();
+    tally(rep);
+    return rep;
   }
 
   if (opt.lanes != 0) {
@@ -685,6 +1130,13 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
                 break;
               case SweepFault::Kind::kSpuriousWake:
                 if (supervisor) supervisor->spurious_wake();
+                break;
+              case SweepFault::Kind::kCrash:
+              case SweepFault::Kind::kOom:
+              case SweepFault::Kind::kSpin:
+              case SweepFault::Kind::kTornFrame:
+                // Unreachable: run_sweep rejects isolation-only kinds
+                // before any executor starts.
                 break;
             }
           }
@@ -752,19 +1204,41 @@ void print_failure_report(std::ostream& os, const SweepReport& report) {
     os << "sweep: job=" << i << " program=" << jr.job.program
        << " tag=" << jr.job.tag
        << " outcome=" << job_status_name(jr.outcome.status);
-    if (jr.outcome.status == JobStatus::kFailed) {
+    if (jr.outcome.failure != FailureClass::kNone) {
       os << " class=" << failure_class_name(jr.outcome.failure);
+    }
+    if (jr.outcome.term_signal != 0) {
+      os << " signal=" << signal_name(jr.outcome.term_signal);
     }
     os << " attempts=" << jr.outcome.attempts
        << " wall=" << jr.outcome.wall_seconds;
     if (!jr.outcome.what.empty()) os << " error=" << jr.outcome.what;
+    // Last field: frames contain spaces, so nothing may follow it.
+    if (jr.outcome.crash.present()) {
+      const CrashRecord& c = jr.outcome.crash;
+      char addr[24];
+      std::snprintf(addr, sizeof addr, "0x%" PRIx64, c.fault_addr);
+      os << " crash_record=signal:" << signal_name(c.signal)
+         << ";addr:" << addr << ";frames:";
+      for (std::size_t f = 0; f < c.frames.size(); ++f) {
+        if (f != 0) os << '|';
+        os << c.frames[f];
+      }
+    }
     os << "\n";
   }
   os << "sweep: " << report.completed << "/" << report.jobs.size()
      << " completed, " << report.failed << " failed, " << report.timed_out
      << " timed-out, " << report.skipped << " skipped";
+  if (report.crashed != 0) os << ", " << report.crashed << " crashed";
+  if (report.resource_exceeded != 0) {
+    os << ", " << report.resource_exceeded << " resource-exceeded";
+  }
   if (report.resumed != 0) {
     os << " (" << report.resumed << " resumed from checkpoint)";
+  }
+  if (report.quarantined != 0) {
+    os << " (" << report.quarantined << " quarantined)";
   }
   if (report.checkpoint_lines_ignored != 0) {
     os << " [" << report.checkpoint_lines_ignored

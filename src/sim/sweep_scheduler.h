@@ -11,8 +11,18 @@
 //   Failed    — all attempts exhausted; carries the failure class,
 //               error text and the exception for programmatic rethrow
 //   TimedOut  — the per-job wall-clock deadline fired; the core observed
-//               the cooperative cancellation token and unwound
+//               the cooperative cancellation token and unwound (or, under
+//               process isolation, the parent hard-killed the child after
+//               the SIGTERM grace expired)
 //   Skipped   — never attempted (the sweep drained after max_failures)
+//   Crashed   — process isolation only: the child died on a fatal signal
+//               (SIGSEGV/SIGBUS/SIGABRT/...); deterministic by
+//               definition, quarantined in the checkpoint journal so a
+//               resume skips the known-poison job, and carries a crash
+//               forensics record when the child's handler got one out
+//   ResourceExceeded — process isolation only: the child hit its
+//               resource jail (RLIMIT_AS allocation failure, RLIMIT_CPU
+//               SIGXCPU, or a kernel OOM kill)
 //
 // Failures are classified transient (bad_alloc, TraceFormatError — e.g.
 // a trace still being written or an I/O flake — and the fault-injection
@@ -54,8 +64,19 @@ class TransientFault : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-enum class JobStatus : std::uint8_t { kCompleted, kFailed, kTimedOut, kSkipped };
+enum class JobStatus : std::uint8_t {
+  kCompleted,
+  kFailed,
+  kTimedOut,
+  kSkipped,
+  kCrashed,           ///< child died on a fatal signal (isolation only)
+  kResourceExceeded,  ///< child hit its rlimit jail (isolation only)
+};
 [[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
+
+/// Human-readable name for a child-terminating signal ("SIGSEGV", ...;
+/// "SIG<n>" for anything unnamed).
+[[nodiscard]] std::string signal_name(int sig);
 
 enum class FailureClass : std::uint8_t { kNone, kTransient, kDeterministic };
 [[nodiscard]] const char* failure_class_name(FailureClass c) noexcept;
@@ -68,13 +89,26 @@ enum class FailureClass : std::uint8_t { kNone, kTransient, kDeterministic };
 /// is deterministic: retrying replays the same wedge.
 [[nodiscard]] FailureClass classify_failure(const std::exception_ptr& error);
 
+/// Crash forensics captured by the isolated child's async-signal-safe
+/// handler: the signal, the faulting address (siginfo_t::si_addr) and a
+/// raw backtrace, symbolized best-effort by the parent (fork without
+/// exec shares the parent's mappings, so the addresses resolve).
+struct CrashRecord {
+  int signal = 0;
+  std::uint64_t fault_addr = 0;
+  std::vector<std::string> frames;  ///< innermost first, "0xADDR symbol"
+  [[nodiscard]] bool present() const noexcept { return signal != 0; }
+};
+
 struct JobOutcome {
   JobStatus status = JobStatus::kSkipped;
-  FailureClass failure = FailureClass::kNone;  ///< kNone unless Failed
+  FailureClass failure = FailureClass::kNone;  ///< kNone unless Failed/Crashed/ResourceExceeded
   std::string what;                ///< final error text (Failed/TimedOut)
   std::uint32_t attempts = 0;      ///< attempts actually started
   double wall_seconds = 0.0;       ///< wall clock across all attempts
-  bool from_checkpoint = false;    ///< Completed via resume, not re-run
+  bool from_checkpoint = false;    ///< Completed/Crashed via resume, not re-run
+  int term_signal = 0;             ///< signal that ended the child, if any
+  CrashRecord crash;               ///< forensics (Crashed only)
 };
 
 /// One job's slot in the sweep report. `result` is meaningful only when
@@ -116,7 +150,20 @@ struct SweepFault {
     kThrowDeterministic,  ///< throw std::logic_error (not retried)
     kDelay,               ///< sleep `delay` first (drives deadline tests)
     kSpuriousWake,        ///< wake the deadline supervisor for no reason
+    // The kinds below run inside an isolated child and are rejected by
+    // the in-process executors (they would take the whole sweep down —
+    // which is exactly the failure mode isolation exists to contain).
+    kCrash,      ///< dereference a poisoned pointer (SIGSEGV + forensics)
+    kOom,        ///< allocation bomb into the RLIMIT_AS jail
+    kSpin,       ///< busy loop that ignores the cancel token (hard kill)
+    kTornFrame,  ///< write a truncated result frame, then exit 0
   };
+
+  /// True for kinds that only make sense inside an isolated child.
+  [[nodiscard]] static constexpr bool needs_isolation(Kind k) noexcept {
+    return k == Kind::kCrash || k == Kind::kOom || k == Kind::kSpin ||
+           k == Kind::kTornFrame;
+  }
   std::size_t job = 0;
   std::uint32_t attempt = 1;  ///< 1-based attempt the fault fires on
   Kind kind = Kind::kThrowTransient;
@@ -147,6 +194,27 @@ struct SweepOptions {
   /// `threads` is ignored in lane mode (the driver is single-threaded;
   /// only the deadline supervisor runs beside it).
   unsigned lanes = 0;
+  /// Process-isolated executor: when nonzero, each job runs in a forked
+  /// child under resource jails (src/sim/process_executor.h) with up to
+  /// `isolate_procs` children alive at once — the first true multi-core
+  /// sweep parallelism, and the only executor that survives a job that
+  /// SIGSEGVs, aborts, or spins past the cooperative cancel check.
+  /// Results come back over a guarded pipe frame and are bit-identical
+  /// to the in-process executors. Mutually exclusive with `lanes`;
+  /// `threads` is ignored (the parent supervisor is single-threaded).
+  unsigned isolate_procs = 0;
+  /// RLIMIT_AS cap per child, in MiB (0 = no cap). The cap covers the
+  /// whole child address space, inherited image included. Allocation
+  /// failure inside the jail maps to ResourceExceeded.
+  std::uint64_t job_mem_mb = 0;
+  /// RLIMIT_CPU backstop per child, in seconds (0 = no cap). SIGXCPU
+  /// maps to ResourceExceeded.
+  std::uint64_t job_cpu_s = 0;
+  /// Isolation only: grace between the deadline SIGTERM (cooperative —
+  /// the child's handler flips its cancel token and it unwinds with its
+  /// outcome intact) and the SIGKILL hard kill for children that ignore
+  /// it. Both fates map to TimedOut.
+  std::chrono::milliseconds kill_grace{500};
   RetryPolicy retry;
   /// Per-job wall-clock deadline; zero disables the supervisor.
   std::chrono::milliseconds job_deadline{0};
@@ -168,7 +236,11 @@ struct SweepReport {
   std::size_t failed = 0;
   std::size_t timed_out = 0;
   std::size_t skipped = 0;
+  std::size_t crashed = 0;            ///< child died on a fatal signal
+  std::size_t resource_exceeded = 0;  ///< child hit its rlimit jail
   std::size_t resumed = 0;  ///< subset of `completed` loaded from journal
+  /// Subset of `crashed` skipped on resume via a quarantine record.
+  std::size_t quarantined = 0;
   /// Torn checkpoint lines ignored on resume (a kill mid-append).
   std::size_t checkpoint_lines_ignored = 0;
 
@@ -177,10 +249,18 @@ struct SweepReport {
   }
 };
 
+/// CLI exit code for a finished sweep: 0 = every job completed, 3 = the
+/// sweep ran to completion but at least one job crashed or exceeded its
+/// resource jail, 2 = partial for any other reason (failed, timed out,
+/// skipped). (1 is reserved for usage/fatal errors before any job ran.)
+[[nodiscard]] int sweep_exit_code(const SweepReport& report) noexcept;
+
 /// Runs the sweep. Never throws for per-job failures — those are
 /// outcomes. Throws CheckpointError (bad/mismatched journal on resume)
-/// and std::invalid_argument (unjournalable job names) before any job
-/// has started.
+/// and std::invalid_argument (unjournalable job names, `lanes` combined
+/// with `isolate_procs`, an isolation-only fault kind without
+/// `isolate_procs`, or an oom fault without a `job_mem_mb` jail) before
+/// any job has started.
 [[nodiscard]] SweepReport run_sweep(const std::vector<Job>& jobs,
                                     const SweepOptions& opt = {});
 

@@ -27,6 +27,16 @@
 //                      CSV are byte-identical to the threaded sweep
 //
 // Sweep robustness (docs/SWEEP_ROBUSTNESS.md):
+//   --isolate[=N]          process-isolated executor: each job runs in a
+//                          forked child (up to N alive at once; default:
+//                          all hardware threads) so a job that crashes,
+//                          OOMs or spins cannot take the sweep down.
+//                          Results are byte-identical to the other
+//                          executors. Mutually exclusive with --lanes
+//   --job-mem-mb=N         RLIMIT_AS jail per child, MiB (isolation only)
+//   --job-cpu-s=N          RLIMIT_CPU backstop per child, seconds
+//   --kill-grace-ms=N      grace between the deadline SIGTERM and the
+//                          SIGKILL hard kill (default 500)
 //   --retries=N            attempts per transiently-failing job (default 3)
 //   --job-deadline-ms=N    per-job wall-clock deadline; an overrunning job
 //                          is cancelled cooperatively and reported timed-out
@@ -41,7 +51,11 @@
 //                          (0-based) attempt A (1-based); KIND is flaky
 //                          (transient throw), fail (deterministic throw),
 //                          delay (sleep MS ms first) or wake (spurious
-//                          supervisor wake-up). Repeatable.
+//                          supervisor wake-up). Under --isolate only:
+//                          crash (SIGSEGV in the child), oom (allocation
+//                          bomb into the --job-mem-mb jail), spin (busy
+//                          loop ignoring the cancel token) and torn-frame
+//                          (truncated result frame). Repeatable.
 //
 // Trace modes (SAMT format: docs/TRACE_FORMAT.md):
 //   --record-trace=DIR   additionally write each program's generated
@@ -57,10 +71,13 @@
 //
 // With no programs, the whole 26-program SPEC2000 suite runs.
 //
-// Exit status: 0 when every job completed, 2 when the sweep was partial
-// (some jobs failed, timed out or were skipped — the failure report goes
-// to stderr, completed rows still print), 1 on usage or fatal errors
-// (bad flags, unreadable checkpoint, import failure).
+// Exit status: 0 when every job completed, 3 when the sweep finished
+// but at least one job crashed its isolated child or exceeded its
+// resource jail (the per-job report carries outcome=, signal= and
+// crash_record= fields), 2 when the sweep was partial for any other
+// reason (jobs failed, timed out or were skipped — the failure report
+// goes to stderr, completed rows still print), 1 on usage or fatal
+// errors (bad flags, unreadable checkpoint, import failure).
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -124,6 +141,10 @@ sim::SweepFault parse_fault(const std::string& spec) {
   else if (kind == "fail") f.kind = sim::SweepFault::Kind::kThrowDeterministic;
   else if (kind == "delay") f.kind = sim::SweepFault::Kind::kDelay;
   else if (kind == "wake") f.kind = sim::SweepFault::Kind::kSpuriousWake;
+  else if (kind == "crash") f.kind = sim::SweepFault::Kind::kCrash;
+  else if (kind == "oom") f.kind = sim::SweepFault::Kind::kOom;
+  else if (kind == "spin") f.kind = sim::SweepFault::Kind::kSpin;
+  else if (kind == "torn-frame") f.kind = sim::SweepFault::Kind::kTornFrame;
   else usage_error("unknown fault kind '" + kind + "' in --inject-fault");
   if (parts.size() == 4) {
     f.delay = std::chrono::milliseconds(std::strtoull(parts[3].c_str(), &end, 10));
@@ -243,6 +264,17 @@ int main(int argc, char** argv) {
     } else if (parse_u64(arg, "--lanes", v)) {
       if (v == 0) usage_error("--lanes must be at least 1");
       sweep.lanes = static_cast<unsigned>(v);
+    } else if (arg == "--isolate") {
+      sweep.isolate_procs = sim::bench_threads();
+    } else if (parse_u64(arg, "--isolate", v)) {
+      if (v == 0) usage_error("--isolate must be at least 1");
+      sweep.isolate_procs = static_cast<unsigned>(v);
+    } else if (parse_u64(arg, "--job-mem-mb", v)) {
+      sweep.job_mem_mb = v;
+    } else if (parse_u64(arg, "--job-cpu-s", v)) {
+      sweep.job_cpu_s = v;
+    } else if (parse_u64(arg, "--kill-grace-ms", v)) {
+      sweep.kill_grace = std::chrono::milliseconds(v);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "see the header of tools/samie_sim.cpp for options\n";
       return 0;
@@ -264,6 +296,12 @@ int main(int argc, char** argv) {
   }
   if (!import_path.empty() && !sweep.checkpoint_path.empty()) {
     usage_error("--checkpoint/--resume apply to sweep modes, not --import-trace");
+  }
+  if (sweep.isolate_procs != 0 && sweep.lanes != 0) {
+    usage_error("--isolate and --lanes are mutually exclusive executors");
+  }
+  if (sweep.isolate_procs != 0 && !import_path.empty()) {
+    usage_error("--isolate applies to sweep modes, not --import-trace");
   }
   if (!record_dir.empty()) {
     std::error_code ec;
@@ -355,6 +393,11 @@ int main(int argc, char** argv) {
   } catch (const trace::TraceFormatError& e) {
     std::cerr << "samie_sim: " << e.what() << "\n";
     return 1;
+  } catch (const std::invalid_argument& e) {
+    // run_sweep's pre-flight validation (e.g. an isolation-only fault
+    // kind without --isolate, or an oom fault without --job-mem-mb).
+    std::cerr << "samie_sim: " << e.what() << "\n";
+    return 1;
   }
 
   if (ran_sweep) {
@@ -393,7 +436,7 @@ int main(int argc, char** argv) {
                 << ',' << s.buffer_nonempty_frac << ',' << s.area_total << ','
                 << s.core.value_mismatches << '\n';
     }
-    return ran_sweep && !report.all_completed() ? 2 : 0;
+    return ran_sweep ? sim::sweep_exit_code(report) : 0;
   }
 
   Table t({"program", "IPC", "LSQ uJ", "Dcache uJ", "DTLB uJ", "deadlk/Mcyc",
@@ -416,5 +459,5 @@ int main(int argc, char** argv) {
     std::cout << cfg.instructions << " instructions/program\n";
   }
   t.print(std::cout);
-  return ran_sweep && !report.all_completed() ? 2 : 0;
+  return ran_sweep ? sim::sweep_exit_code(report) : 0;
 }
