@@ -1018,8 +1018,7 @@ bool Core<LsqT, ObserverT>::dispatch_blocked() const {
 }
 
 template <typename LsqT, typename ObserverT>
-void Core<LsqT, ObserverT>::try_fast_forward() {
-  if (wake_ledger_ != 0) return;
+Cycle Core<LsqT, ObserverT>::wake_horizon() const {
   // Wake sources. The fetch stall participates only when fetch could act
   // once it lifts; the hierarchy hook is constant kNeverCycle for the
   // synchronous model but keeps async models honest (see hierarchy.h).
@@ -1031,7 +1030,19 @@ void Core<LsqT, ObserverT>::try_fast_forward() {
   // Clamp to the cycle the watchdog would fire at: if no wake source
   // exists before it, the always-step loop would have spun there and
   // thrown — jump to the same cycle and let run() throw identically.
-  wake = std::min(wake, last_commit_cycle_ + cfg_.commit_timeout + 1);
+  return std::min(wake, last_commit_cycle_ + cfg_.commit_timeout + 1);
+}
+
+template <typename LsqT, typename ObserverT>
+Cycle Core<LsqT, ObserverT>::next_wake_cycle() const {
+  if (cfg_.always_step || wake_ledger_ != 0) return cycle_;
+  return std::max(cycle_, wake_horizon());
+}
+
+template <typename LsqT, typename ObserverT>
+void Core<LsqT, ObserverT>::try_fast_forward() {
+  if (wake_ledger_ != 0) return;
+  const Cycle wake = wake_horizon();
   if (wake <= cycle_) return;
 
   const std::uint64_t span = wake - cycle_;

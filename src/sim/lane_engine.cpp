@@ -1,5 +1,6 @@
 #include "src/sim/lane_engine.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -88,6 +89,10 @@ class LaneImpl final : public Lane {
     return core_.step(max_cycles);
   }
 
+  [[nodiscard]] std::uint64_t next_wake_cycle() const override {
+    return core_.next_wake_cycle();
+  }
+
   [[nodiscard]] SimResult finish() override {
     SimResult r;
     r.core = core_.finish();
@@ -136,19 +141,32 @@ std::unique_ptr<Lane> make_lane(const SimConfig& cfg,
   throw std::logic_error("make_lane: unknown LsqChoice");
 }
 
+LaneEngine::LaneEngine(std::uint64_t cycles_per_turn)
+    : cycles_per_turn_(cycles_per_turn) {
+  if (cycles_per_turn == 0) {
+    throw std::invalid_argument("LaneEngine: cycles_per_turn must be >= 1");
+  }
+}
+
 void LaneEngine::add(std::uint64_t key, std::unique_ptr<Lane> lane) {
-  lanes_.push_back(Slot{key, std::move(lane)});
+  const std::uint64_t wake = lane->next_wake_cycle();
+  heap_.push_back(Slot{key, std::move(lane), wake, admitted_++});
+  std::push_heap(heap_.begin(), heap_.end(), later);
 }
 
 std::optional<LaneEngine::Event> LaneEngine::run_until_event() {
-  while (!lanes_.empty()) {
-    if (next_ >= lanes_.size()) next_ = 0;
-    Slot& slot = lanes_[next_];
+  while (!heap_.empty()) {
+    // Pop the lane whose next event is soonest on its own clock. Fresh
+    // lanes enter at wake 0, so admission order is the first pass's
+    // order, exactly as the old round-robin stepped them.
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Slot& slot = heap_.back();
     Event ev;
     ev.key = slot.key;
     try {
       if (slot.lane->step(cycles_per_turn_)) {
-        ++next_;
+        slot.wake = slot.lane->next_wake_cycle();
+        std::push_heap(heap_.begin(), heap_.end(), later);
         continue;
       }
       ev.ok = true;
@@ -157,10 +175,7 @@ std::optional<LaneEngine::Event> LaneEngine::run_until_event() {
       ev.ok = false;
       ev.error = std::current_exception();
     }
-    // Swap-erase keeps refills O(1); the cursor stays put so the lane
-    // moved into this slot is stepped next, preserving fairness.
-    lanes_[next_] = std::move(lanes_.back());
-    lanes_.pop_back();
+    heap_.pop_back();
     return ev;
   }
   return std::nullopt;

@@ -121,6 +121,10 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
   report.repeats = opt.repeats == 0 ? 1 : opt.repeats;
   report.no_skip = opt.always_step;
   report.lanes = opt.lanes;
+  if (opt.lanes != 0) {
+    report.lane_shards =
+        opt.lane_shards != 0 ? opt.lane_shards : bench_threads();
+  }
 
   const std::vector<LsqChoice> lsqs =
       opt.lsqs.empty()
@@ -128,14 +132,14 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
                                    LsqChoice::kSamie}
           : opt.lsqs;
 
-  // Generated workloads are materialized up front so allocation and RNG
-  // work never land in a timed region. Canned traces are only *named*
-  // here (cheap header reads for the labels); each file is mmapped right
-  // before its timed runs and unmapped right after, so the sweep's peak
-  // RSS tracks one trace at a time instead of the whole suite. The
-  // checksum verification at open faults the pages in, keeping the timed
-  // replay on a warm page cache.
-  std::vector<trace::TraceSource> traces;
+  // Workloads stream: a generated trace is materialized right before
+  // its timed repeats (outside the timed region — allocation and RNG
+  // never land in a wall measurement) and freed right after, and a
+  // canned trace is mmapped and unmapped the same way, so the suite's
+  // peak RSS tracks one trace at a time instead of all 26 — the probe
+  // the per-consumer TraceCache release discipline is measured against.
+  // For canned traces the checksum verification at open faults the
+  // pages in, keeping the timed replay on a warm page cache.
   std::vector<std::string> trace_files;
   std::vector<std::string> programs;
   if (!opt.trace_dir.empty()) {
@@ -170,11 +174,6 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
     report.instructions = uniform ? common_count : 0;
   } else {
     programs = opt.programs.empty() ? trace::spec2000_names() : opt.programs;
-    for (const auto& p : programs) {
-      traces.push_back(trace::TraceSource::generate(trace::spec2000_profile(p),
-                                                    opt.seed,
-                                                    opt.instructions));
-    }
   }
 
   // Resume journal: load finished (lsq, program) measurements — walls
@@ -231,15 +230,18 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
       pr.best_wall_seconds = std::numeric_limits<double>::infinity();
       pr.wall_all.reserve(report.repeats);
       try {
-        std::optional<trace::TraceSource> mapped;
+        std::optional<trace::TraceSource> source;
         trace::TraceView view;
         if (opt.trace_dir.empty()) {
-          view = traces[i].view();
+          source.emplace(trace::TraceSource::generate(
+              trace::spec2000_profile(programs[i]), opt.seed,
+              opt.instructions));
+          view = source->view();
           cfg.instructions = opt.instructions;
         } else {
-          mapped.emplace(trace::TraceSource::open_samt(trace_files[i]));
-          view = mapped->view();
-          cfg.instructions = static_cast<std::uint64_t>(mapped->size());
+          source.emplace(trace::TraceSource::open_samt(trace_files[i]));
+          view = source->view();
+          cfg.instructions = static_cast<std::uint64_t>(source->size());
         }
         for (std::uint32_t r = 0; r < report.repeats; ++r) {
           const auto t0 = Clock::now();
@@ -307,8 +309,13 @@ HotpathReport run_hotpath_measurement(const HotpathOptions& opt) {
       SweepOptions pool;
       SweepOptions lane;
       lane.lanes = opt.lanes;
+      lane.lane_shards = 1;  // pinned: this field is the one-shard wall
+      lane.lane_turn = opt.lane_turn;
+      SweepOptions sharded = lane;
+      sharded.lane_shards = report.lane_shards;
       lr.pool_sweep_wall_seconds = timed_sweep(pool);
       lr.lane_sweep_wall_seconds = timed_sweep(lane);
+      lr.sharded_sweep_wall_seconds = timed_sweep(sharded);
     }
 
     lr.peak_rss_kb = peak_rss_kb();
@@ -325,6 +332,9 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
   os << "  \"repeats\": " << report.repeats << ",\n";
   os << "  \"no_skip\": " << (report.no_skip ? "true" : "false") << ",\n";
   os << "  \"lanes\": " << report.lanes << ",\n";
+  // Additive to schema v2: shards of the sharded_sweep measurement
+  // (timing-only, excluded from bit-identity diffs like the walls).
+  os << "  \"lane_shards\": " << report.lane_shards << ",\n";
   // Additive to schema v1: measurements that threw (absent from their
   // LSQ's programs/totals). Always emitted so a resumed report stays
   // byte-identical to the uninterrupted one.
@@ -357,6 +367,8 @@ void write_hotpath_json(std::ostream& os, const HotpathReport& report) {
     json_number(os, lr.pool_sweep_wall_seconds);
     os << ",\n      \"lane_sweep_wall_seconds\": ";
     json_number(os, lr.lane_sweep_wall_seconds);
+    os << ",\n      \"sharded_sweep_wall_seconds\": ";
+    json_number(os, lr.sharded_sweep_wall_seconds);
     os << ",\n      \"peak_rss_kb\": " << lr.peak_rss_kb << ",\n";
     os << "      \"programs\": [\n";
     for (std::size_t pi = 0; pi < lr.programs.size(); ++pi) {

@@ -23,7 +23,7 @@
 #include "src/sim/lane_engine.h"
 #include "src/sim/proc_frame.h"
 #include "src/sim/process_executor.h"
-#include "src/trace/spec2000.h"
+#include "src/sim/trace_cache.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
 
@@ -36,106 +36,6 @@ using Clock = std::chrono::steady_clock;
 [[nodiscard]] double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
-
-/// Thread-safe cache of trace sources with a once-per-key build latch.
-/// Generated workloads are keyed by (program, length, seed); recorded
-/// SAMT files by path alone. The first worker to request a key builds
-/// it *outside* the cache lock (distinct keys materialize concurrently)
-/// while later requesters wait on the latch instead of generating or
-/// mmapping the same multi-MB workload a second time. A failed build
-/// releases the latch so a retry attempt rebuilds rather than being
-/// poisoned forever.
-class TraceCache {
- public:
-  /// Registers the jobs that will actually run (resume-skipped jobs are
-  /// excluded) so finished() can release page residency the moment a
-  /// trace's last consumer completes.
-  TraceCache(const std::vector<Job>& jobs, const std::vector<bool>& resumed) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      if (!resumed[i]) ++pending_[key_of(jobs[i])];
-    }
-  }
-
-  std::shared_ptr<const trace::TraceSource> get(const Job& job) {
-    const Key key = key_of(job);
-    {
-      std::unique_lock lock(mu_);
-      for (;;) {
-        Slot& slot = slots_[key];
-        if (slot.ready) return slot.src;
-        if (!slot.building) {
-          slot.building = true;
-          break;
-        }
-        cv_.wait(lock);
-      }
-    }
-    // Build outside the lock: different keys materialize concurrently.
-    std::shared_ptr<const trace::TraceSource> built;
-    try {
-      const std::string& path = job.config.trace_path;
-      built = std::make_shared<const trace::TraceSource>(
-          path.empty()
-              ? trace::TraceSource::generate(
-                    trace::spec2000_profile(job.program), job.config.seed,
-                    job.config.instructions)
-              : trace::TraceSource::open_samt(
-                    path, job.config.verify_trace_checksum));
-    } catch (...) {
-      std::scoped_lock lock(mu_);
-      slots_[key].building = false;  // next requester retries the build
-      cv_.notify_all();
-      throw;
-    }
-    std::scoped_lock lock(mu_);
-    Slot& slot = slots_[key];
-    slot.src = std::move(built);
-    slot.ready = true;
-    slot.building = false;
-    cv_.notify_all();
-    return slot.src;
-  }
-
-  /// A job is done with its trace (success, failure or skip). When it
-  /// was the last one, mapped traces drop their resident pages
-  /// (MADV_DONTNEED) so a long sweep's RSS tracks the traces still in
-  /// use. The source object stays cached — a late duplicate key would
-  /// just fault pages back in.
-  void finished(const Job& job) {
-    const Key key = key_of(job);
-    std::shared_ptr<const trace::TraceSource> done;
-    {
-      std::scoped_lock lock(mu_);
-      auto p = pending_.find(key);
-      if (p == pending_.end() || --p->second != 0) return;
-      if (auto it = slots_.find(key); it != slots_.end() && it->second.ready) {
-        done = it->second.src;
-      }
-    }
-    if (done != nullptr) done->advise_dontneed();
-  }
-
- private:
-  using Key = std::tuple<std::string, std::uint64_t, std::uint64_t>;
-
-  struct Slot {
-    std::shared_ptr<const trace::TraceSource> src;
-    bool building = false;
-    bool ready = false;
-  };
-
-  [[nodiscard]] static Key key_of(const Job& job) {
-    const std::string& path = job.config.trace_path;
-    return path.empty() ? Key{job.program, job.config.instructions,
-                              job.config.seed}
-                        : Key{"file:" + path, 0, 0};
-  }
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<Key, Slot> slots_;
-  std::map<Key, std::size_t> pending_;
-};
 
 /// Enforces per-job wall-clock deadlines by flipping each job's
 /// cooperative cancellation token when its deadline passes. One thread
@@ -374,186 +274,298 @@ void tally(SweepReport& rep) {
   }
 }
 
-/// Single-threaded batched-lane executor (SweepOptions::lanes): up to K
-/// machines live at once, stepped round-robin by a LaneEngine. The job
+/// Sharded batched-lane executor (SweepOptions::lanes x lane_shards):
+/// T worker shards, each owning a *private* LaneEngine of up to K
+/// lanes, pull jobs from a shared cursor + due-time retry queue and
+/// publish retirements into the per-index report slots. The job
 /// lifecycle mirrors the worker pool exactly — the same pre-run fault
-/// hooks, transient-retry policy with backoff, cooperative deadline
-/// tokens (one supervisor slot per lane), drain-to-Skipped past the
-/// failure budget and checkpoint journaling — and completed results are
-/// bit-identical (a lane *is* run_simulation sliced into turns), so the
-/// CSV a lane sweep emits matches the threaded sweep byte for byte.
-/// Retry backoff and injected delays sleep the driver thread (every
-/// lane pauses); both are cold paths, and outcomes don't depend on when
-/// a lane's cycles happen relative to another's.
+/// hooks, transient-retry policy with backoff (a retried job goes back
+/// on the shared queue, so the next attempt lands on whichever shard
+/// has a free lane first), cooperative deadline tokens (supervisor slot
+/// = shard x K + local lane), drain-to-Skipped past the failure budget
+/// and checkpoint journaling — and completed results are bit-identical
+/// (a lane *is* run_simulation sliced into turns, and lanes never share
+/// mutable simulation state), so the CSV a sharded lane sweep emits
+/// matches the threaded sweep byte for byte at any T. T=1 runs on the
+/// calling thread with no pool. Retry backoff never sleeps a shard:
+/// due-times sit on the queue while live lanes keep stepping, and an
+/// idle shard waits on the queue's condition variable with a deadline
+/// at the earliest due retry. Injected delay faults sleep only the
+/// shard running the faulted attempt; sibling shards keep stepping.
 class LaneExecutor {
  public:
   LaneExecutor(const std::vector<Job>& jobs,
                const std::vector<std::size_t>& todo, const SweepOptions& opt,
                SweepReport& rep, TraceCache& traces,
                std::optional<DeadlineSupervisor>& supervisor,
-               std::optional<CheckpointWriter>& journal)
+               std::optional<CheckpointWriter>& journal, unsigned shards)
       : jobs_(jobs),
         todo_(todo),
         opt_(opt),
         rep_(rep),
         traces_(traces),
         supervisor_(supervisor),
-        journal_(journal) {
-    const unsigned lanes = std::max(1U, opt.lanes);
-    for (unsigned s = 0; s < lanes; ++s) free_slots_.push_back(s);
-  }
+        journal_(journal),
+        lanes_per_shard_(std::max(1U, opt.lanes)),
+        shards_(std::max(1U, shards)),
+        turn_(opt.lane_turn != 0 ? opt.lane_turn
+                                 : LaneEngine::kDefaultCyclesPerTurn) {}
 
   void run() {
-    refill();
-    while (auto ev = engine_.run_until_event()) {
-      auto node = inflight_.extract(ev->key);
-      InFlight& st = node.mapped();
-      if (supervisor_) supervisor_->disarm(st.slot);
-      if (ev->ok) {
-        st.oc.status = JobStatus::kCompleted;
-        finalize(st, nullptr, &ev->result);
-        free_slots_.push_back(st.slot);
-      } else if (!retry_or_finalize(st, ev->error)) {
-        free_slots_.push_back(st.slot);
-      } else {
-        inflight_.insert(std::move(node));
+    if (shards_ == 1) {
+      shard_main(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(shards_);
+      for (unsigned s = 0; s < shards_; ++s) {
+        pool.emplace_back([this, s] {
+          try {
+            shard_main(s);
+          } catch (...) {
+            // Defensive: per-job failures are outcomes, so only
+            // infrastructure (journal I/O, bad_alloc in bookkeeping)
+            // lands here. First exception wins; siblings drain out.
+            std::scoped_lock lock(mu_);
+            if (!panic_) panic_ = std::current_exception();
+            cv_.notify_all();
+          }
+        });
       }
-      refill();
+      for (auto& th : pool) th.join();
     }
+    if (panic_) std::rethrow_exception(panic_);
   }
 
  private:
   struct InFlight {
     std::size_t index = 0;
-    unsigned slot = 0;
+    unsigned slot = 0;  ///< global supervisor slot (shard x K + lane)
     JobOutcome oc;
     /// Stable address for the core's cooperative cancellation poll.
     std::unique_ptr<std::atomic<bool>> cancel;
     /// Keeps the mmapped/generated trace alive while the lane runs.
     std::shared_ptr<const trace::TraceSource> trace;
-    Clock::time_point t0;
+    Clock::time_point t0;  ///< first attempt start, carried across retries
   };
 
-  /// Admits jobs until the lanes are full or the job list is drained.
-  void refill() {
-    while (!free_slots_.empty() && cursor_ < todo_.size()) {
-      const std::size_t i = todo_[cursor_++];
-      if (opt_.max_failures != 0 && failures_ >= opt_.max_failures) {
-        SweepJobResult& out = rep_.jobs[i];
-        out.outcome.status = JobStatus::kSkipped;
-        out.outcome.attempts = 0;
-        traces_.finished(jobs_[i]);
+  /// A job waiting out its retry backoff on the shared queue. Only the
+  /// outcome-so-far travels — the next attempt rebuilds its cancel
+  /// token and trace reference on whichever shard picks it up.
+  struct PendingRetry {
+    std::size_t index = 0;
+    JobOutcome oc;
+    Clock::time_point t0;
+    Clock::time_point due;
+  };
+
+  /// One shard: a private engine stepping up to K lanes, refilled from
+  /// the shared queue. Returns when the sweep is complete (or a sibling
+  /// panicked).
+  void shard_main(unsigned shard) {
+    LaneEngine engine(turn_);
+    std::map<std::uint64_t, InFlight> inflight;
+    std::vector<unsigned> free_slots;
+    for (unsigned l = 0; l < lanes_per_shard_; ++l) {
+      free_slots.push_back(shard * lanes_per_shard_ + l);
+    }
+    for (;;) {
+      refill(engine, inflight, free_slots);
+      if (engine.active() == 0) {
+        // Nothing runnable here. Either the sweep is done, or the only
+        // work left is a not-yet-due retry / jobs owned by other shards
+        // (which may still spawn retries) — wait for the earliest due
+        // time or a queue change.
+        std::unique_lock lock(mu_);
+        if (panic_ || done_locked()) return;
+        const Clock::time_point due = earliest_due_locked();
+        if (due == Clock::time_point::max()) {
+          cv_.wait(lock);
+        } else {
+          cv_.wait_until(lock, due);
+        }
         continue;
       }
-      InFlight st;
-      st.index = i;
-      st.slot = free_slots_.back();
-      free_slots_.pop_back();
-      st.cancel = std::make_unique<std::atomic<bool>>(false);
-      st.t0 = Clock::now();
-      const unsigned slot = st.slot;
-      if (start_attempt(st)) {
-        inflight_.emplace(st.index, std::move(st));
+      auto ev = engine.run_until_event();
+      if (!ev) continue;
+      auto node = inflight.extract(ev->key);
+      InFlight& st = node.mapped();
+      if (supervisor_) supervisor_->disarm(st.slot);
+      free_slots.push_back(st.slot);
+      if (ev->ok) {
+        st.oc.status = JobStatus::kCompleted;
+        finalize(st, nullptr, &ev->result);
       } else {
-        free_slots_.push_back(slot);
+        retry_or_finalize(st, ev->error);
       }
     }
   }
 
-  /// Starts the next attempt: pre-run fault hook, deadline arm, trace
-  /// acquisition, lane admission. Pre-run failures are classified and
-  /// transient ones retried right here (with backoff); returns false
-  /// when the job reached a terminal outcome instead.
-  bool start_attempt(InFlight& st) {
-    const Job& job = jobs_[st.index];
-    for (;;) {
-      const std::uint32_t attempt = ++st.oc.attempts;
-      st.cancel->store(false, std::memory_order_relaxed);
-      const SweepFault* fault =
-          opt_.faults != nullptr ? opt_.faults->find(st.index, attempt)
-                                 : nullptr;
-      try {
-        if (supervisor_ && opt_.job_deadline.count() > 0) {
-          supervisor_->arm(st.slot, st.cancel.get(),
-                           Clock::now() + opt_.job_deadline);
+  /// Admits work until this shard's lanes are full or the queue has
+  /// nothing runnable: due retries first (a backed-off job re-enters
+  /// ahead of fresh work), then fresh jobs off the shared cursor. Jobs
+  /// drained past the failure budget seal as Skipped here.
+  void refill(LaneEngine& engine, std::map<std::uint64_t, InFlight>& inflight,
+              std::vector<unsigned>& free_slots) {
+    while (!free_slots.empty()) {
+      InFlight st;
+      bool have = false;
+      std::vector<std::size_t> drained;
+      {
+        std::scoped_lock lock(mu_);
+        if (panic_) return;
+        const Clock::time_point now = Clock::now();
+        for (std::size_t k = 0; k < retries_.size(); ++k) {
+          if (retries_[k].due > now) continue;
+          PendingRetry r = std::move(retries_[k]);
+          retries_.erase(retries_.begin() + static_cast<std::ptrdiff_t>(k));
+          st.index = r.index;
+          st.oc = std::move(r.oc);
+          st.t0 = r.t0;
+          ++active_jobs_;
+          have = true;
+          break;
         }
-        if (fault != nullptr) {
-          switch (fault->kind) {
-            case SweepFault::Kind::kThrowTransient:
-              throw TransientFault("injected transient fault (job " +
+        while (!have && cursor_ < todo_.size()) {
+          const std::size_t i = todo_[cursor_++];
+          if (opt_.max_failures != 0 &&
+              failures_.load(std::memory_order_relaxed) >= opt_.max_failures) {
+            drained.push_back(i);
+            continue;
+          }
+          st.index = i;
+          st.t0 = Clock::now();
+          ++active_jobs_;
+          have = true;
+        }
+      }
+      for (const std::size_t i : drained) {
+        SweepJobResult& out = rep_.jobs[i];
+        out.outcome.status = JobStatus::kSkipped;
+        out.outcome.attempts = 0;
+        traces_.finished(jobs_[i]);
+      }
+      if (!have) return;
+      st.slot = free_slots.back();
+      free_slots.pop_back();
+      st.cancel = std::make_unique<std::atomic<bool>>(false);
+      const unsigned slot = st.slot;
+      if (start_attempt(engine, st)) {
+        inflight.emplace(st.index, std::move(st));
+      } else {
+        free_slots.push_back(slot);
+      }
+    }
+  }
+
+  /// Starts the job's next attempt on this shard: pre-run fault hook,
+  /// deadline arm, trace acquisition, lane admission. Pre-run failures
+  /// are classified; transient ones with budget left go back on the
+  /// shared retry queue (no shard ever sleeps out a backoff), terminal
+  /// ones seal the job. Returns true when the lane was admitted.
+  bool start_attempt(LaneEngine& engine, InFlight& st) {
+    const Job& job = jobs_[st.index];
+    const std::uint32_t attempt = ++st.oc.attempts;
+    st.cancel->store(false, std::memory_order_relaxed);
+    const SweepFault* fault =
+        opt_.faults != nullptr ? opt_.faults->find(st.index, attempt) : nullptr;
+    try {
+      if (supervisor_ && opt_.job_deadline.count() > 0) {
+        supervisor_->arm(st.slot, st.cancel.get(),
+                         Clock::now() + opt_.job_deadline);
+      }
+      if (fault != nullptr) {
+        switch (fault->kind) {
+          case SweepFault::Kind::kThrowTransient:
+            throw TransientFault("injected transient fault (job " +
+                                 std::to_string(st.index) + ", attempt " +
+                                 std::to_string(attempt) + ")");
+          case SweepFault::Kind::kThrowDeterministic:
+            throw std::logic_error("injected deterministic fault (job " +
                                    std::to_string(st.index) + ", attempt " +
                                    std::to_string(attempt) + ")");
-            case SweepFault::Kind::kThrowDeterministic:
-              throw std::logic_error("injected deterministic fault (job " +
-                                     std::to_string(st.index) + ", attempt " +
-                                     std::to_string(attempt) + ")");
-            case SweepFault::Kind::kDelay:
-              std::this_thread::sleep_for(fault->delay);
-              break;
-            case SweepFault::Kind::kSpuriousWake:
-              if (supervisor_) supervisor_->spurious_wake();
-              break;
-            case SweepFault::Kind::kCrash:
-            case SweepFault::Kind::kOom:
-            case SweepFault::Kind::kSpin:
-            case SweepFault::Kind::kTornFrame:
-              // Unreachable: run_sweep rejects isolation-only kinds
-              // before any executor starts.
-              break;
-          }
+          case SweepFault::Kind::kDelay:
+            std::this_thread::sleep_for(fault->delay);
+            break;
+          case SweepFault::Kind::kSpuriousWake:
+            if (supervisor_) supervisor_->spurious_wake();
+            break;
+          case SweepFault::Kind::kCrash:
+          case SweepFault::Kind::kOom:
+          case SweepFault::Kind::kSpin:
+          case SweepFault::Kind::kTornFrame:
+            // Unreachable: run_sweep rejects isolation-only kinds
+            // before any executor starts.
+            break;
         }
-        st.trace = traces_.get(job);
-        SimConfig cfg = job.config;
-        cfg.core.should_abort = st.cancel.get();
-        engine_.add(st.index, make_lane(cfg, st.trace->view()));
-        return true;
-      } catch (...) {
-        if (supervisor_) supervisor_->disarm(st.slot);
-        const std::exception_ptr error = std::current_exception();
-        const FailureClass cls = classify_failure(error);
-        if (cls == FailureClass::kTransient &&
-            attempt < opt_.retry.max_attempts) {
-          std::this_thread::sleep_for(opt_.retry.backoff_for(attempt + 1));
-          continue;
-        }
-        st.oc.status = JobStatus::kFailed;
-        st.oc.failure = cls;
-        st.oc.what = what_of(error);
-        finalize(st, error, nullptr);
+      }
+      st.trace = traces_.get(job);
+      SimConfig cfg = job.config;
+      cfg.core.should_abort = st.cancel.get();
+      engine.add(st.index, make_lane(cfg, st.trace->view()));
+      return true;
+    } catch (...) {
+      if (supervisor_) supervisor_->disarm(st.slot);
+      const std::exception_ptr error = std::current_exception();
+      const FailureClass cls = classify_failure(error);
+      if (cls == FailureClass::kTransient &&
+          attempt < opt_.retry.max_attempts) {
+        requeue(st);
         return false;
       }
+      st.oc.status = JobStatus::kFailed;
+      st.oc.failure = cls;
+      st.oc.what = what_of(error);
+      finalize(st, error, nullptr);
+      return false;
     }
   }
 
   /// Handles a lane that retired by throwing: a cooperative abort is a
   /// deadline expiry (terminal), a transient failure with attempts left
-  /// re-enters start_attempt, anything else is Failed. Returns true when
-  /// the job went back in flight.
-  bool retry_or_finalize(InFlight& st, const std::exception_ptr& error) {
+  /// goes back on the shared retry queue, anything else is Failed.
+  void retry_or_finalize(InFlight& st, const std::exception_ptr& error) {
     try {
       std::rethrow_exception(error);
     } catch (const core::SimulationAborted& e) {
       st.oc.status = JobStatus::kTimedOut;
       st.oc.what = e.what();
       finalize(st, error, nullptr);
-      return false;
+      return;
     } catch (...) {
     }
     const FailureClass cls = classify_failure(error);
     if (cls == FailureClass::kTransient &&
         st.oc.attempts < opt_.retry.max_attempts) {
-      std::this_thread::sleep_for(opt_.retry.backoff_for(st.oc.attempts + 1));
-      return start_attempt(st);
+      st.trace.reset();  // dropped across the backoff; re-acquired on retry
+      requeue(st);
+      return;
     }
     st.oc.status = JobStatus::kFailed;
     st.oc.failure = cls;
     st.oc.what = what_of(error);
     finalize(st, error, nullptr);
-    return false;
+  }
+
+  /// Queues the job's next attempt after backoff. Any shard may pick it
+  /// up; idle shards are woken so the earliest-due wait re-anchors.
+  void requeue(InFlight& st) {
+    PendingRetry r;
+    r.index = st.index;
+    r.oc = st.oc;
+    r.t0 = st.t0;
+    r.due = Clock::now() + opt_.retry.backoff_for(st.oc.attempts + 1);
+    {
+      std::scoped_lock lock(mu_);
+      retries_.push_back(std::move(r));
+      --active_jobs_;
+    }
+    cv_.notify_all();
   }
 
   /// Seals the job's slot in the report: wall clock, trace release,
   /// journal append (completed only) and the failure tally for drain.
+  /// Each index is sealed by exactly one shard, so the report slot
+  /// needs no lock; the journal does.
   void finalize(InFlight& st, const std::exception_ptr& error,
                 const SimResult* result) {
     st.oc.wall_seconds = seconds_since(st.t0);
@@ -564,12 +576,28 @@ class LaneExecutor {
     if (st.oc.status == JobStatus::kCompleted) {
       out.result = *result;
       if (journal_) {
+        std::scoped_lock lock(journal_mu_);
         journal_->append_record(
             encode_record(st.index, jobs_[st.index], st.oc, *result));
       }
     } else {
-      ++failures_;
+      failures_.fetch_add(1, std::memory_order_relaxed);
     }
+    {
+      std::scoped_lock lock(mu_);
+      --active_jobs_;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool done_locked() const {
+    return cursor_ >= todo_.size() && retries_.empty() && active_jobs_ == 0;
+  }
+
+  [[nodiscard]] Clock::time_point earliest_due_locked() const {
+    Clock::time_point due = Clock::time_point::max();
+    for (const PendingRetry& r : retries_) due = std::min(due, r.due);
+    return due;
   }
 
   const std::vector<Job>& jobs_;
@@ -579,11 +607,18 @@ class LaneExecutor {
   TraceCache& traces_;
   std::optional<DeadlineSupervisor>& supervisor_;
   std::optional<CheckpointWriter>& journal_;
-  LaneEngine engine_;
-  std::map<std::uint64_t, InFlight> inflight_;
-  std::vector<unsigned> free_slots_;
-  std::size_t cursor_ = 0;   ///< next index into todo_
-  std::size_t failures_ = 0;
+  const unsigned lanes_per_shard_;
+  const unsigned shards_;
+  const std::uint64_t turn_;
+
+  std::mutex mu_;  ///< guards cursor_, retries_, active_jobs_, panic_
+  std::condition_variable cv_;
+  std::size_t cursor_ = 0;      ///< next index into todo_
+  std::vector<PendingRetry> retries_;
+  std::size_t active_jobs_ = 0;  ///< jobs currently owned by a shard
+  std::exception_ptr panic_;
+  std::mutex journal_mu_;
+  std::atomic<std::size_t> failures_{0};
 };
 
 /// Process-isolated executor (SweepOptions::isolate_procs): each job
@@ -961,6 +996,14 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
     throw std::invalid_argument(
         "lanes and isolate_procs are mutually exclusive executors");
   }
+  if (opt.lane_shards != 0 && opt.lanes == 0) {
+    throw std::invalid_argument(
+        "lane_shards requires the batched-lane executor (lanes)");
+  }
+  if (opt.lane_turn != 0 && opt.lanes == 0) {
+    throw std::invalid_argument(
+        "lane_turn requires the batched-lane executor (lanes)");
+  }
   if (opt.faults != nullptr) {
     for (const SweepFault& f : opt.faults->faults) {
       if (SweepFault::needs_isolation(f.kind) && opt.isolate_procs == 0) {
@@ -1052,6 +1095,17 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
   }
 
   TraceCache traces(jobs, done);
+  // Shard count for the lane executor: explicit lane_shards, else the
+  // host's bench parallelism, clamped to the runnable job count (a
+  // shard with nothing to ever run is pure thread-spawn overhead).
+  unsigned lane_shards = 0;
+  if (opt.lanes != 0) {
+    lane_shards = opt.lane_shards != 0 ? opt.lane_shards : bench_threads();
+    lane_shards = std::max(
+        1U, std::min<unsigned>(lane_shards,
+                               static_cast<unsigned>(std::max<std::size_t>(
+                                   1, todo.size()))));
+  }
   const bool wants_wake_faults =
       opt.faults != nullptr &&
       std::any_of(opt.faults->faults.begin(), opt.faults->faults.end(),
@@ -1064,17 +1118,22 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
   std::optional<DeadlineSupervisor> supervisor;
   if (opt.isolate_procs == 0 &&
       (opt.job_deadline.count() > 0 || wants_wake_faults)) {
-    supervisor.emplace(opt.lanes != 0 ? std::max(1U, opt.lanes) : threads);
+    supervisor.emplace(opt.lanes != 0 ? lane_shards * std::max(1U, opt.lanes)
+                                      : threads);
   }
 
   if (opt.isolate_procs != 0) {
     IsolateExecutor(jobs, todo, opt, rep, traces, journal).run();
+    rep.trace_resident_high_water = traces.resident_high_water();
     tally(rep);
     return rep;
   }
 
   if (opt.lanes != 0) {
-    LaneExecutor(jobs, todo, opt, rep, traces, supervisor, journal).run();
+    LaneExecutor(jobs, todo, opt, rep, traces, supervisor, journal,
+                 lane_shards)
+        .run();
+    rep.trace_resident_high_water = traces.resident_high_water();
     tally(rep);
     return rep;
   }
@@ -1193,6 +1252,7 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
   for (unsigned s = 0; s < threads; ++s) pool.emplace_back(worker, s);
   for (auto& th : pool) th.join();
 
+  rep.trace_resident_high_water = traces.resident_high_water();
   tally(rep);
   return rep;
 }

@@ -185,15 +185,28 @@ struct SweepFaultPlan {
 struct SweepOptions {
   /// Worker threads; 0 picks bench_threads().
   unsigned threads = 0;
-  /// Batched-lane executor: when nonzero, jobs run as up to `lanes`
-  /// interleaved machines stepped round-robin by one LaneEngine
-  /// (src/sim/lane_engine.h) instead of one thread per job. Outcome
-  /// semantics — retries, deadlines, fault hooks, drain, checkpointing —
-  /// are identical, and completed results are bit-identical to the
-  /// worker pool's, so the CSV a lane sweep emits matches byte for byte.
-  /// `threads` is ignored in lane mode (the driver is single-threaded;
-  /// only the deadline supervisor runs beside it).
+  /// Batched-lane executor: when nonzero, jobs run as interleaved
+  /// machines stepped by earliest-wake LaneEngines (src/sim/
+  /// lane_engine.h) — up to `lanes` lanes per shard — instead of one
+  /// thread per job. Outcome semantics — retries, deadlines, fault
+  /// hooks, drain, checkpointing — are identical, and completed results
+  /// are bit-identical to the worker pool's, so the CSV a lane sweep
+  /// emits matches byte for byte. `threads` is ignored in lane mode
+  /// (`lane_shards` is the parallelism knob).
   unsigned lanes = 0;
+  /// Lane mode only: worker shards, each owning a private LaneEngine of
+  /// up to `lanes` lanes and pulling jobs from the shared due-time
+  /// queue. 0 picks bench_threads(); 1 runs the sweep on the calling
+  /// thread. Results are independent of the shard count by construction
+  /// (lanes never share mutable state), so any T emits the same CSV.
+  /// Rejected when `lanes` is 0.
+  unsigned lane_shards = 0;
+  /// Lane mode only: stepped cycles per lane turn; 0 picks
+  /// LaneEngine::kDefaultCyclesPerTurn (4096). Any N >= 1 is
+  /// outcome-identical — the turn size slices each lane's cycle loop
+  /// without reordering it — so this is purely a scheduling-granularity
+  /// / cache-locality knob. Rejected when `lanes` is 0.
+  std::uint64_t lane_turn = 0;
   /// Process-isolated executor: when nonzero, each job runs in a forked
   /// child under resource jails (src/sim/process_executor.h) with up to
   /// `isolate_procs` children alive at once — the first true multi-core
@@ -243,6 +256,12 @@ struct SweepReport {
   std::size_t quarantined = 0;
   /// Torn checkpoint lines ignored on resume (a kill mid-append).
   std::size_t checkpoint_lines_ignored = 0;
+  /// High-water mark of trace sources resident in the sweep's cache —
+  /// the residency-release regression probe: with release-on-last-
+  /// consumer working, this tracks the traces concurrently in flight
+  /// (<= threads / lanes x shards / isolate_procs, plus build overlap),
+  /// not the total number of distinct traces the sweep touched.
+  std::size_t trace_resident_high_water = 0;
 
   [[nodiscard]] bool all_completed() const noexcept {
     return completed == jobs.size();
@@ -258,9 +277,9 @@ struct SweepReport {
 /// Runs the sweep. Never throws for per-job failures — those are
 /// outcomes. Throws CheckpointError (bad/mismatched journal on resume)
 /// and std::invalid_argument (unjournalable job names, `lanes` combined
-/// with `isolate_procs`, an isolation-only fault kind without
-/// `isolate_procs`, or an oom fault without a `job_mem_mb` jail) before
-/// any job has started.
+/// with `isolate_procs`, `lane_shards`/`lane_turn` without `lanes`, an
+/// isolation-only fault kind without `isolate_procs`, or an oom fault
+/// without a `job_mem_mb` jail) before any job has started.
 [[nodiscard]] SweepReport run_sweep(const std::vector<Job>& jobs,
                                     const SweepOptions& opt = {});
 

@@ -1,0 +1,111 @@
+// Residency tests for the sweep's trace cache (src/sim/trace_cache.h):
+// the per-consumer release discipline must drop each source the moment
+// its *last* consumer finishes — not at cache destruction — and a
+// lane-mode sweep's resident high-water mark must track the lanes in
+// flight, not every trace the sweep ever touched. This is the
+// regression fence for the 458 MB lane-suite RSS leak: before the fix
+// the cache pinned every generated workload until the sweep returned.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/experiment.h"
+#include "src/sim/sweep_scheduler.h"
+#include "src/sim/trace_cache.h"
+#include "src/trace/trace_source.h"
+
+namespace samie {
+namespace {
+
+[[nodiscard]] sim::Job job_for(const std::string& program,
+                               std::uint64_t insts = 2000) {
+  sim::Job j;
+  j.program = program;
+  j.config = sim::paper_config(sim::LsqChoice::kSamie);
+  j.config.instructions = insts;
+  j.tag = "cache-test";
+  return j;
+}
+
+TEST(TraceCache, ReleasesEachSourceWhenItsLastConsumerFinishes) {
+  // Jobs 0 and 1 share one trace (same program/seed/length); job 2 has
+  // its own. The shared source must survive the first finished() and
+  // drop on the second; the lone source drops immediately.
+  const std::vector<sim::Job> jobs = {job_for("gcc"), job_for("gcc"),
+                                      job_for("mcf")};
+  sim::TraceCache cache(jobs, std::vector<bool>(jobs.size(), false));
+  EXPECT_EQ(cache.pending_consumers(jobs[0]), 2U);
+  EXPECT_EQ(cache.pending_consumers(jobs[2]), 1U);
+  EXPECT_EQ(cache.resident_sources(), 0U);
+
+  auto shared = cache.get(jobs[0]);
+  auto lone = cache.get(jobs[2]);
+  EXPECT_EQ(cache.get(jobs[1]).get(), shared.get())
+      << "identical keys must share one build";
+  EXPECT_EQ(cache.resident_sources(), 2U);
+
+  cache.finished(jobs[2]);
+  EXPECT_EQ(cache.resident_sources(), 1U)
+      << "a lone consumer's trace must drop at its finished()";
+  EXPECT_EQ(cache.pending_consumers(jobs[2]), 0U);
+
+  cache.finished(jobs[0]);
+  EXPECT_EQ(cache.resident_sources(), 1U)
+      << "a shared trace must survive until the last consumer";
+  cache.finished(jobs[1]);
+  EXPECT_EQ(cache.resident_sources(), 0U);
+  EXPECT_EQ(cache.pending_consumers(jobs[0]), 0U);
+
+  // The handed-out shared_ptrs still keep the storage alive — only the
+  // cache's own reference is gone.
+  EXPECT_NE(shared->view().size(), 0U);
+  EXPECT_NE(lone->view().size(), 0U);
+  EXPECT_EQ(cache.resident_high_water(), 2U);
+}
+
+TEST(TraceCache, ResumeSkippedJobsNeverRegisterAsConsumers) {
+  // A resumed job's trace is never requested; registering it would pin
+  // the source forever (the consumer count could not reach zero).
+  const std::vector<sim::Job> jobs = {job_for("gcc"), job_for("gcc"),
+                                      job_for("mcf")};
+  sim::TraceCache cache(jobs, {false, true, true});
+  EXPECT_EQ(cache.pending_consumers(jobs[0]), 1U);
+  EXPECT_EQ(cache.pending_consumers(jobs[2]), 0U);
+  (void)cache.get(jobs[0]);
+  cache.finished(jobs[0]);
+  EXPECT_EQ(cache.resident_sources(), 0U);
+}
+
+TEST(TraceCache, LaneSweepHighWaterTracksLanesNotSuiteSize) {
+  // Six distinct traces through K=2 lanes at one shard: with the
+  // release discipline at most lanes-per-shard + 1 sources are ever
+  // resident (the +1 is the refill window where the next trace is
+  // built before the retired lane's finished() lands). Before the fix
+  // this read 6.
+  std::vector<sim::Job> jobs;
+  for (const char* p : {"gcc", "mcf", "ammp", "art", "crafty", "gzip"}) {
+    jobs.push_back(job_for(p));
+  }
+  sim::SweepOptions laned;
+  laned.lanes = 2;
+  laned.lane_shards = 1;
+  const sim::SweepReport rep = sim::run_sweep(jobs, laned);
+  ASSERT_TRUE(rep.all_completed());
+  EXPECT_GE(rep.trace_resident_high_water, 2U);
+  EXPECT_LE(rep.trace_resident_high_water, 3U)
+      << "lane sweep pinned more traces than lanes in flight";
+
+  // The pool keeps one trace per worker in flight; with 2 threads the
+  // high water must likewise stay far below the suite size.
+  sim::SweepOptions pool;
+  pool.threads = 2;
+  const sim::SweepReport pooled = sim::run_sweep(jobs, pool);
+  ASSERT_TRUE(pooled.all_completed());
+  EXPECT_LE(pooled.trace_resident_high_water, 3U);
+}
+
+}  // namespace
+}  // namespace samie

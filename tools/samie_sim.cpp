@@ -21,10 +21,18 @@
 //                      paper's published constants
 //   --csv              machine-readable output (one row per program)
 //   --threads=N        parallel jobs (default: all hardware threads)
-//   --lanes=K          batched-lane executor: run the sweep as up to K
-//                      interleaved machines stepped round-robin on one
-//                      thread (docs/ENERGY_LEDGER.md). Results and the
-//                      CSV are byte-identical to the threaded sweep
+//   --lanes=K          batched-lane executor: run the sweep as
+//                      interleaved machines — up to K per shard —
+//                      stepped earliest-wake-first by per-shard
+//                      LaneEngines (docs/ENERGY_LEDGER.md). Results and
+//                      the CSV are byte-identical to the threaded sweep
+//   --lane-shards=T    lane mode only: worker shards, each a private
+//                      LaneEngine of up to K lanes pulling from the
+//                      shared job queue (default: all hardware
+//                      threads). Any T emits the identical CSV
+//   --lane-turn=N      lane mode only: stepped cycles per lane turn
+//                      (default 4096). Any N >= 1 is outcome-identical;
+//                      this is a scheduling-granularity knob
 //
 // Sweep robustness (docs/SWEEP_ROBUSTNESS.md):
 //   --isolate[=N]          process-isolated executor: each job runs in a
@@ -264,6 +272,12 @@ int main(int argc, char** argv) {
     } else if (parse_u64(arg, "--lanes", v)) {
       if (v == 0) usage_error("--lanes must be at least 1");
       sweep.lanes = static_cast<unsigned>(v);
+    } else if (parse_u64(arg, "--lane-shards", v)) {
+      if (v == 0) usage_error("--lane-shards must be at least 1");
+      sweep.lane_shards = static_cast<unsigned>(v);
+    } else if (parse_u64(arg, "--lane-turn", v)) {
+      if (v == 0) usage_error("--lane-turn must be at least 1");
+      sweep.lane_turn = v;
     } else if (arg == "--isolate") {
       sweep.isolate_procs = sim::bench_threads();
     } else if (parse_u64(arg, "--isolate", v)) {
@@ -299,6 +313,12 @@ int main(int argc, char** argv) {
   }
   if (sweep.isolate_procs != 0 && sweep.lanes != 0) {
     usage_error("--isolate and --lanes are mutually exclusive executors");
+  }
+  if (sweep.lane_shards != 0 && sweep.lanes == 0) {
+    usage_error("--lane-shards requires --lanes");
+  }
+  if (sweep.lane_turn != 0 && sweep.lanes == 0) {
+    usage_error("--lane-turn requires --lanes");
   }
   if (sweep.isolate_procs != 0 && !import_path.empty()) {
     usage_error("--isolate applies to sweep modes, not --import-trace");
