@@ -16,6 +16,7 @@
 // accumulation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/energy/lsq_model.h"
@@ -57,6 +58,22 @@ class ConvLsqLedger {
     addrs_compared_ += o.addrs_compared_;
     addr_rw_ += o.addr_rw_;
     datum_rw_ += o.datum_rw_;
+  }
+
+  static constexpr std::size_t kSavedCounts = 4;
+  /// Raw counts out to / in from a flat array (SimResult carries them so
+  /// sharded replay can re-fold energy from exactly-merged integers).
+  void save(std::uint64_t* out) const {
+    out[0] = searches_;
+    out[1] = addrs_compared_;
+    out[2] = addr_rw_;
+    out[3] = datum_rw_;
+  }
+  void load(const std::uint64_t* in) {
+    searches_ = in[0];
+    addrs_compared_ = in[1];
+    addr_rw_ = in[2];
+    datum_rw_ = in[3];
   }
 
  private:
@@ -192,6 +209,41 @@ class SamieLsqLedger {
     addrbuf_accesses_ += o.addrbuf_accesses_;
   }
 
+  static constexpr std::size_t kSavedCounts = 20;
+  void save(std::uint64_t* out) const {
+    const std::uint64_t counts[kSavedCounts] = {
+        bus_sends_,        d_addr_searches_, d_addrs_compared_,
+        d_age_searches_,   d_age_ids_compared_, d_addr_rw_,
+        d_age_rw_,         d_datum_rw_,      d_translation_rw_,
+        d_line_id_rw_,     s_addr_searches_, s_addrs_compared_,
+        s_age_searches_,   s_age_ids_compared_, s_addr_rw_,
+        s_age_rw_,         s_datum_rw_,      s_translation_rw_,
+        s_line_id_rw_,     addrbuf_accesses_};
+    for (std::size_t i = 0; i < kSavedCounts; ++i) out[i] = counts[i];
+  }
+  void load(const std::uint64_t* in) {
+    bus_sends_ = in[0];
+    d_addr_searches_ = in[1];
+    d_addrs_compared_ = in[2];
+    d_age_searches_ = in[3];
+    d_age_ids_compared_ = in[4];
+    d_addr_rw_ = in[5];
+    d_age_rw_ = in[6];
+    d_datum_rw_ = in[7];
+    d_translation_rw_ = in[8];
+    d_line_id_rw_ = in[9];
+    s_addr_searches_ = in[10];
+    s_addrs_compared_ = in[11];
+    s_age_searches_ = in[12];
+    s_age_ids_compared_ = in[13];
+    s_addr_rw_ = in[14];
+    s_age_rw_ = in[15];
+    s_datum_rw_ = in[16];
+    s_translation_rw_ = in[17];
+    s_line_id_rw_ = in[18];
+    addrbuf_accesses_ = in[19];
+  }
+
  private:
   const LsqEnergyConstants* k_;
   std::uint64_t bus_sends_ = 0;
@@ -236,6 +288,16 @@ class DcacheLedger {
     known_ += o.known_;
   }
 
+  static constexpr std::size_t kSavedCounts = 2;
+  void save(std::uint64_t* out) const {
+    out[0] = full_;
+    out[1] = known_;
+  }
+  void load(const std::uint64_t* in) {
+    full_ = in[0];
+    known_ = in[1];
+  }
+
  private:
   const LsqEnergyConstants* k_;
   std::uint64_t full_ = 0;
@@ -260,6 +322,16 @@ class DtlbLedger {
   void merge(const DtlbLedger& o) {
     accesses_ += o.accesses_;
     cached_ += o.cached_;
+  }
+
+  static constexpr std::size_t kSavedCounts = 2;
+  void save(std::uint64_t* out) const {
+    out[0] = accesses_;
+    out[1] = cached_;
+  }
+  void load(const std::uint64_t* in) {
+    accesses_ = in[0];
+    cached_ = in[1];
   }
 
  private:

@@ -151,6 +151,10 @@ void CheckpointWriter::append_quarantine(const std::string& payload) {
   append_line('Q', payload);
 }
 
+void CheckpointWriter::append_damaged(const std::string& payload) {
+  append_line('D', payload);
+}
+
 CheckpointContents load_checkpoint(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -179,6 +183,8 @@ CheckpointContents load_checkpoint(const std::string& path) {
       out.records.push_back(std::move(payload));
     } else if (parse_guarded(line, 'Q', payload)) {
       out.quarantined.push_back(std::move(payload));
+    } else if (parse_guarded(line, 'D', payload)) {
+      out.damaged.push_back(std::move(payload));
     } else {
       // A torn tail after a kill mid-append, or bit rot: the FNV guard
       // rejects it and the job simply re-runs on resume.
@@ -272,6 +278,9 @@ std::string serialize_sim_result(const SimResult& r) {
   put_u64(os, r.dtlb_misses);
   put_u64(os, r.branch_mispredicts);
   put_u64(os, r.branch_lookups);
+  for (std::size_t i = 0; i < LedgerCounts::kCount; ++i) {
+    put_u64(os, r.ledgers.v[i]);
+  }
   std::string s = os.str();
   if (!s.empty() && s.back() == ' ') s.pop_back();
   return s;
@@ -299,9 +308,12 @@ bool parse_sim_result(const std::string& text, SimResult& out) {
       in.u64(r.shared_occupancy_max) && in.f64(r.buffer_nonempty_frac) &&
       in.f64(r.buffer_occupancy_mean) && in.u64(r.l1d_hits) &&
       in.u64(r.l1d_misses) && in.u64(r.dtlb_hits) && in.u64(r.dtlb_misses) &&
-      in.u64(r.branch_mispredicts) && in.u64(r.branch_lookups) &&
-      in.exhausted();
+      in.u64(r.branch_mispredicts) && in.u64(r.branch_lookups);
   if (!ok) return false;
+  for (std::size_t i = 0; i < LedgerCounts::kCount; ++i) {
+    if (!in.u64(r.ledgers.v[i])) return false;
+  }
+  if (!in.exhausted()) return false;
   out = r;
   return true;
 }

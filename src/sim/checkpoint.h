@@ -18,7 +18,10 @@
 // that was in flight; a torn final line fails its FNV guard and is
 // ignored on load. 'R' lines are results; 'Q' lines are quarantine
 // records (the process-isolated executor journals jobs that crashed a
-// child, so a resume never re-runs a known-poison job). Payload contents
+// child, so a resume never re-runs a known-poison job); 'D' lines are
+// trace-damage records (jobs whose replay range touched corrupt trace
+// blocks — deterministic, so a resume seals rather than retries them).
+// Payload contents
 // are the caller's (the sweep scheduler journals job outcomes, the perf
 // harness journals program measurements); this module only guarantees
 // integrity and atomicity.
@@ -77,6 +80,12 @@ class CheckpointWriter {
   /// crashed: resume must skip it, not re-run it).
   void append_quarantine(const std::string& payload);
 
+  /// Appends one guarded trace-damage line (a job whose replay range
+  /// touched corrupt trace blocks: deterministic, resume must not
+  /// re-run it). Old readers count 'D' lines as ignored_lines and keep
+  /// working — the journal stays backward readable.
+  void append_damaged(const std::string& payload);
+
   /// Flushes, fsyncs the file and its parent directory, and closes.
   /// Idempotent; the destructor calls it best-effort (errors swallowed).
   void close() noexcept;
@@ -98,6 +107,8 @@ struct CheckpointContents {
   std::vector<std::string> records;
   /// Validated quarantine payloads ('Q' lines), in journal order.
   std::vector<std::string> quarantined;
+  /// Validated trace-damage payloads ('D' lines), in journal order.
+  std::vector<std::string> damaged;
   /// Lines whose FNV guard failed (a torn tail after a kill) — ignored,
   /// but counted so tools can report that the journal was truncated.
   std::size_t ignored_lines = 0;
@@ -124,7 +135,8 @@ struct CheckpointContents {
 
 /// Number of tokens serialize_sim_result emits; bumped in lockstep with
 /// SimResult so a stale checkpoint from an older build parses as torn
-/// instead of silently misassigning fields.
-inline constexpr std::size_t kSimResultFields = 38;
+/// instead of silently misassigning fields (38 legacy fields plus the
+/// 28 raw ledger counts sharded replay reconciles from).
+inline constexpr std::size_t kSimResultFields = 66;
 
 }  // namespace samie::sim

@@ -11,6 +11,7 @@
 #include "src/lsq/conventional_lsq.h"
 #include "src/lsq/samie_lsq.h"
 #include "src/sim/stats_collector.h"
+#include "src/sim/trace_shard.h"
 
 namespace samie::sim {
 
@@ -29,6 +30,9 @@ struct ConvBundle {
       : ledger(k), queue(cfg.conventional, &ledger) {}
   Queue& get() { return queue; }
   void fold(SimResult& r) const { r.lsq_energy_nj = ledger.energy_pj() / 1e3; }
+  void save_counts(LedgerCounts& c) const {
+    ledger.save(c.v + LedgerCounts::kConv);
+  }
 };
 
 struct UnboundedBundle {
@@ -38,6 +42,7 @@ struct UnboundedBundle {
       : queue(lsq::make_unbounded_lsq(cfg.core.rob_size)) {}
   Queue& get() { return *queue; }
   void fold(SimResult&) const {}
+  void save_counts(LedgerCounts&) const {}
 };
 
 struct ArbBundle {
@@ -47,6 +52,7 @@ struct ArbBundle {
       : queue(cfg.arb) {}
   Queue& get() { return queue; }
   void fold(SimResult&) const {}
+  void save_counts(LedgerCounts&) const {}
 };
 
 struct SamieBundle {
@@ -62,6 +68,9 @@ struct SamieBundle {
     r.lsq_shared_nj = ledger.shared_pj() / 1e3;
     r.lsq_addrbuf_nj = ledger.addrbuf_pj() / 1e3;
     r.lsq_bus_nj = ledger.bus_pj() / 1e3;
+  }
+  void save_counts(LedgerCounts& c) const {
+    ledger.save(c.v + LedgerCounts::kSamie);
   }
 };
 
@@ -106,6 +115,9 @@ class LaneImpl final : public Lane {
     r.branch_mispredicts = predictor_.mispredicts();
     r.branch_lookups = predictor_.lookups();
     bundle_.fold(r);
+    dcache_ledger_.save(r.ledgers.v + LedgerCounts::kDcache);
+    dtlb_ledger_.save(r.ledgers.v + LedgerCounts::kDtlb);
+    bundle_.save_counts(r.ledgers);
     return r;
   }
 
@@ -124,10 +136,71 @@ class LaneImpl final : public Lane {
   core::Core<typename Bundle::Queue, StatsCollector> core_;
 };
 
+/// Warm-up-excluding lane for one shard of a sharded trace replay: two
+/// complete runs of the same machine over the same view, stepped
+/// sequentially — first the warm-up prefix alone (the "base" run), then
+/// prefix plus measured range (the "whole" run) — and finish() reports
+/// whole minus base (trace_shard.h). Two complete runs, rather than one
+/// run with a stats reset, keep the subtraction exact: under full
+/// warm-up, shard i's base run is bit-identical to shard i-1's whole
+/// run, so the per-shard differences telescope to the unsharded totals.
+class ShardLane final : public Lane {
+ public:
+  ShardLane(const SimConfig& cfg, trace::TraceView trace) : cfg_(cfg) {
+    const std::uint64_t total =
+        std::min<std::uint64_t>(cfg_.instructions, trace.size());
+    const std::uint64_t warm =
+        std::min<std::uint64_t>(effective_trace_warmup(cfg_), total);
+    // Sub-lanes replay plain prefixes: shard fields zeroed so make_lane
+    // builds ordinary LaneImpls (no recursion) and the runs are
+    // bit-identical to standalone runs over the same records.
+    SimConfig sub = cfg_;
+    sub.trace_measure_begin = 0;
+    sub.trace_measure_end = 0;
+    sub.trace_warmup = 0;
+    sub.instructions = warm;
+    base_ = make_lane(sub, trace.subview(0, warm));
+    sub.instructions = total;
+    whole_cfg_ = sub;
+    whole_view_ = trace.subview(0, total);
+  }
+
+  bool step(std::uint64_t max_cycles) override {
+    if (base_) {
+      if (base_->step(max_cycles)) return true;
+      base_result_ = base_->finish();
+      base_.reset();
+      whole_ = make_lane(whole_cfg_, whole_view_);
+      return true;  // boundary turn: the whole run starts next step
+    }
+    return whole_->step(max_cycles);
+  }
+
+  [[nodiscard]] std::uint64_t next_wake_cycle() const override {
+    return base_ ? base_->next_wake_cycle()
+                 : (whole_ ? whole_->next_wake_cycle() : 0);
+  }
+
+  [[nodiscard]] SimResult finish() override {
+    return subtract_measured(whole_->finish(), base_result_, cfg_);
+  }
+
+ private:
+  SimConfig cfg_;
+  std::unique_ptr<Lane> base_;
+  std::unique_ptr<Lane> whole_;
+  SimResult base_result_;
+  SimConfig whole_cfg_;
+  trace::TraceView whole_view_;
+};
+
 }  // namespace
 
 std::unique_ptr<Lane> make_lane(const SimConfig& cfg,
                                 trace::TraceView trace) {
+  if (effective_trace_warmup(cfg) > 0) {
+    return std::make_unique<ShardLane>(cfg, trace);
+  }
   switch (cfg.lsq) {
     case LsqChoice::kConventional:
       return std::make_unique<LaneImpl<ConvBundle>>(cfg, trace);

@@ -3,6 +3,7 @@
 // need into one SimResult.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/stats.h"
@@ -11,6 +12,22 @@
 #include "src/trace/trace_view.h"
 
 namespace samie::sim {
+
+/// Raw integer event counts of every energy ledger, in one flat array.
+/// Carrying them beside the folded energies is what makes sharded-replay
+/// reconciliation exact: per-shard counts subtract and merge as integers
+/// (associative, order-independent), and the merged counts re-fold to
+/// energy through the same constants — bit-identical to an unsharded
+/// run's fold. Layout: [kConv..) ConvLsqLedger, [kSamie..) SamieLsqLedger,
+/// [kDcache..) DcacheLedger, [kDtlb..) DtlbLedger.
+struct LedgerCounts {
+  static constexpr std::size_t kConv = 0;     ///< 4 counts
+  static constexpr std::size_t kSamie = 4;    ///< 20 counts
+  static constexpr std::size_t kDcache = 24;  ///< 2 counts
+  static constexpr std::size_t kDtlb = 26;    ///< 2 counts
+  static constexpr std::size_t kCount = 28;
+  std::uint64_t v[kCount] = {};
+};
 
 struct SimResult {
   // -- timing -----------------------------------------------------------------
@@ -44,6 +61,9 @@ struct SimResult {
   std::uint64_t dtlb_misses = 0;
   std::uint64_t branch_mispredicts = 0;
   std::uint64_t branch_lookups = 0;
+
+  // -- raw ledger counts (shard reconciliation; see LedgerCounts) ---------------
+  LedgerCounts ledgers;
 
   /// Deadlock-avoidance flushes per million cycles (Figure 6).
   [[nodiscard]] double deadlocks_per_mcycle() const {

@@ -240,6 +240,104 @@ struct DecodedQuarantine {
   return true;
 }
 
+/// Trace-damage payload for a job whose replay range touched corrupt
+/// blocks (TAB-separated):
+///   index, program, tag, attempts, wall, damage kind name, block
+///   (decimal; TraceCorruptError::kNoBlock when unattributable), offset
+[[nodiscard]] std::string encode_damaged(std::size_t index, const Job& job,
+                                         const JobOutcome& oc) {
+  std::ostringstream os;
+  os << index << '\t' << job.program << '\t' << job.tag << '\t' << oc.attempts
+     << '\t' << hex_double(oc.wall_seconds) << '\t'
+     << trace::trace_damage_name(oc.damage) << '\t' << oc.damage_block << '\t'
+     << oc.damage_offset;
+  return os.str();
+}
+
+struct DecodedDamage {
+  std::size_t index = 0;
+  std::string program;
+  std::string tag;
+  std::uint32_t attempts = 0;
+  double wall_seconds = 0.0;
+  trace::TraceDamage damage = trace::TraceDamage::kNone;
+  std::uint64_t block = trace::TraceCorruptError::kNoBlock;
+  std::uint64_t offset = 0;
+};
+
+[[nodiscard]] bool decode_damaged(const std::string& payload,
+                                  DecodedDamage& out) {
+  std::vector<std::string> fields;
+  std::size_t at = 0;
+  while (fields.size() < 7) {
+    const std::size_t tab = payload.find('\t', at);
+    if (tab == std::string::npos) return false;
+    fields.push_back(payload.substr(at, tab - at));
+    at = tab + 1;
+  }
+  fields.push_back(payload.substr(at));
+  char* end = nullptr;
+  errno = 0;
+  out.index = std::strtoull(fields[0].c_str(), &end, 10);
+  if (errno != 0 || end != fields[0].c_str() + fields[0].size()) return false;
+  out.program = fields[1];
+  out.tag = fields[2];
+  out.attempts =
+      static_cast<std::uint32_t>(std::strtoul(fields[3].c_str(), &end, 10));
+  if (end != fields[3].c_str() + fields[3].size()) return false;
+  out.wall_seconds = std::strtod(fields[4].c_str(), &end);
+  if (end != fields[4].c_str() + fields[4].size()) return false;
+  bool known = false;
+  for (const trace::TraceDamage d :
+       {trace::TraceDamage::kTornTail, trace::TraceDamage::kInteriorCorrupt,
+        trace::TraceDamage::kBadIndex}) {
+    if (fields[5] == trace::trace_damage_name(d)) {
+      out.damage = d;
+      known = true;
+      break;
+    }
+  }
+  if (!known) return false;
+  out.block = std::strtoull(fields[6].c_str(), &end, 10);
+  if (end != fields[6].c_str() + fields[6].size()) return false;
+  out.offset = std::strtoull(fields[7].c_str(), &end, 10);
+  return end == fields[7].c_str() + fields[7].size();
+}
+
+/// Seals a TraceCorruptError into the outcome's damage fields.
+void fill_damage(JobOutcome& oc, const trace::TraceCorruptError& e) {
+  oc.status = JobStatus::kTraceDamaged;
+  oc.failure = FailureClass::kDeterministic;
+  oc.what = e.what();
+  oc.damage = e.damage;
+  oc.damage_block = e.block;
+  oc.damage_offset = e.offset;
+}
+
+/// Arms an I/O fault kind on the job's trace path; the next open of
+/// that path (this attempt's traces_.get) consumes it.
+void arm_io_fault(const Job& job, const SweepFault& f) {
+  trace::IoFault io;
+  io.param = f.param;
+  switch (f.kind) {
+    case SweepFault::Kind::kShortRead:
+      io.kind = trace::IoFault::Kind::kShortRead;
+      break;
+    case SweepFault::Kind::kBitFlipBlock:
+      io.kind = trace::IoFault::Kind::kBitFlipBlock;
+      break;
+    case SweepFault::Kind::kEnospcOnImport:
+      io.kind = trace::IoFault::Kind::kEnospcOnImport;
+      break;
+    case SweepFault::Kind::kTornImport:
+      io.kind = trace::IoFault::Kind::kTornImport;
+      break;
+    default:
+      return;
+  }
+  trace::set_io_fault(job.config.trace_path, io);
+}
+
 /// Journalable names must survive the TAB-separated record grammar.
 void require_journalable(const std::vector<Job>& jobs) {
   for (const Job& job : jobs) {
@@ -270,6 +368,10 @@ void tally(SweepReport& rep) {
         if (jr.outcome.from_checkpoint) ++rep.quarantined;
         break;
       case JobStatus::kResourceExceeded: ++rep.resource_exceeded; break;
+      case JobStatus::kTraceDamaged:
+        ++rep.trace_damaged;
+        if (jr.outcome.from_checkpoint) ++rep.damage_sealed;
+        break;
     }
   }
 }
@@ -489,12 +591,20 @@ class LaneExecutor {
           case SweepFault::Kind::kSpuriousWake:
             if (supervisor_) supervisor_->spurious_wake();
             break;
+          case SweepFault::Kind::kShortRead:
+          case SweepFault::Kind::kBitFlipBlock:
+            // Armed on the trace path; the traces_.get below consumes
+            // it and surfaces the damage as TraceCorruptError.
+            arm_io_fault(job, *fault);
+            break;
           case SweepFault::Kind::kCrash:
           case SweepFault::Kind::kOom:
           case SweepFault::Kind::kSpin:
           case SweepFault::Kind::kTornFrame:
-            // Unreachable: run_sweep rejects isolation-only kinds
-            // before any executor starts.
+          case SweepFault::Kind::kEnospcOnImport:
+          case SweepFault::Kind::kTornImport:
+            // Unreachable: run_sweep rejects isolation-only and
+            // import-only kinds before any executor starts.
             break;
         }
       }
@@ -503,6 +613,11 @@ class LaneExecutor {
       cfg.core.should_abort = st.cancel.get();
       engine.add(st.index, make_lane(cfg, st.trace->view()));
       return true;
+    } catch (const trace::TraceCorruptError& e) {
+      if (supervisor_) supervisor_->disarm(st.slot);
+      fill_damage(st.oc, e);
+      finalize(st, std::current_exception(), nullptr);
+      return false;
     } catch (...) {
       if (supervisor_) supervisor_->disarm(st.slot);
       const std::exception_ptr error = std::current_exception();
@@ -529,6 +644,10 @@ class LaneExecutor {
     } catch (const core::SimulationAborted& e) {
       st.oc.status = JobStatus::kTimedOut;
       st.oc.what = e.what();
+      finalize(st, error, nullptr);
+      return;
+    } catch (const trace::TraceCorruptError& e) {
+      fill_damage(st.oc, e);
       finalize(st, error, nullptr);
       return;
     } catch (...) {
@@ -582,6 +701,11 @@ class LaneExecutor {
       }
     } else {
       failures_.fetch_add(1, std::memory_order_relaxed);
+      if (st.oc.status == JobStatus::kTraceDamaged && journal_) {
+        std::scoped_lock lock(journal_mu_);
+        journal_->append_damaged(
+            encode_damaged(st.index, jobs_[st.index], st.oc));
+      }
     }
     {
       std::scoped_lock lock(mu_);
@@ -733,9 +857,20 @@ class IsolateExecutor {
     const SweepFault* fault =
         opt_.faults != nullptr ? opt_.faults->find(i, attempt) : nullptr;
     try {
+      // I/O faults fire against the parent-side trace open (the parent
+      // acquires the trace and the child inherits the mapping), so
+      // damage is detected here and never even forks a child.
+      if (fault != nullptr && SweepFault::is_io_fault(fault->kind)) {
+        arm_io_fault(job, *fault);
+        fault = nullptr;  // nothing left for the child to perform
+      }
       st.trace = traces_.get(job);
       exec_.spawn(i, job.config, st.trace->view(), fault,
                   ChildLimits{opt_.job_mem_mb, opt_.job_cpu_s});
+    } catch (const trace::TraceCorruptError& e) {
+      fill_damage(st.oc, e);
+      finalize(st, std::current_exception(), nullptr);
+      return;
     } catch (...) {
       const std::exception_ptr error = std::current_exception();
       if (!retry_later(st, classify_failure(error))) {
@@ -892,6 +1027,10 @@ class IsolateExecutor {
         journal_->append_quarantine(
             encode_quarantine(st.index, jobs_[st.index], st.oc));
       }
+      if (st.oc.status == JobStatus::kTraceDamaged && journal_) {
+        journal_->append_damaged(
+            encode_damaged(st.index, jobs_[st.index], st.oc));
+      }
     }
   }
 
@@ -919,6 +1058,7 @@ const char* job_status_name(JobStatus s) noexcept {
     case JobStatus::kSkipped: return "skipped";
     case JobStatus::kCrashed: return "crashed";
     case JobStatus::kResourceExceeded: return "resource-exceeded";
+    case JobStatus::kTraceDamaged: return "trace-damaged";
   }
   return "?";
 }
@@ -940,7 +1080,10 @@ std::string signal_name(int sig) {
 }
 
 int sweep_exit_code(const SweepReport& report) noexcept {
-  if (report.crashed != 0 || report.resource_exceeded != 0) return 3;
+  if (report.crashed != 0 || report.resource_exceeded != 0 ||
+      report.trace_damaged != 0) {
+    return 3;
+  }
   return report.all_completed() ? 0 : 2;
 }
 
@@ -961,6 +1104,11 @@ FailureClass classify_failure(const std::exception_ptr& error) {
     return FailureClass::kTransient;
   } catch (const std::bad_alloc&) {
     return FailureClass::kTransient;
+  } catch (const trace::TraceCorruptError&) {
+    // Guard-verified damage behind an intact header: the bytes on disk
+    // don't heal, so a retry replays the identical read. Must precede
+    // the TraceFormatError arm (it's the base class).
+    return FailureClass::kDeterministic;
   } catch (const trace::TraceFormatError&) {
     return FailureClass::kTransient;
   } catch (...) {
@@ -978,6 +1126,8 @@ std::uint64_t sweep_fingerprint(const std::vector<Job>& jobs) {
     os << job.program << '\x1f' << job.tag << '\x1f'
        << lsq_choice_name(c.lsq) << '\x1f' << c.instructions << '\x1f'
        << c.seed << '\x1f' << c.trace_path << '\x1f'
+       << c.trace_measure_begin << '\x1f' << c.trace_measure_end << '\x1f'
+       << c.trace_warmup << '\x1f'
        << c.paper_energy_constants << '\x1f'
        << c.core.exploit_known_line_latency << '\x1f'
        << c.conventional.entries << '\x1f' << c.samie.banks << '\x1f'
@@ -1016,6 +1166,20 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
         throw std::invalid_argument(
             "an oom fault requires a job_mem_mb jail (without RLIMIT_AS the "
             "bomb runs into host memory)");
+      }
+      if (SweepFault::import_only(f.kind)) {
+        throw std::invalid_argument(
+            "fault kind for job " + std::to_string(f.job) +
+            " is import-only (enospc-on-import / torn-import) — a sweep "
+            "replays traces, it never imports one; arm it on samie_sim "
+            "--import-trace instead");
+      }
+      if (SweepFault::is_io_fault(f.kind) && f.job < jobs.size() &&
+          jobs[f.job].config.trace_path.empty()) {
+        throw std::invalid_argument(
+            "I/O fault for job " + std::to_string(f.job) +
+            " targets a generated workload — there is no trace file to "
+            "fault");
       }
     }
   }
@@ -1081,6 +1245,31 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
                            " (quarantined by a previous run)";
         out.outcome.crash = std::move(q.crash);
         done[q.index] = true;
+      }
+      // Trace-damage records: a previous run verified that this job's
+      // replay range touches corrupt blocks. Deterministic — the file
+      // doesn't heal — so the job seals as TraceDamaged, not re-run.
+      for (const std::string& payload : c.damaged) {
+        DecodedDamage d;
+        if (!decode_damaged(payload, d) || d.index >= jobs.size() ||
+            d.program != jobs[d.index].program ||
+            d.tag != jobs[d.index].tag || done[d.index]) {
+          ++rep.checkpoint_lines_ignored;
+          continue;
+        }
+        SweepJobResult& out = rep.jobs[d.index];
+        out.outcome.status = JobStatus::kTraceDamaged;
+        out.outcome.failure = FailureClass::kDeterministic;
+        out.outcome.attempts = d.attempts;
+        out.outcome.wall_seconds = d.wall_seconds;
+        out.outcome.from_checkpoint = true;
+        out.outcome.damage = d.damage;
+        out.outcome.damage_block = d.block;
+        out.outcome.damage_offset = d.offset;
+        out.outcome.what =
+            std::string("trace damage (") + trace::trace_damage_name(d.damage) +
+            ") quarantined by a previous run";
+        done[d.index] = true;
       }
       journal = CheckpointWriter::append_to(opt.checkpoint_path);
     } else {
@@ -1190,12 +1379,18 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
               case SweepFault::Kind::kSpuriousWake:
                 if (supervisor) supervisor->spurious_wake();
                 break;
+              case SweepFault::Kind::kShortRead:
+              case SweepFault::Kind::kBitFlipBlock:
+                arm_io_fault(job, *fault);
+                break;
               case SweepFault::Kind::kCrash:
               case SweepFault::Kind::kOom:
               case SweepFault::Kind::kSpin:
               case SweepFault::Kind::kTornFrame:
-                // Unreachable: run_sweep rejects isolation-only kinds
-                // before any executor starts.
+              case SweepFault::Kind::kEnospcOnImport:
+              case SweepFault::Kind::kTornImport:
+                // Unreachable: run_sweep rejects isolation-only and
+                // import-only kinds before any executor starts.
                 break;
             }
           }
@@ -1213,6 +1408,11 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
           if (supervisor) supervisor->disarm(slot);
           oc.status = JobStatus::kTimedOut;
           oc.what = e.what();
+          error = std::current_exception();
+          break;
+        } catch (const trace::TraceCorruptError& e) {
+          if (supervisor) supervisor->disarm(slot);
+          fill_damage(oc, e);
           error = std::current_exception();
           break;
         } catch (...) {
@@ -1243,6 +1443,10 @@ SweepReport run_sweep(const std::vector<Job>& jobs, const SweepOptions& opt) {
         }
       } else {
         failures.fetch_add(1, std::memory_order_relaxed);
+        if (oc.status == JobStatus::kTraceDamaged && journal) {
+          std::scoped_lock lock(journal_mu);
+          journal->append_damaged(encode_damaged(i, job, oc));
+        }
       }
     }
   };
@@ -1270,6 +1474,13 @@ void print_failure_report(std::ostream& os, const SweepReport& report) {
     if (jr.outcome.term_signal != 0) {
       os << " signal=" << signal_name(jr.outcome.term_signal);
     }
+    if (jr.outcome.status == JobStatus::kTraceDamaged) {
+      os << " damage=" << trace::trace_damage_name(jr.outcome.damage);
+      if (jr.outcome.damage_block != trace::TraceCorruptError::kNoBlock) {
+        os << " block=" << jr.outcome.damage_block;
+      }
+      os << " offset=" << jr.outcome.damage_offset;
+    }
     os << " attempts=" << jr.outcome.attempts
        << " wall=" << jr.outcome.wall_seconds;
     if (!jr.outcome.what.empty()) os << " error=" << jr.outcome.what;
@@ -1294,11 +1505,17 @@ void print_failure_report(std::ostream& os, const SweepReport& report) {
   if (report.resource_exceeded != 0) {
     os << ", " << report.resource_exceeded << " resource-exceeded";
   }
+  if (report.trace_damaged != 0) {
+    os << ", " << report.trace_damaged << " trace-damaged";
+  }
   if (report.resumed != 0) {
     os << " (" << report.resumed << " resumed from checkpoint)";
   }
   if (report.quarantined != 0) {
     os << " (" << report.quarantined << " quarantined)";
+  }
+  if (report.damage_sealed != 0) {
+    os << " (" << report.damage_sealed << " damage-sealed)";
   }
   if (report.checkpoint_lines_ignored != 0) {
     os << " [" << report.checkpoint_lines_ignored

@@ -23,6 +23,13 @@
 //   ResourceExceeded — process isolation only: the child hit its
 //               resource jail (RLIMIT_AS allocation failure, RLIMIT_CPU
 //               SIGXCPU, or a kernel OOM kill)
+//   TraceDamaged — the job's replay range touched corrupt trace blocks
+//               (trace::TraceCorruptError: torn tail, interior
+//               corruption or a bad index). Deterministic by definition
+//               — the bytes on disk don't heal on retry — so the job is
+//               journaled with a 'D' record and a resume seals it
+//               instead of re-running it. Jobs whose ranges avoid the
+//               damage complete normally with bit-identical results.
 //
 // Failures are classified transient (bad_alloc, TraceFormatError — e.g.
 // a trace still being written or an I/O flake — and the fault-injection
@@ -53,6 +60,7 @@
 #include <vector>
 
 #include "src/sim/experiment.h"
+#include "src/trace/trace_io.h"
 
 namespace samie::sim {
 
@@ -71,6 +79,7 @@ enum class JobStatus : std::uint8_t {
   kSkipped,
   kCrashed,           ///< child died on a fatal signal (isolation only)
   kResourceExceeded,  ///< child hit its rlimit jail (isolation only)
+  kTraceDamaged,      ///< replay range touched corrupt trace blocks
 };
 [[nodiscard]] const char* job_status_name(JobStatus s) noexcept;
 
@@ -83,10 +92,12 @@ enum class FailureClass : std::uint8_t { kNone, kTransient, kDeterministic };
 
 /// Classifies a caught job failure. Transient: TransientFault,
 /// std::bad_alloc, trace::TraceFormatError (a trace mid-write or an I/O
-/// flake deserves a retry; a genuinely corrupt file fails identically N
-/// times and surfaces as Failed{transient} with its attempts count).
-/// Everything else — logic_error, the commit watchdog's runtime_error —
-/// is deterministic: retrying replays the same wedge.
+/// flake deserves a retry). trace::TraceCorruptError — structurally
+/// *verified* damage behind an intact header, guard-checked — is
+/// deterministic: the bytes on disk don't heal, so retrying replays the
+/// same read. Everything else — logic_error, the commit watchdog's
+/// runtime_error — is deterministic too: retrying replays the same
+/// wedge.
 [[nodiscard]] FailureClass classify_failure(const std::exception_ptr& error);
 
 /// Crash forensics captured by the isolated child's async-signal-safe
@@ -106,9 +117,13 @@ struct JobOutcome {
   std::string what;                ///< final error text (Failed/TimedOut)
   std::uint32_t attempts = 0;      ///< attempts actually started
   double wall_seconds = 0.0;       ///< wall clock across all attempts
-  bool from_checkpoint = false;    ///< Completed/Crashed via resume, not re-run
+  bool from_checkpoint = false;    ///< Completed/Crashed/TraceDamaged via resume
   int term_signal = 0;             ///< signal that ended the child, if any
   CrashRecord crash;               ///< forensics (Crashed only)
+  // -- TraceDamaged only ------------------------------------------------------
+  trace::TraceDamage damage = trace::TraceDamage::kNone;  ///< damage kind
+  std::uint64_t damage_block = trace::TraceCorruptError::kNoBlock;
+  std::uint64_t damage_offset = 0;  ///< byte offset of the damage
 };
 
 /// One job's slot in the sweep report. `result` is meaningful only when
@@ -157,6 +172,18 @@ struct SweepFault {
     kOom,        ///< allocation bomb into the RLIMIT_AS jail
     kSpin,       ///< busy loop that ignores the cancel token (hard kill)
     kTornFrame,  ///< write a truncated result frame, then exit 0
+    // I/O fault kinds: armed on the job's trace path via
+    // trace::set_io_fault right before the attempt acquires its trace,
+    // consumed by the next open of that path (trace_io.h). They drive
+    // the trace-corruption quarantine tests without touching the bytes
+    // on disk.
+    kShortRead,      ///< hide the last `param` bytes (0 = 64) of the file
+    kBitFlipBlock,   ///< flip one payload bit of v2 block `param` in memory
+    // Import-only kinds (consumed by TraceWriter*::finish, not by a
+    // read): rejected by run_sweep — a sweep replays traces, it never
+    // imports one. samie_sim --import-trace arms them directly.
+    kEnospcOnImport,  ///< importer finalize fails as if the disk filled
+    kTornImport,      ///< importer dies mid-block, torn tmp left behind
   };
 
   /// True for kinds that only make sense inside an isolated child.
@@ -164,10 +191,21 @@ struct SweepFault {
     return k == Kind::kCrash || k == Kind::kOom || k == Kind::kSpin ||
            k == Kind::kTornFrame;
   }
+  /// True for kinds that arm a trace::set_io_fault on the job's trace
+  /// path instead of acting inside the executor.
+  [[nodiscard]] static constexpr bool is_io_fault(Kind k) noexcept {
+    return k == Kind::kShortRead || k == Kind::kBitFlipBlock ||
+           k == Kind::kEnospcOnImport || k == Kind::kTornImport;
+  }
+  /// True for I/O kinds only a trace *import* can consume.
+  [[nodiscard]] static constexpr bool import_only(Kind k) noexcept {
+    return k == Kind::kEnospcOnImport || k == Kind::kTornImport;
+  }
   std::size_t job = 0;
   std::uint32_t attempt = 1;  ///< 1-based attempt the fault fires on
   Kind kind = Kind::kThrowTransient;
   std::chrono::milliseconds delay{0};
+  std::uint64_t param = 0;  ///< I/O kinds: cut bytes / block number
 };
 
 struct SweepFaultPlan {
@@ -251,9 +289,12 @@ struct SweepReport {
   std::size_t skipped = 0;
   std::size_t crashed = 0;            ///< child died on a fatal signal
   std::size_t resource_exceeded = 0;  ///< child hit its rlimit jail
+  std::size_t trace_damaged = 0;      ///< replay range touched corrupt blocks
   std::size_t resumed = 0;  ///< subset of `completed` loaded from journal
   /// Subset of `crashed` skipped on resume via a quarantine record.
   std::size_t quarantined = 0;
+  /// Subset of `trace_damaged` sealed on resume via a 'D' record.
+  std::size_t damage_sealed = 0;
   /// Torn checkpoint lines ignored on resume (a kill mid-append).
   std::size_t checkpoint_lines_ignored = 0;
   /// High-water mark of trace sources resident in the sweep's cache —
@@ -269,17 +310,20 @@ struct SweepReport {
 };
 
 /// CLI exit code for a finished sweep: 0 = every job completed, 3 = the
-/// sweep ran to completion but at least one job crashed or exceeded its
-/// resource jail, 2 = partial for any other reason (failed, timed out,
-/// skipped). (1 is reserved for usage/fatal errors before any job ran.)
+/// sweep ran to completion but at least one job crashed, exceeded its
+/// resource jail, or hit trace damage, 2 = partial for any other reason
+/// (failed, timed out, skipped). (1 is reserved for usage/fatal errors
+/// before any job ran.)
 [[nodiscard]] int sweep_exit_code(const SweepReport& report) noexcept;
 
 /// Runs the sweep. Never throws for per-job failures — those are
 /// outcomes. Throws CheckpointError (bad/mismatched journal on resume)
 /// and std::invalid_argument (unjournalable job names, `lanes` combined
 /// with `isolate_procs`, `lane_shards`/`lane_turn` without `lanes`, an
-/// isolation-only fault kind without `isolate_procs`, or an oom fault
-/// without a `job_mem_mb` jail) before any job has started.
+/// isolation-only fault kind without `isolate_procs`, an oom fault
+/// without a `job_mem_mb` jail, an import-only I/O fault kind, or an
+/// I/O fault aimed at a job with no trace file) before any job has
+/// started.
 [[nodiscard]] SweepReport run_sweep(const std::vector<Job>& jobs,
                                     const SweepOptions& opt = {});
 

@@ -26,6 +26,9 @@
 #include "src/sim/process_executor.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sweep_scheduler.h"
+#include "src/trace/spec2000.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/workload.h"
 
 namespace samie {
 namespace {
@@ -453,6 +456,37 @@ TEST_F(ProcessExecutorTest, IsolateResumesAPoolCheckpointBitIdentically) {
     EXPECT_TRUE(resumed.jobs[i].outcome.from_checkpoint);
     expect_results_identical(resumed.jobs[i].result, first.jobs[i].result);
   }
+}
+
+TEST_F(ProcessExecutorTest, TraceDamageIsDetectedParentSideWithoutAChild) {
+  // An I/O fault on a replay job is consumed when the *parent* acquires
+  // the trace before forking — damage never spawns a child, and the
+  // outcome carries the same structured fields as the in-process pool's.
+  std::vector<sim::Job> jobs = three_jobs();
+  for (sim::Job& j : jobs) {
+    trace::WorkloadGenerator gen(trace::spec2000_profile(j.program), 5);
+    const trace::Trace t = gen.generate(3000);
+    const std::string f = path(j.program + ".samt");
+    trace::write_samt_v2(f, trace::TraceView(t.ops.data(), t.ops.size()),
+                         j.program, 5, 512);
+    j.config.trace_path = f;
+  }
+
+  sim::SweepFaultPlan plan;
+  plan.faults.push_back({1, 1, sim::SweepFault::Kind::kShortRead, 0ms, 0});
+  sim::SweepOptions iso;
+  iso.isolate_procs = 2;
+  iso.faults = &plan;
+  const sim::SweepReport rep = sim::run_sweep(jobs, iso);
+
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(rep.trace_damaged, 1u);
+  const sim::JobOutcome& oc = rep.jobs[1].outcome;
+  EXPECT_EQ(oc.status, sim::JobStatus::kTraceDamaged);
+  EXPECT_EQ(oc.failure, sim::FailureClass::kDeterministic);
+  EXPECT_EQ(oc.damage, trace::TraceDamage::kTornTail);
+  EXPECT_EQ(oc.term_signal, 0);  // no child was ever forked for it
+  EXPECT_EQ(sim::sweep_exit_code(rep), 3);
 }
 
 }  // namespace

@@ -23,7 +23,9 @@
 #include "src/sim/simulator.h"
 #include "src/sim/sweep_scheduler.h"
 #include "src/trace/spec2000.h"
+#include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
+#include "src/trace/workload.h"
 
 namespace samie {
 namespace {
@@ -95,6 +97,13 @@ TEST(ClassifyFailure, SeparatesTransientFromDeterministic) {
             sim::FailureClass::kTransient);
   EXPECT_EQ(classify([] { return trace::TraceFormatError("torn"); }),
             sim::FailureClass::kTransient);
+  // Classified damage is deterministic — replaying corrupt blocks will
+  // corrupt again; retrying would just reread the same bad bytes.
+  EXPECT_EQ(classify([] {
+              return trace::TraceCorruptError(
+                  "bad block", trace::TraceDamage::kInteriorCorrupt, 3, 4096);
+            }),
+            sim::FailureClass::kDeterministic);
   EXPECT_EQ(classify([] { return std::logic_error("bug"); }),
             sim::FailureClass::kDeterministic);
   EXPECT_EQ(classify([] { return std::runtime_error("watchdog"); }),
@@ -412,6 +421,156 @@ TEST(SimResultRoundTrip, IsBitExactForAwkwardDoubles) {
   std::string mangled = text;
   mangled.replace(mangled.find(' ') + 1, 1, "q");
   EXPECT_FALSE(sim::parse_sim_result(mangled, back));
+}
+
+// ------------------------------------------------- trace-damage outcomes --
+//
+// Injected I/O faults (short-read, bit-flip) surface as the structured
+// kTraceDamaged outcome: deterministic (never retried), quarantining
+// only the job whose replay touched the damage, journaled as a 'D'
+// record and sealed on resume — while every undamaged job's results
+// stay byte-identical to a clean sweep's.
+
+class TraceDamageSweepTest : public SweepSchedulerTest {
+ protected:
+  /// Three replay jobs over small recorded v2 traces.
+  [[nodiscard]] std::vector<sim::Job> trace_jobs() const {
+    std::vector<sim::Job> jobs;
+    for (const char* p : {"gcc", "ammp", "mcf"}) {
+      trace::WorkloadGenerator gen(trace::spec2000_profile(p), 5);
+      const trace::Trace t = gen.generate(3000);
+      const std::string f = path(std::string(p) + ".samt");
+      trace::write_samt_v2(f, trace::TraceView(t.ops.data(), t.ops.size()), p,
+                           5, 512);
+      sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
+      cfg.instructions = 3000;
+      cfg.trace_path = f;
+      jobs.push_back(sim::Job{p, cfg, "samie"});
+    }
+    return jobs;
+  }
+};
+
+TEST_F(TraceDamageSweepTest, ShortReadFaultQuarantinesOnlyThatJob) {
+  const auto jobs = trace_jobs();
+  const auto clean = sim::run_jobs(jobs, 1);
+  sim::SweepFaultPlan plan;
+  plan.faults = {{1, 1, sim::SweepFault::Kind::kShortRead, 0ms, 100}};
+  sim::SweepOptions opt;
+  opt.threads = 2;
+  opt.retry.max_attempts = 3;  // damage must NOT consume retries
+  opt.faults = &plan;
+  const sim::SweepReport rep = sim::run_sweep(jobs, opt);
+
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(rep.trace_damaged, 1u);
+  const sim::JobOutcome& oc = rep.jobs[1].outcome;
+  EXPECT_EQ(oc.status, sim::JobStatus::kTraceDamaged);
+  EXPECT_EQ(oc.failure, sim::FailureClass::kDeterministic);
+  EXPECT_EQ(oc.attempts, 1u);  // deterministic: one attempt, no retry
+  EXPECT_EQ(oc.damage, trace::TraceDamage::kTornTail);
+  EXPECT_EQ(sim::sweep_exit_code(rep), 3);
+  // The undamaged jobs are byte-identical to a clean run.
+  expect_results_identical(rep.jobs[0].result, clean[0].result);
+  expect_results_identical(rep.jobs[2].result, clean[2].result);
+  // The failure report names the damage.
+  std::ostringstream os;
+  sim::print_failure_report(os, rep);
+  EXPECT_NE(os.str().find("trace-damaged"), std::string::npos);
+  EXPECT_NE(os.str().find("damage=torn-tail"), std::string::npos);
+}
+
+TEST_F(TraceDamageSweepTest, BitFlipFaultReportsBlockAndOffset) {
+  const auto jobs = trace_jobs();
+  sim::SweepFaultPlan plan;
+  plan.faults = {{0, 1, sim::SweepFault::Kind::kBitFlipBlock, 0ms, 2}};
+  sim::SweepOptions opt;
+  opt.threads = 1;
+  opt.faults = &plan;
+  const sim::SweepReport rep = sim::run_sweep(jobs, opt);
+  const sim::JobOutcome& oc = rep.jobs[0].outcome;
+  EXPECT_EQ(oc.status, sim::JobStatus::kTraceDamaged);
+  EXPECT_EQ(oc.damage, trace::TraceDamage::kInteriorCorrupt);
+  EXPECT_EQ(oc.damage_block, 2u);
+  EXPECT_GT(oc.damage_offset, 0u);
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(sim::sweep_exit_code(rep), 3);
+}
+
+TEST_F(TraceDamageSweepTest, DamageIsJournaledAndSealedOnResume) {
+  const auto jobs = trace_jobs();
+  const std::string ckpt = path("sweep.ckpt");
+  sim::SweepFaultPlan plan;
+  plan.faults = {{2, 1, sim::SweepFault::Kind::kShortRead, 0ms, 0}};
+  {
+    sim::SweepOptions opt;
+    opt.threads = 1;
+    opt.checkpoint_path = ckpt;
+    opt.faults = &plan;
+    const sim::SweepReport rep = sim::run_sweep(jobs, opt);
+    EXPECT_EQ(rep.trace_damaged, 1u);
+    EXPECT_EQ(rep.damage_sealed, 0u);  // found live, not from the journal
+  }
+  // The journal carries a guarded 'D' record for the damaged job.
+  const sim::CheckpointContents c = sim::load_checkpoint(ckpt);
+  EXPECT_EQ(c.records.size(), 2u);
+  ASSERT_EQ(c.damaged.size(), 1u);
+  EXPECT_NE(c.damaged[0].find("mcf"), std::string::npos);
+
+  // Resume with no faults: the damaged job is sealed from the journal,
+  // not re-run (the trace is clean now — a resume must still not trust
+  // it, because the damage decision was already journaled).
+  sim::SweepOptions opt;
+  opt.threads = 1;
+  opt.checkpoint_path = ckpt;
+  opt.resume = true;
+  const sim::SweepReport rep = sim::run_sweep(jobs, opt);
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(rep.resumed, 2u);
+  EXPECT_EQ(rep.trace_damaged, 1u);
+  EXPECT_EQ(rep.damage_sealed, 1u);
+  EXPECT_TRUE(rep.jobs[2].outcome.from_checkpoint);
+  EXPECT_EQ(rep.jobs[2].outcome.status, sim::JobStatus::kTraceDamaged);
+  EXPECT_EQ(sim::sweep_exit_code(rep), 3);
+}
+
+TEST_F(TraceDamageSweepTest, LaneExecutorClassifiesDamageToo) {
+  const auto jobs = trace_jobs();
+  sim::SweepFaultPlan plan;
+  plan.faults = {{1, 1, sim::SweepFault::Kind::kShortRead, 0ms, 0}};
+  sim::SweepOptions opt;
+  opt.lanes = 2;
+  opt.lane_shards = 1;
+  opt.faults = &plan;
+  const sim::SweepReport rep = sim::run_sweep(jobs, opt);
+  EXPECT_EQ(rep.jobs[1].outcome.status, sim::JobStatus::kTraceDamaged);
+  EXPECT_EQ(rep.completed, 2u);
+  EXPECT_EQ(sim::sweep_exit_code(rep), 3);
+}
+
+TEST_F(TraceDamageSweepTest, RejectsImportOnlyAndTracelessIoFaults) {
+  // Import-only kinds never belong in a sweep (a sweep replays, it does
+  // not import) ...
+  {
+    sim::SweepFaultPlan plan;
+    plan.faults = {{0, 1, sim::SweepFault::Kind::kEnospcOnImport, 0ms, 0}};
+    sim::SweepOptions opt;
+    opt.faults = &plan;
+    EXPECT_THROW((void)sim::run_sweep(trace_jobs(), opt),
+                 std::invalid_argument);
+  }
+  // ... and a read-side I/O fault aimed at a job with no trace file has
+  // nothing to corrupt: misconfiguration, fail fast.
+  {
+    sim::SimConfig cfg = sim::paper_config(sim::LsqChoice::kSamie);
+    cfg.instructions = 1000;
+    const std::vector<sim::Job> generated{sim::Job{"gcc", cfg, "samie"}};
+    sim::SweepFaultPlan plan;
+    plan.faults = {{0, 1, sim::SweepFault::Kind::kShortRead, 0ms, 0}};
+    sim::SweepOptions opt;
+    opt.faults = &plan;
+    EXPECT_THROW((void)sim::run_sweep(generated, opt), std::invalid_argument);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+// SAMT v2 round-trip, random access, importer atomicity/resume and
+// injected-I/O-fault behavior (src/trace/trace_io.h). The fuzz matrix
+// for mutated files lives in test_trace_fuzz.cpp; this file covers the
+// *intended* v2 behaviors: exact decode, O(1) range reads off the
+// index, the v1<->v2 converter invariants, resumable atomic import, and
+// the enospc/torn import faults leaving a tmp but never a final file.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/trace/instruction.h"
+#include "src/trace/spec2000.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/workload.h"
+
+namespace samie {
+namespace {
+
+namespace fs = std::filesystem;
+
+[[nodiscard]] bool same_ops(const std::vector<trace::MicroOp>& a,
+                            const std::vector<trace::MicroOp>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(trace::MicroOp)) == 0);
+}
+
+class TraceV2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("samie_v2_" +
+            std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    trace::clear_io_faults();
+  }
+  void TearDown() override {
+    trace::clear_io_faults();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  [[nodiscard]] std::string path(const std::string& file) const {
+    return (dir_ / file).string();
+  }
+
+  /// A generated workload: realistic op mix, excellent delta locality.
+  [[nodiscard]] static std::vector<trace::MicroOp> workload(std::size_t n) {
+    trace::WorkloadGenerator gen(trace::spec2000_profile("gcc"), 23);
+    return gen.generate(n).ops;
+  }
+
+  /// Adversarial records: maximal deltas (sign flips across the whole
+  /// address space), all op kinds, extreme field values — the varint
+  /// encoder's worst case.
+  [[nodiscard]] static std::vector<trace::MicroOp> adversarial(std::size_t n) {
+    std::vector<trace::MicroOp> ops(n);
+    Xoshiro256 rng(0xfeedULL);
+    for (std::size_t i = 0; i < n; ++i) {
+      trace::MicroOp& op = ops[i];
+      op.pc = (i % 2 != 0) ? ~std::uint64_t{0} - rng.below(7) : rng();
+      op.mem_addr = rng();
+      op.br_target = rng();
+      op.value = rng();
+      op.op = static_cast<trace::OpClass>(rng.below(10));  // every OpClass
+      op.mem_size = static_cast<std::uint8_t>(1u << rng.below(4));
+      op.src1 = static_cast<RegId>(rng.below(64));
+      op.src2 = static_cast<RegId>(rng.below(64));
+      op.dst = static_cast<RegId>(rng.below(64));
+      op.taken = rng.below(2) != 0;
+    }
+    return ops;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceV2Test, RoundTripsGeneratedWorkload) {
+  const std::vector<trace::MicroOp> ops = workload(10'000);
+  const std::string p = path("w.samt");
+  trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "gcc", 23,
+                       512);
+  const trace::TraceV2Reader r(p);
+  EXPECT_EQ(r.header().version, trace::kSamtVersion2);
+  EXPECT_EQ(r.name(), "gcc");
+  EXPECT_EQ(r.record_count(), ops.size());
+  EXPECT_EQ(r.block_count(), (ops.size() + 511) / 512);
+  const trace::Trace t = r.read_all();
+  EXPECT_TRUE(same_ops(t.ops, ops));
+  // read_samt_header works on v2 files too (version sniffing for
+  // replay autodetect and the sharder).
+  EXPECT_EQ(trace::read_samt_header(p).version, trace::kSamtVersion2);
+  EXPECT_EQ(trace::read_samt_header(p).count, ops.size());
+}
+
+TEST_F(TraceV2Test, RoundTripsAdversarialRecords) {
+  // Worst-case deltas must survive encode/decode exactly, including a
+  // block size that doesn't divide the record count.
+  const std::vector<trace::MicroOp> ops = adversarial(1'000);
+  const std::string p = path("adv.samt");
+  trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "adv", 7,
+                       96);
+  EXPECT_TRUE(same_ops(trace::TraceV2Reader(p).read_all().ops, ops));
+}
+
+TEST_F(TraceV2Test, RoundTripsEmptyTrace) {
+  const std::string p = path("empty.samt");
+  trace::write_samt_v2(p, trace::TraceView(nullptr, 0), "empty", 0);
+  const trace::TraceV2Reader r(p);
+  EXPECT_EQ(r.record_count(), 0u);
+  EXPECT_EQ(r.block_count(), 0u);
+  EXPECT_TRUE(r.read_all().ops.empty());
+  EXPECT_TRUE(trace::trace_health(p).ok());
+}
+
+TEST_F(TraceV2Test, RangeReadsMatchReadAll) {
+  const std::vector<trace::MicroOp> ops = workload(5'000);
+  const std::string p = path("r.samt");
+  trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "gcc", 23,
+                       256);
+  const trace::TraceV2Reader r(p);
+  // Ranges chosen to hit: block-aligned, straddling, single-record,
+  // clamped-past-the-end, inverted and empty.
+  const std::pair<std::uint64_t, std::uint64_t> ranges[] = {
+      {0, 5'000}, {0, 256},    {256, 512},    {100, 4'900}, {255, 257},
+      {777, 778}, {4'999, 5'000}, {4'000, 99'999}, {42, 42}, {600, 100}};
+  for (const auto& [b, e] : ranges) {
+    const std::vector<trace::MicroOp> got = r.read_range(b, e);
+    const std::uint64_t lo = std::min<std::uint64_t>(b, ops.size());
+    const std::uint64_t hi =
+        std::max(lo, std::min<std::uint64_t>(e, ops.size()));
+    const std::vector<trace::MicroOp> want(
+        ops.begin() + static_cast<std::ptrdiff_t>(lo),
+        ops.begin() + static_cast<std::ptrdiff_t>(hi));
+    EXPECT_TRUE(same_ops(got, want)) << "range [" << b << ", " << e << ")";
+  }
+}
+
+TEST_F(TraceV2Test, IndexSeeksAreBlockLocal) {
+  // A corrupt interior block must only fail reads whose range touches
+  // it — reads over other blocks keep working off the intact index.
+  const std::vector<trace::MicroOp> ops = workload(4'096);
+  const std::string p = path("seek.samt");
+  trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "gcc", 23,
+                       512);
+  {
+    const trace::TraceV2Reader pristine(p);
+    ASSERT_EQ(pristine.block_count(), 8u);
+    const std::size_t off =
+        static_cast<std::size_t>(pristine.index()[5].file_offset) +
+        sizeof(trace::SamtBlockHeader) + 1;
+    std::ifstream in(p, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes[off] = static_cast<char>(bytes[off] ^ 0x40);
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const trace::TraceV2Reader r(p);  // index intact: construction succeeds
+  EXPECT_TRUE(same_ops(r.read_range(0, 5 * 512),
+                       {ops.begin(), ops.begin() + 5 * 512}));
+  EXPECT_TRUE(same_ops(r.read_range(6 * 512, 4'096),
+                       {ops.begin() + 6 * 512, ops.end()}));
+  try {
+    (void)r.read_range(5 * 512, 5 * 512 + 1);
+    FAIL() << "read over the corrupt block was accepted";
+  } catch (const trace::TraceCorruptError& e) {
+    EXPECT_EQ(e.damage, trace::TraceDamage::kInteriorCorrupt);
+    EXPECT_EQ(e.block, 5u);
+  }
+}
+
+TEST_F(TraceV2Test, ResumePicksUpIntactBlocksOfATornTmp) {
+  const std::vector<trace::MicroOp> ops = workload(2'000);
+  const std::string p = path("resume.samt");
+  // First attempt dies between block flushes (writer destroyed without
+  // finish(), as a SIGKILL would): the flushed whole blocks survive in
+  // the tmp, the 464-record partial block is lost, and no final file is
+  // ever published.
+  {
+    trace::TraceWriterV2 w(p, "gcc", 23, 512);
+    w.append(trace::TraceView(ops.data(), ops.size()));
+  }
+  EXPECT_FALSE(fs::exists(p));
+  ASSERT_TRUE(fs::exists(trace::TraceWriterV2::tmp_path_for(p)));
+
+  // Resume: only the records past the durable prefix are re-appended.
+  trace::TraceWriterV2 w(p, "gcc", 23, 512, trace::TraceWriterV2::Mode::kResume);
+  EXPECT_EQ(w.durable_records(), 1536u);  // 3 whole blocks of 512
+  w.append(trace::TraceView(ops.data() + w.durable_records(),
+                            ops.size() - w.durable_records()));
+  w.finish();
+  EXPECT_FALSE(fs::exists(trace::TraceWriterV2::tmp_path_for(p)));
+  EXPECT_TRUE(same_ops(trace::TraceV2Reader(p).read_all().ops, ops));
+
+  // The resumed file is byte-identical to a never-interrupted write.
+  const std::string q = path("oneshot.samt");
+  trace::write_samt_v2(q, trace::TraceView(ops.data(), ops.size()), "gcc", 23,
+                       512);
+  std::ifstream fa(p, std::ios::binary);
+  std::ifstream fb(q, std::ios::binary);
+  const std::string ba((std::istreambuf_iterator<char>(fa)),
+                       std::istreambuf_iterator<char>());
+  const std::string bb((std::istreambuf_iterator<char>(fb)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(ba, bb);
+}
+
+TEST_F(TraceV2Test, EnospcFaultKeepsTmpNeverFinal) {
+  const std::vector<trace::MicroOp> ops = workload(600);
+  const std::string p = path("enospc.samt");
+  trace::set_io_fault(p, {trace::IoFault::Kind::kEnospcOnImport, 0});
+  EXPECT_THROW(
+      trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "gcc",
+                           23, 256),
+      trace::TraceFormatError);
+  EXPECT_FALSE(fs::exists(p)) << "a failed import must not publish a file";
+  EXPECT_TRUE(fs::exists(trace::TraceWriterV2::tmp_path_for(p)));
+  // The fault was consumed: a retry on the same path succeeds.
+  trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "gcc", 23,
+                       256);
+  EXPECT_TRUE(same_ops(trace::TraceV2Reader(p).read_all().ops, ops));
+}
+
+TEST_F(TraceV2Test, V1ImportFaultIsAtomicToo) {
+  // The v1 writer consumes the same import faults; it removes its tmp
+  // (v1 has no resume) and never publishes the final file.
+  const std::vector<trace::MicroOp> ops = workload(300);
+  const std::string p = path("v1.samt");
+  trace::set_io_fault(p, {trace::IoFault::Kind::kEnospcOnImport, 0});
+  EXPECT_THROW(
+      trace::write_samt(p, trace::TraceView(ops.data(), ops.size()), "gcc", 23),
+      trace::TraceFormatError);
+  EXPECT_FALSE(fs::exists(p));
+  EXPECT_FALSE(fs::exists(p + ".tmp"));
+}
+
+TEST_F(TraceV2Test, ShortReadFaultReadsAsTornTail) {
+  const std::vector<trace::MicroOp> ops = workload(1'000);
+  const std::string p = path("short.samt");
+  trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "gcc", 23,
+                       256);
+  trace::set_io_fault(p, {trace::IoFault::Kind::kShortRead, 100});
+  try {
+    const trace::TraceV2Reader r(p);
+    FAIL() << "short read was accepted";
+  } catch (const trace::TraceCorruptError& e) {
+    EXPECT_EQ(e.damage, trace::TraceDamage::kTornTail);
+  }
+  // Consumed: the next open sees the intact file.
+  EXPECT_TRUE(same_ops(trace::TraceV2Reader(p).read_all().ops, ops));
+}
+
+TEST_F(TraceV2Test, BitFlipFaultReadsAsInteriorCorruption) {
+  const std::vector<trace::MicroOp> ops = workload(1'000);
+  const std::string p = path("flip.samt");
+  trace::write_samt_v2(p, trace::TraceView(ops.data(), ops.size()), "gcc", 23,
+                       256);
+  trace::set_io_fault(p, {trace::IoFault::Kind::kBitFlipBlock, 2});
+  try {
+    (void)trace::TraceV2Reader(p).read_all();
+    FAIL() << "bit flip was accepted";
+  } catch (const trace::TraceCorruptError& e) {
+    EXPECT_EQ(e.damage, trace::TraceDamage::kInteriorCorrupt);
+    EXPECT_EQ(e.block, 2u);
+  }
+  // In-memory flip only: the file on disk is still clean.
+  EXPECT_TRUE(trace::trace_health(p).ok());
+}
+
+}  // namespace
+}  // namespace samie

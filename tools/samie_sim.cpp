@@ -55,37 +55,60 @@
 //                          jobs are loaded bit-identically, the rest run
 //   --no-verify-checksum   skip the SAMT FNV-1a checksum pass on replay
 //                          (for re-opening an already-verified trace)
-//   --inject-fault=J:A:KIND[:MS]  test/CI hook: inject a fault at job J
+//   --inject-fault=J:A:KIND[:ARG]  test/CI hook: inject a fault at job J
 //                          (0-based) attempt A (1-based); KIND is flaky
 //                          (transient throw), fail (deterministic throw),
-//                          delay (sleep MS ms first) or wake (spurious
+//                          delay (sleep ARG ms first) or wake (spurious
 //                          supervisor wake-up). Under --isolate only:
 //                          crash (SIGSEGV in the child), oom (allocation
 //                          bomb into the --job-mem-mb jail), spin (busy
 //                          loop ignoring the cancel token) and torn-frame
-//                          (truncated result frame). Repeatable.
+//                          (truncated result frame). I/O kinds (armed on
+//                          the job's trace path, consumed by the next
+//                          open): short-read (hide the last ARG bytes;
+//                          0 = 64) and bit-flip (flip one payload bit of
+//                          v2 block ARG in memory). Import-only kinds —
+//                          J indexes the imported file: enospc-on-import
+//                          (finalize fails as if the disk filled) and
+//                          torn-import (importer dies mid-block, torn
+//                          .tmp kept). Repeatable.
 //
 // Trace modes (SAMT format: docs/TRACE_FORMAT.md):
 //   --record-trace=DIR   additionally write each program's generated
 //                        trace to DIR/<program>.samt (DIR is created);
 //                        combined with --import-trace this converts the
 //                        imported text traces to SAMT
+//   --trace-format=V     SAMT version written by --record-trace: v1
+//                        (default; flat mmap-able records) or v2
+//                        (block-guarded + indexed; shardable)
 //   --replay-trace=PATH  replay a recorded .samt file — or every .samt
-//                        in a directory — via mmap (zero-copy; workers
-//                        sweeping one trace share a single mapping).
-//                        Replays the full trace unless --insts is given
+//                        in a directory — (v1: mmap zero-copy; v2:
+//                        block-decoded). Replays the full trace unless
+//                        --insts is given
+//   --trace-shards=N     split each replayed v2 trace into N
+//                        block-aligned shard jobs and emit one
+//                        reconciled row per trace (only when every
+//                        shard completed — never a partial row).
+//                        Requires --replay-trace with v2 traces
+//   --shard-warmup=W     warm-up records each shard replays ahead of
+//                        its measured range, excluded from its stats;
+//                        "full" (default) replays the whole prefix —
+//                        the exact mode, where reconciled integer
+//                        stats and energies match the unsharded run
+//                        bit for bit (docs/SWEEP_ROBUSTNESS.md)
 //   --import-trace=PATH  import a plain-text trace file (or directory of
 //                        .txt/.trace files; one op per line) and run it
 //
 // With no programs, the whole 26-program SPEC2000 suite runs.
 //
 // Exit status: 0 when every job completed, 3 when the sweep finished
-// but at least one job crashed its isolated child or exceeded its
-// resource jail (the per-job report carries outcome=, signal= and
-// crash_record= fields), 2 when the sweep was partial for any other
-// reason (jobs failed, timed out or were skipped — the failure report
-// goes to stderr, completed rows still print), 1 on usage or fatal
-// errors (bad flags, unreadable checkpoint, import failure).
+// but at least one job crashed its isolated child, exceeded its
+// resource jail, or hit trace damage (outcome=trace-damaged with
+// damage=/block=/offset= fields in the per-job report), 2 when the
+// sweep was partial for any other reason (jobs failed, timed out or
+// were skipped — the failure report goes to stderr, completed rows
+// still print), 1 on usage or fatal errors (bad flags, unreadable
+// checkpoint, import failure).
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -102,6 +125,7 @@
 #include "src/sim/experiment.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sweep_scheduler.h"
+#include "src/sim/trace_shard.h"
 #include "src/trace/spec2000.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/trace_source.h"
@@ -153,14 +177,35 @@ sim::SweepFault parse_fault(const std::string& spec) {
   else if (kind == "oom") f.kind = sim::SweepFault::Kind::kOom;
   else if (kind == "spin") f.kind = sim::SweepFault::Kind::kSpin;
   else if (kind == "torn-frame") f.kind = sim::SweepFault::Kind::kTornFrame;
+  else if (kind == "short-read") f.kind = sim::SweepFault::Kind::kShortRead;
+  else if (kind == "bit-flip") f.kind = sim::SweepFault::Kind::kBitFlipBlock;
+  else if (kind == "enospc-on-import")
+    f.kind = sim::SweepFault::Kind::kEnospcOnImport;
+  else if (kind == "torn-import") f.kind = sim::SweepFault::Kind::kTornImport;
   else usage_error("unknown fault kind '" + kind + "' in --inject-fault");
   if (parts.size() == 4) {
-    f.delay = std::chrono::milliseconds(std::strtoull(parts[3].c_str(), &end, 10));
+    const std::uint64_t arg = std::strtoull(parts[3].c_str(), &end, 10);
     if (end != parts[3].c_str() + parts[3].size()) {
-      usage_error("bad delay in --inject-fault '" + spec + "'");
+      usage_error("bad argument in --inject-fault '" + spec + "'");
+    }
+    if (sim::SweepFault::is_io_fault(f.kind)) {
+      f.param = arg;
+    } else {
+      f.delay = std::chrono::milliseconds(arg);
     }
   }
   return f;
+}
+
+/// Arms an import-only I/O fault on the importer's *final* output path
+/// (the writer checks the fault map under the final name, not the .tmp).
+void arm_import_fault(const std::string& out_path, const sim::SweepFault& f) {
+  trace::IoFault io;
+  io.param = f.param;
+  io.kind = f.kind == sim::SweepFault::Kind::kEnospcOnImport
+                ? trace::IoFault::Kind::kEnospcOnImport
+                : trace::IoFault::Kind::kTornImport;
+  trace::set_io_fault(out_path, io);
 }
 
 /// Collects PATH itself (a file) or the files under it (a directory)
@@ -195,6 +240,10 @@ int main(int argc, char** argv) {
   cfg.instructions = 200'000;
   bool csv = false;
   bool insts_given = false;
+  bool record_v2 = false;
+  std::uint64_t trace_shards = 0;
+  std::uint64_t shard_warmup = UINT64_MAX;  // "full": the exact mode
+  bool shard_warmup_given = false;
   std::string record_dir;
   std::string replay_path;
   std::string import_path;
@@ -220,6 +269,20 @@ int main(int argc, char** argv) {
       fault_plan.faults.push_back(parse_fault(arg.substr(15)));
     } else if (arg == "--no-verify-checksum") {
       cfg.verify_trace_checksum = false;
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      const std::string fmt = arg.substr(15);
+      if (fmt == "v1") record_v2 = false;
+      else if (fmt == "v2") record_v2 = true;
+      else usage_error("unknown --trace-format '" + fmt + "' (v1 or v2)");
+    } else if (parse_u64(arg, "--trace-shards", v)) {
+      if (v == 0) usage_error("--trace-shards must be at least 1");
+      trace_shards = v;
+    } else if (arg == "--shard-warmup=full") {
+      shard_warmup = UINT64_MAX;
+      shard_warmup_given = true;
+    } else if (parse_u64(arg, "--shard-warmup", v)) {
+      shard_warmup = v;
+      shard_warmup_given = true;
     } else if (parse_u64(arg, "--retries", v)) {
       if (v == 0) usage_error("--retries must be at least 1");
       sweep.retry.max_attempts = static_cast<std::uint32_t>(v);
@@ -323,6 +386,15 @@ int main(int argc, char** argv) {
   if (sweep.isolate_procs != 0 && !import_path.empty()) {
     usage_error("--isolate applies to sweep modes, not --import-trace");
   }
+  if (trace_shards != 0 && replay_path.empty()) {
+    usage_error("--trace-shards requires --replay-trace (v2 traces)");
+  }
+  if (shard_warmup_given && trace_shards == 0) {
+    usage_error("--shard-warmup requires --trace-shards");
+  }
+  if (record_v2 && record_dir.empty()) {
+    usage_error("--trace-format applies to --record-trace");
+  }
   if (!record_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(record_dir, ec);
@@ -333,6 +405,14 @@ int main(int argc, char** argv) {
   std::vector<sim::JobResult> results;
   sim::SweepReport report;
   bool ran_sweep = false;
+  /// Sharded replay bookkeeping: one group per replayed trace, covering
+  /// `count` consecutive shard jobs starting at job index `begin`.
+  struct ShardGroup {
+    sim::Job base;
+    std::size_t begin = 0;
+    std::size_t count = 0;
+  };
+  std::vector<ShardGroup> shard_groups;
   const std::string tag = sim::lsq_choice_name(cfg.lsq);
 
   try {
@@ -351,7 +431,21 @@ int main(int argc, char** argv) {
       job.config.trace_path = file;
       if (!insts_given) job.config.instructions = header.count;
       job.tag = tag;
-      jobs.push_back(std::move(job));
+      if (trace_shards != 0) {
+        // Block-aligned shard jobs; the reconciled row is assembled
+        // after the sweep, and only when every shard completed.
+        ShardGroup g;
+        g.base = job;
+        g.begin = jobs.size();
+        for (auto& sj : sim::make_trace_shard_jobs(
+                 job, static_cast<std::uint32_t>(trace_shards), shard_warmup)) {
+          jobs.push_back(std::move(sj.job));
+        }
+        g.count = jobs.size() - g.begin;
+        shard_groups.push_back(std::move(g));
+      } else {
+        jobs.push_back(std::move(job));
+      }
     }
     report = sim::run_sweep(jobs, sweep);
     ran_sweep = true;
@@ -359,15 +453,29 @@ int main(int argc, char** argv) {
     // Text import: materialize each trace once, optionally convert it to
     // SAMT, and run it in place. Fail-fast: a malformed text trace is a
     // fatal (exit 1) error, not a sweep outcome.
+    std::uint64_t file_idx = 0;
     for (const auto& file : collect_files(import_path, {".txt", ".trace"})) {
       const trace::TraceSource src = trace::TraceSource::import_text(file);
       if (!record_dir.empty()) {
         const auto out = std::filesystem::path(record_dir) /
                          (std::filesystem::path(file).stem().string() + ".samt");
-        trace::write_samt(out.string(), src.view(), src.name(), src.seed());
+        // Import-only injected faults target this file by index; arm
+        // them on the *final* path — the writer consumes the fault at
+        // finalize time keyed by the name it renames into.
+        for (const sim::SweepFault& f : fault_plan.faults) {
+          if (f.job == file_idx && sim::SweepFault::import_only(f.kind)) {
+            arm_import_fault(out.string(), f);
+          }
+        }
+        if (record_v2) {
+          trace::write_samt_v2(out.string(), src.view(), src.name(), src.seed());
+        } else {
+          trace::write_samt(out.string(), src.view(), src.name(), src.seed());
+        }
         std::cerr << "recorded " << out.string() << " (" << src.size()
                   << " ops)\n";
       }
+      ++file_idx;
       sim::SimConfig run_cfg = cfg;
       if (!insts_given) run_cfg.instructions = src.size();
       sim::JobResult jr;
@@ -394,7 +502,11 @@ int main(int argc, char** argv) {
         const trace::TraceSource src = trace::TraceSource::generate(
             trace::spec2000_profile(p), cfg.seed, cfg.instructions);
         const auto out = std::filesystem::path(record_dir) / (p + ".samt");
-        trace::write_samt(out.string(), src.view(), p, cfg.seed);
+        if (record_v2) {
+          trace::write_samt_v2(out.string(), src.view(), p, cfg.seed);
+        } else {
+          trace::write_samt(out.string(), src.view(), p, cfg.seed);
+        }
         std::cerr << "recorded " << out.string() << " (" << src.size()
                   << " ops)\n";
       }
@@ -421,11 +533,32 @@ int main(int argc, char** argv) {
   }
 
   if (ran_sweep) {
-    // Completed jobs only, in job order: a failed/timed-out/skipped job
-    // never fabricates an output row.
-    for (sim::SweepJobResult& jr : report.jobs) {
-      if (jr.completed()) {
-        results.push_back(sim::JobResult{std::move(jr.job), jr.result});
+    if (!shard_groups.empty()) {
+      // Sharded replay: per-shard rows are internal. Emit one
+      // reconciled row per trace, and only when every one of its
+      // shards completed — a trace with a damaged/failed shard gets
+      // no row at all, never a partial one.
+      for (const ShardGroup& g : shard_groups) {
+        std::vector<sim::SimResult> parts;
+        parts.reserve(g.count);
+        bool all = g.count != 0;
+        for (std::size_t i = 0; i < g.count && all; ++i) {
+          const sim::SweepJobResult& jr = report.jobs[g.begin + i];
+          if (jr.completed()) parts.push_back(jr.result);
+          else all = false;
+        }
+        if (all) {
+          results.push_back(sim::JobResult{
+              g.base, sim::merge_shard_results(parts, g.base.config)});
+        }
+      }
+    } else {
+      // Completed jobs only, in job order: a failed/timed-out/skipped
+      // job never fabricates an output row.
+      for (sim::SweepJobResult& jr : report.jobs) {
+        if (jr.completed()) {
+          results.push_back(sim::JobResult{std::move(jr.job), jr.result});
+        }
       }
     }
     if (!report.all_completed() || report.resumed != 0 ||
